@@ -1,0 +1,39 @@
+"""Fig. 10: #users ranking the target at each position, per p-approval variant.
+
+Expected shape (paper, Yelp): seeds for p=1 (plurality) maximize
+first-position counts; larger p shifts mass into positions <= p, and the
+distribution's head grows with seeding relative to no seeds.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import rank_distribution_experiment
+from repro.eval.reporting import format_series
+from repro.voting.rank import ranks
+from repro.voting.scores import PluralityScore
+
+K = 20
+
+
+def test_fig10_rank_distribution(benchmark, yelp_ds, save_result):
+    out = run_once(
+        benchmark,
+        lambda: rank_distribution_experiment(
+            yelp_ds, K, [1, 2, 3], method="dm", rng=23
+        ),
+    )
+    problem = yelp_ds.problem(PluralityScore())
+    beta0 = ranks(problem.full_opinions(()), problem.target)
+    no_seed = np.bincount(beta0, minlength=yelp_ds.r + 1)[1:].astype(float)
+    series = {"no seeds": list(no_seed), **{k: v for k, v in out.items() if k != "position"}}
+    save_result(
+        "fig10_rank_positions", format_series("position", out["position"], series)
+    )
+    for key in ("p=1", "p=2", "p=3"):
+        assert sum(out[key]) == yelp_ds.n
+    # Seeding for p=1 puts more users at position 1 than no seeding.
+    assert out["p=1"][0] >= no_seed[0]
+    # p=1 concentrates strictly on position 1 at least as much as p=3 does.
+    assert out["p=1"][0] >= out["p=3"][0] - K

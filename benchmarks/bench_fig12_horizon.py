@@ -1,0 +1,39 @@
+"""Fig. 12: cumulative score and seed-finding time vs the horizon t.
+
+Expected shape (paper, Yelp): the score saturates around t≈20 (motivating
+the default), RW/RS saturate slightly earlier than DM, and DM's runtime
+grows linearly in t while RW/RS grow sub-linearly (walks often terminate
+early at stubborn nodes).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import horizon_experiment
+from repro.eval.reporting import format_series
+
+TS = [0, 2, 5, 10, 20, 30]
+K = 10
+KW = {"rw": {"lambda_cap": 32}, "rs": {"theta": 4000}}
+
+
+def test_fig12_horizon(benchmark, yelp_ds, save_result):
+    out = run_once(
+        benchmark,
+        lambda: horizon_experiment(
+            yelp_ds, TS, K, methods=("dm", "rw", "rs"), rng=31, method_kwargs=KW
+        ),
+    )
+    save_result(
+        "fig12_horizon",
+        "score:\n"
+        + format_series("t", TS, out["score"])
+        + "\n\nselect time (s):\n"
+        + format_series("t", TS, out["time"]),
+    )
+    # Score saturation: the last two horizons differ much less than the
+    # first two for the exact method.
+    dm = out["score"]["dm"]
+    assert abs(dm[-1] - dm[-2]) <= abs(dm[1] - dm[0]) + 1e-9
+    # DM's time grows with t.
+    assert out["time"]["dm"][-1] > out["time"]["dm"][1]

@@ -1,0 +1,31 @@
+"""Fig. 13: plurality score vs the sketch count θ (Twitter Mask in the paper).
+
+Expected shape: the score climbs with θ and converges well before θ = n;
+the converged θ is insensitive to k and t (the paper reuses one estimate
+across both), justifying the §VI-E heuristic.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import theta_experiment
+from repro.eval.reporting import format_series
+from repro.voting.scores import PluralityScore
+
+THETAS = [64, 128, 256, 512, 1024, 2048, 4096]
+
+
+def test_fig13_theta_plurality(benchmark, mask_ds, save_result):
+    out = run_once(
+        benchmark,
+        lambda: theta_experiment(
+            mask_ds, PluralityScore(), THETAS, ks=[5, 20], ts=[5, 20], rng=37
+        ),
+    )
+    series = {key: vals for key, vals in out.items() if key != "theta"}
+    save_result("fig13_theta_plurality", format_series("theta", THETAS, series))
+    for key, vals in series.items():
+        # Converged: the last doubling changes the score by < 10%.
+        assert abs(vals[-1] - vals[-2]) <= 0.1 * max(abs(vals[-2]), 1.0), key
+        # Large θ beats the smallest θ (allow small stochastic slack).
+        assert vals[-1] >= vals[0] - 0.05 * max(abs(vals[0]), 1.0), key

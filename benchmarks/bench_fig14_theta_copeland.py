@@ -1,0 +1,31 @@
+"""Fig. 14: Copeland score vs the sketch count θ (Yelp in the paper).
+
+Expected shape: as Fig. 13 — the score converges at a θ well below n and
+the converged value is stable across k and t.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import theta_experiment
+from repro.eval.reporting import format_series
+from repro.voting.scores import CopelandScore
+
+THETAS = [64, 128, 256, 512, 1024, 2048]
+
+
+def test_fig14_theta_copeland(benchmark, yelp_ds, save_result):
+    out = run_once(
+        benchmark,
+        lambda: theta_experiment(
+            yelp_ds, CopelandScore(), THETAS, ks=[5, 20], ts=[5, 20], rng=41
+        ),
+    )
+    series = {key: vals for key, vals in out.items() if key != "theta"}
+    save_result("fig14_theta_copeland", format_series("theta", THETAS, series))
+    max_score = yelp_ds.r - 1
+    for key, vals in series.items():
+        assert all(0 <= v <= max_score for v in vals), key
+        # Copeland is integer valued and small; converged means the last two
+        # θ values agree.
+        assert abs(vals[-1] - vals[-2]) <= 1.0, key

@@ -1,0 +1,36 @@
+"""Fig. 15: RS cumulative score and time vs ε (Twitter US Election in the paper).
+
+Expected shape: θ (and hence runtime) falls steeply as ε grows; the score
+degrades noticeably beyond ε ≈ 0.1-0.2, which is why the paper defaults to
+ε = 0.1.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import epsilon_experiment
+from repro.eval.reporting import format_series
+
+EPSILONS = [0.05, 0.1, 0.2, 0.3]
+K = 10
+
+
+def test_fig15_epsilon(benchmark, election_ds, save_result):
+    out = run_once(
+        benchmark,
+        lambda: epsilon_experiment(
+            election_ds, EPSILONS, K, theta_cap=300_000, rng=43
+        ),
+    )
+    save_result(
+        "fig15_epsilon",
+        format_series(
+            "epsilon",
+            EPSILONS,
+            {"score": out["score"], "time": out["time"], "theta": out["theta"]},
+        ),
+    )
+    # θ strictly decreases as ε grows (Theorem 13 is ~ 1/ε²).
+    assert all(a >= b for a, b in zip(out["theta"], out["theta"][1:]))
+    # The tightest ε should not score worse than the loosest.
+    assert out["score"][0] >= out["score"][-1] - 1e-9

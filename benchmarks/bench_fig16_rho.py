@@ -1,0 +1,37 @@
+"""Fig. 16: RW plurality score and time vs ρ (Twitter Social Distancing).
+
+Expected shape: the score rises sharply at small ρ and flattens from
+ρ ≈ 0.9 (the paper's default), while the walk count — and hence runtime —
+keeps increasing with ρ.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import rho_experiment
+from repro.eval.reporting import format_series
+
+RHOS = [0.75, 0.8, 0.85, 0.9, 0.95]
+K = 10
+
+
+def test_fig16_rho(benchmark, distancing_ds, save_result):
+    out = run_once(
+        benchmark,
+        lambda: rho_experiment(
+            distancing_ds, RHOS, K, rng=47, lambda_cap=None, gamma_floor=0.15
+        ),
+    )
+    save_result(
+        "fig16_rho",
+        format_series(
+            "rho",
+            RHOS,
+            {"score": out["score"], "time": out["time"], "walks": out["walks"]},
+        ),
+    )
+    # Walk counts are non-decreasing in ρ (Theorem 11's ln(2/(1-ρ)) factor).
+    assert all(a <= b for a, b in zip(out["walks"], out["walks"][1:]))
+    # Score at the default ρ=0.9 is within noise of the maximum.
+    best = max(out["score"])
+    assert out["score"][3] >= 0.9 * best

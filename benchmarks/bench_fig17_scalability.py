@@ -1,0 +1,50 @@
+"""Fig. 17: seed-finding time and memory vs graph size (cumulative score).
+
+Expected shape (paper, Twitter Social Distancing subsamples): RW and RS
+scale near-linearly in n; DM grows polynomially and dominates at the larger
+sizes; DM uses the least memory (no walks), RW stores far more walks than
+RS.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.datasets.twitter import twitter_social_distancing
+from repro.eval.experiments import scalability_experiment
+from repro.eval.reporting import format_series
+
+SIZES = [250, 500, 1000, 2000]
+K = 10
+KW = {"rw": {"lambda_cap": 32}, "rs": {"theta": 4000}}
+
+
+@pytest.fixture(scope="module")
+def big_distancing():
+    return twitter_social_distancing(n=2000, rng=BENCH_SEED, horizon=10)
+
+
+def test_fig17_scalability(benchmark, big_distancing, save_result):
+    out = run_once(
+        benchmark,
+        lambda: scalability_experiment(
+            big_distancing, SIZES, K, methods=("dm", "rw", "rs"),
+            rng=53, method_kwargs=KW,
+        ),
+    )
+    mem_mb = {
+        m: [v / 1e6 for v in vals] for m, vals in out["memory"].items()
+    }
+    save_result(
+        "fig17_scalability",
+        "select time (s):\n"
+        + format_series("n", SIZES, out["time"])
+        + "\n\nmemory (MB):\n"
+        + format_series("n", SIZES, mem_mb),
+    )
+    # RW stores more walk state than RS at the largest size.
+    assert out["memory"]["rw"][-1] > out["memory"]["rs"][-1]
+    # DM (no walks) uses the least memory.
+    assert out["memory"]["dm"][-1] <= out["memory"]["rs"][-1]
+    # Runtimes grow with n for every method.
+    for m in ("dm", "rw", "rs"):
+        assert out["time"][m][-1] >= out["time"][m][0]

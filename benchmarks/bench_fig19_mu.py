@@ -1,0 +1,42 @@
+"""Fig. 19 (Appendix D): score sensitivity to the edge-weight parameter μ.
+
+Expected shape (paper): small differences across μ — column normalization
+washes most of μ's effect out — with the μ=10 and μ=15 curves nearly
+overlapping, justifying the μ=10 default.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.datasets.yelp import yelp_like
+from repro.eval.experiments import mu_experiment
+from repro.eval.reporting import format_series
+from repro.voting.scores import PluralityScore
+
+MUS = [1.0, 5.0, 10.0, 15.0, 20.0]
+KS = [5, 10, 20]
+
+
+def test_fig19_mu(benchmark, save_result):
+    out = run_once(
+        benchmark,
+        lambda: mu_experiment(
+            lambda mu, rng: yelp_like(n=400, r=6, mu=mu, rng=rng, horizon=10),
+            MUS,
+            KS,
+            PluralityScore(),
+            method="dm",
+            dataset_seed=BENCH_SEED,
+            rng=61,
+        ),
+    )
+    series = {k: v for k, v in out.items() if k != "k"}
+    save_result("fig19_mu", format_series("k", KS, series))
+    # The μ=10 and μ=15 curves nearly overlap (paper's justification).
+    a = np.array(out["mu=10.0"])
+    b = np.array(out["mu=15.0"])
+    assert np.all(np.abs(a - b) <= 0.1 * np.maximum(np.abs(a), 1.0))
+    # Overall spread across μ stays modest at the largest k.
+    at_kmax = np.array([out[f"mu={mu}"][-1] for mu in MUS])
+    assert at_kmax.max() - at_kmax.min() <= 0.35 * at_kmax.max()

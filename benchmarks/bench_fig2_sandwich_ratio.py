@@ -1,0 +1,90 @@
+"""Fig. 2 (§IV-D): the empirical sandwich approximation factor F(S_U)/UB(S_U).
+
+The paper runs 100 trials (one per k in 100..1000) on Twitter Social
+Distancing (plurality) and Yelp (Copeland) and reports the ratio reaching
+0.7 in 90% of trials and 0.8 in about half.  We sweep the scaled k range on
+the corresponding synthetic datasets and report the same statistics; the
+expected shape is a consistently high ratio (>> the worst case 0.46).
+Also checks the §IV-D runtime claim: S_U and S_L are far cheaper than S_F.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.sandwich import lower_bound_greedy, favorable_users, sandwich_select
+from repro.eval.experiments import sandwich_ratio_trials
+from repro.eval.reporting import format_series
+from repro.utils.timing import Timer
+from repro.voting.scores import CopelandScore, PluralityScore
+
+KS = [5, 10, 15, 20, 30, 40, 50, 60, 80, 100]
+
+
+def test_fig2_plurality_distancing(benchmark, sparse_distancing_ds, save_result):
+    out = run_once(
+        benchmark,
+        lambda: sandwich_ratio_trials(
+            sparse_distancing_ds, PluralityScore(), KS, rng=1, lambda_cap=16
+        ),
+    )
+    ratios = np.array(out["ratio"])
+    save_result(
+        "fig2_sandwich_plurality",
+        format_series("k", KS, {"F(SU)/UB(SU)": out["ratio"], "factor": out["factor"]})
+        + f"\nshare >= 0.7: {np.mean(ratios >= 0.7):.0%}, "
+        f">= 0.8: {np.mean(ratios >= 0.8):.0%}, min: {ratios.min():.2f}",
+    )
+    assert np.all(ratios >= 0.0) and np.all(ratios <= 1.0 + 1e-9)
+    # Paper shape: ratios are consistently well above the degenerate 0.
+    assert ratios.mean() > 0.3
+
+
+def test_fig2_copeland_yelp(benchmark, yelp_ds, save_result):
+    ks = [5, 10, 20, 30, 40]
+    out = run_once(
+        benchmark,
+        lambda: sandwich_ratio_trials(
+            yelp_ds, CopelandScore(), ks, rng=2, lambda_cap=16
+        ),
+    )
+    ratios = np.array(out["ratio"])
+    save_result(
+        "fig2_sandwich_copeland",
+        format_series("k", ks, {"F(SU)/UB(SU)": out["ratio"]})
+        + f"\nshare >= 0.7: {np.mean(ratios >= 0.7):.0%}, min: {ratios.min():.2f}",
+    )
+    assert np.all(ratios <= 1.0 + 1e-9)
+
+
+def test_fig2_bound_runtime_share(benchmark, distancing_ds, save_result):
+    """§IV-D: computing S_U / S_L costs a small fraction of computing S_F."""
+    problem = distancing_ds.problem(PluralityScore())
+    problem.others_by_user()
+    k = 20
+
+    def run():
+        with Timer() as t_all:
+            result = sandwich_select(problem, k, method="dm")
+        # Time the bound solutions in isolation.
+        from repro.core.reachability import ReachabilityIndex, coverage_greedy
+
+        with Timer() as t_ub:
+            index = ReachabilityIndex(
+                problem.state.graph(problem.target), problem.horizon
+            )
+            coverage_greedy(index, favorable_users(problem), k)
+        with Timer() as t_lb:
+            lower_bound_greedy(problem, k, favorable_users(problem))
+        return result, t_all.elapsed, t_ub.elapsed, t_lb.elapsed
+
+    result, total, t_ub, t_lb = run_once(benchmark, run)
+    save_result(
+        "fig2_bound_runtime",
+        f"sandwich total {total:.2f}s; S_U {t_ub:.2f}s "
+        f"({100 * t_ub / total:.1f}%), S_L {t_lb:.2f}s ({100 * t_lb / total:.1f}%)"
+        f"; chosen={result.chosen}, ratio={result.sandwich_ratio:.2f}",
+    )
+    # The bounds must be much cheaper than the full sandwich run (paper: ~2%/~5%).
+    assert t_ub < 0.5 * total
+    assert t_lb < 0.5 * total

@@ -1,0 +1,58 @@
+"""Fig. 6: plurality score and seed-selection time vs k, all methods.
+
+Expected shape (paper): the proposed methods (DM/RW/RS) dominate all
+baselines, the gap is larger than for the cumulative score, scores grow
+concavely in k, RW/RS run orders of magnitude faster than DM, and the best
+baseline (typically DC) reaches only a fraction of RW's gain.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import effectiveness_experiment
+from repro.eval.reporting import format_series
+from repro.voting.scores import PluralityScore
+
+KS = [5, 10, 20, 40]
+METHODS = ["dm", "rw", "rs", "gedt", "ic", "lt", "pr", "rwr", "dc", "random"]
+KW = {
+    "rw": {"lambda_cap": 32},
+    "rs": {"theta": 4000},
+    "ic": {"theta_cap": 30000},
+    "lt": {"theta_cap": 30000},
+}
+
+
+def _gain(result, method: str, baseline: float) -> float:
+    return result.scores[method][-1] - baseline
+
+
+@pytest.mark.parametrize("ds_name", ["yelp", "election"])
+def test_fig6_plurality(benchmark, ds_name, yelp_ds, election_ds, save_result):
+    ds = {"yelp": yelp_ds, "election": election_ds}[ds_name]
+    result = run_once(
+        benchmark,
+        lambda: effectiveness_experiment(
+            ds, PluralityScore(), KS, METHODS, rng=11, method_kwargs=KW
+        ),
+    )
+    baseline = ds.problem(PluralityScore()).objective(())
+    save_result(
+        f"fig6_plurality_{ds_name}",
+        f"no-seed score: {baseline:.0f}\n"
+        + format_series("k", KS, result.scores)
+        + "\n\nselect time (s):\n"
+        + format_series("k", KS, result.times),
+    )
+    # Shape assertions: our methods beat every baseline at the largest k.
+    ours = min(_gain(result, m, baseline) for m in ("dm", "rw", "rs"))
+    for b in ("pr", "rwr", "random"):
+        assert ours >= _gain(result, b, baseline) - 1e-9, f"{b} beat our methods"
+    # DM is the slowest of ours; RW/RS are much faster.
+    assert result.times["rs"][-1] < result.times["dm"][-1]
+    assert result.times["rw"][-1] < result.times["dm"][-1]
+    # Monotone in k for greedy methods.
+    assert all(
+        b >= a - 1e-9
+        for a, b in zip(result.scores["dm"], result.scores["dm"][1:])
+    )

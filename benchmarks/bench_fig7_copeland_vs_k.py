@@ -1,0 +1,51 @@
+"""Fig. 7: Copeland score and seed-selection time vs k.
+
+Expected shape (paper): proposed methods reach the maximum Copeland score
+(r-1, i.e. beating every competitor head-to-head) at moderate k, baselines
+lag, and the efficiency ordering RS < RW << DM holds.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import effectiveness_experiment
+from repro.eval.reporting import format_series
+from repro.voting.scores import CopelandScore
+
+KS = [5, 10, 20, 40]
+METHODS = ["dm", "rw", "rs", "gedt", "ic", "lt", "pr", "rwr", "dc", "random"]
+KW = {
+    "rw": {"lambda_cap": 32},
+    "rs": {"theta": 4000},
+    "ic": {"theta_cap": 30000},
+    "lt": {"theta_cap": 30000},
+}
+
+
+@pytest.mark.parametrize("ds_name", ["yelp", "election"])
+def test_fig7_copeland(benchmark, ds_name, yelp_ds, election_ds, save_result):
+    ds = {"yelp": yelp_ds, "election": election_ds}[ds_name]
+    result = run_once(
+        benchmark,
+        lambda: effectiveness_experiment(
+            ds, CopelandScore(), KS, METHODS, rng=13, method_kwargs=KW
+        ),
+    )
+    baseline = ds.problem(CopelandScore()).objective(())
+    save_result(
+        f"fig7_copeland_{ds_name}",
+        f"no-seed score: {baseline:.0f} (max possible: {ds.r - 1})\n"
+        + format_series("k", KS, result.scores)
+        + "\n\nselect time (s):\n"
+        + format_series("k", KS, result.times),
+    )
+    max_score = ds.r - 1
+    for m in METHODS:
+        assert all(0 <= v <= max_score for v in result.scores[m])
+    # Our methods match or beat every baseline at the largest k.
+    ours = max(result.scores[m][-1] for m in ("dm", "rw", "rs"))
+    best_baseline = max(
+        result.scores[m][-1] for m in METHODS if m not in ("dm", "rw", "rs")
+    )
+    assert ours >= best_baseline - 1e-9
+    assert result.times["rs"][-1] < result.times["dm"][-1]

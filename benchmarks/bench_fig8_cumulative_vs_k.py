@@ -1,0 +1,52 @@
+"""Fig. 8: cumulative score and seed-selection time vs k.
+
+Expected shape (paper): DM and GED-T coincide exactly (the cumulative score
+is single-campaign opinion maximization, §VIII-C), RW/RS track DM closely,
+baselines trail, and the baseline gap is smaller than for plurality/Copeland
+(DC reaches ~70% of RW's gain on the paper's data vs ~50% for plurality).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import effectiveness_experiment
+from repro.eval.reporting import format_series
+from repro.voting.scores import CumulativeScore
+
+KS = [5, 10, 20, 40]
+METHODS = ["dm", "rw", "rs", "gedt", "ic", "lt", "pr", "rwr", "dc", "random"]
+KW = {
+    "rw": {"lambda_cap": 64},
+    "rs": {"theta": 8000},
+    "ic": {"theta_cap": 30000},
+    "lt": {"theta_cap": 30000},
+}
+
+
+@pytest.mark.parametrize("ds_name", ["yelp", "mask"])
+def test_fig8_cumulative(benchmark, ds_name, yelp_ds, mask_ds, save_result):
+    ds = {"yelp": yelp_ds, "mask": mask_ds}[ds_name]
+    result = run_once(
+        benchmark,
+        lambda: effectiveness_experiment(
+            ds, CumulativeScore(), KS, METHODS, rng=17, method_kwargs=KW
+        ),
+    )
+    baseline = ds.problem(CumulativeScore()).objective(())
+    save_result(
+        f"fig8_cumulative_{ds_name}",
+        f"no-seed score: {baseline:.1f}\n"
+        + format_series("k", KS, result.scores)
+        + "\n\nselect time (s):\n"
+        + format_series("k", KS, result.times),
+    )
+    # GED-T == DM for the cumulative score (identical objective + greedy).
+    for dm_v, gedt_v in zip(result.scores["dm"], result.scores["gedt"]):
+        assert dm_v == pytest.approx(gedt_v, abs=1e-9)
+    # RW/RS stay close to DM (within a few percent of the gain).
+    for m in ("rw", "rs"):
+        gain_dm = result.scores["dm"][-1] - baseline
+        gain_m = result.scores[m][-1] - baseline
+        assert gain_m >= 0.7 * gain_dm
+    # Baselines trail our methods.
+    assert result.scores["dm"][-1] >= result.scores["random"][-1]

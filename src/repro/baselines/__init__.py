@@ -1,0 +1,27 @@
+"""Baseline diffusion models and seed selectors compared in §VIII-A."""
+
+from repro.baselines.cascade import expected_spread, simulate_ic, simulate_lt
+from repro.baselines.centrality import (
+    degree_select,
+    influence_pagerank,
+    pagerank_select,
+    rwr_select,
+)
+from repro.baselines.gedt import gedt_select
+from repro.baselines.imm import IMMResult, imm
+from repro.baselines.rrset import rr_set_ic, rr_set_lt
+
+__all__ = [
+    "IMMResult",
+    "degree_select",
+    "expected_spread",
+    "gedt_select",
+    "imm",
+    "influence_pagerank",
+    "pagerank_select",
+    "rr_set_ic",
+    "rr_set_lt",
+    "rwr_select",
+    "simulate_ic",
+    "simulate_lt",
+]

@@ -1,0 +1,85 @@
+"""Centrality-based seed selectors: PageRank, RWR, Degree (§VIII-A).
+
+All three ignore opinions/stubbornness dynamics and pick structurally
+central nodes, which is why they trail the opinion-aware methods on the
+voting scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import FJVoteProblem
+from repro.graph.digraph import InfluenceGraph
+from repro.utils.validation import check_seed_budget
+
+
+def influence_pagerank(
+    graph: InfluenceGraph,
+    *,
+    damping: float = 0.85,
+    personalization: np.ndarray | None = None,
+    tol: float = 1e-10,
+    max_iter: int = 500,
+) -> np.ndarray:
+    """PageRank oriented toward *influencers*.
+
+    Power iteration on ``π = (1-c)·p + c·W π``: since ``w[u, v]`` is the
+    influence of ``u`` on ``v``, a node scores highly when it influences
+    high-scoring nodes — "more frequently reached nodes in a random graph
+    traversal are more likely to influence other users" (§VIII-A).  With a
+    non-uniform ``personalization`` this is Random Walk with Restart.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must be in (0, 1)")
+    n = graph.n
+    if personalization is None:
+        p = np.full(n, 1.0 / n)
+    else:
+        p = np.asarray(personalization, dtype=np.float64)
+        if p.shape != (n,) or p.min() < 0:
+            raise ValueError("personalization must be a non-negative length-n vector")
+        total = p.sum()
+        p = np.full(n, 1.0 / n) if total <= 0 else p / total
+    pi = p.copy()
+    for _ in range(max_iter):
+        nxt = (1.0 - damping) * p + damping * (graph.csr @ pi)
+        if np.abs(nxt - pi).sum() < tol:
+            return nxt
+        pi = nxt
+    return pi
+
+
+def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k largest scores, in descending score order."""
+    order = np.argsort(-scores, kind="stable")
+    return order[:k].astype(np.int64)
+
+
+def pagerank_select(problem: FJVoteProblem, k: int, *, damping: float = 0.85) -> np.ndarray:
+    """PR baseline: top-k nodes by influence-oriented PageRank."""
+    k = check_seed_budget(k, problem.n)
+    scores = influence_pagerank(problem.state.graph(problem.target), damping=damping)
+    return _top_k(scores, k)
+
+
+def rwr_select(problem: FJVoteProblem, k: int, *, damping: float = 0.85) -> np.ndarray:
+    """RWR baseline [as used by Gionis et al.]: restart-biased walk scores.
+
+    The restart distribution is proportional to the users' initial opinions
+    about the target, biasing the ranking toward regions already receptive
+    to the campaign.
+    """
+    k = check_seed_budget(k, problem.n)
+    scores = influence_pagerank(
+        problem.state.graph(problem.target),
+        damping=damping,
+        personalization=problem.state.initial_opinions[problem.target],
+    )
+    return _top_k(scores, k)
+
+
+def degree_select(problem: FJVoteProblem, k: int) -> np.ndarray:
+    """DC baseline: top-k nodes by weighted out-degree (total influence mass)."""
+    k = check_seed_budget(k, problem.n)
+    return _top_k(problem.state.graph(problem.target).weighted_out_degrees(), k)

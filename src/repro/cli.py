@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``select``      choose k seeds on a built-in dataset with any method/score
+``winmin``      minimum seed set for the target to win (Problem 2)
+``case-study``  the §VIII-B ACM-election case study
+``datasets``    list built-in dataset recipes
+``methods``     list seed-selection methods
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.winmin import min_seeds_to_win
+from repro.datasets.dblp import dblp_like
+from repro.datasets.synth import Dataset
+from repro.datasets.twitter import (
+    twitter_mask,
+    twitter_social_distancing,
+    twitter_us_election,
+)
+from repro.datasets.yelp import yelp_like
+from repro.eval.case_study import acm_election_case_study
+from repro.eval.harness import METHOD_NAMES, select_seeds
+from repro.eval.reporting import format_table
+from repro.utils.timing import Timer
+from repro.voting.scores import make_score
+
+DATASETS: dict[str, Callable[..., Dataset]] = {
+    "dblp": dblp_like,
+    "yelp": yelp_like,
+    "twitter-election": twitter_us_election,
+    "twitter-distancing": twitter_social_distancing,
+    "twitter-mask": twitter_mask,
+}
+
+_FAST_KWARGS = {
+    "rw": {"lambda_cap": 32},
+    "rs": {"theta": 4000},
+    "ic": {"theta_cap": 30000},
+    "lt": {"theta_cap": 30000},
+}
+
+
+def _build_dataset(args: argparse.Namespace) -> Dataset:
+    maker = DATASETS[args.dataset]
+    return maker(n=args.users, rng=args.seed, horizon=args.horizon)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=sorted(DATASETS), default="yelp")
+    parser.add_argument("--users", type=int, default=1000, help="network size n")
+    parser.add_argument("--horizon", type=int, default=20, help="time horizon t")
+    parser.add_argument(
+        "--score",
+        default="plurality",
+        choices=["cumulative", "plurality", "copeland", "p-approval"],
+    )
+    parser.add_argument("--p", type=int, default=2, help="p for p-approval")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _make_score(args: argparse.Namespace):
+    if args.score == "p-approval":
+        return make_score("p-approval", p=args.p)
+    return make_score(args.score)
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    problem = dataset.problem(_make_score(args))
+    problem.others_by_user()
+    kwargs = _FAST_KWARGS.get(args.method, {})
+    with Timer() as timer:
+        seeds = select_seeds(args.method, problem, args.k, rng=args.seed, **kwargs)
+    before = problem.objective(())
+    after = problem.objective(seeds)
+    print(
+        f"{dataset.name}: n={dataset.n}, target="
+        f"{dataset.state.candidates[dataset.target]!r}, t={problem.horizon}"
+    )
+    print(f"method={args.method} k={args.k}: score {before:.2f} -> {after:.2f} "
+          f"({timer.elapsed:.2f}s)")
+    print("seeds:", " ".join(str(int(s)) for s in seeds))
+    return 0
+
+
+def cmd_winmin(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    problem = dataset.problem(_make_score(args))
+    kwargs = _FAST_KWARGS.get(args.method, {})
+    if args.method == "dm":
+        result = min_seeds_to_win(problem, k_max=args.kmax)
+    else:
+        result = min_seeds_to_win(
+            problem,
+            k_max=args.kmax,
+            selector=lambda k: select_seeds(
+                args.method, problem, k, rng=args.seed, **kwargs
+            ),
+        )
+    if result.found:
+        print(f"target wins with k* = {result.k} seeds ({result.probes} probes)")
+    else:
+        print(f"target cannot win within k <= {args.kmax}")
+    return 0 if result.found else 1
+
+
+def cmd_case_study(args: argparse.Namespace) -> int:
+    dataset = dblp_like(n=args.users, rng=args.seed, horizon=args.horizon)
+    result = acm_election_case_study(
+        dataset, k=args.k, method=args.method, rng=args.seed + 1,
+        **_FAST_KWARGS.get(args.method, {}),
+    )
+    print(
+        f"votes for target: {result.votes_before} ({result.share_before:.1f}%)"
+        f" -> {result.votes_after} ({result.share_after:.1f}%)"
+    )
+    rows = [
+        [row.domain, row.total_users, row.votes_without_seeds, row.votes_with_seeds]
+        for row in result.rows
+    ]
+    print(format_table(["domain", "#users", "before", "after"], rows))
+    return 0
+
+
+def cmd_datasets(_: argparse.Namespace) -> int:
+    for name in sorted(DATASETS):
+        print(name)
+    return 0
+
+
+def cmd_methods(_: argparse.Namespace) -> int:
+    for name in METHOD_NAMES:
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Voting-based opinion maximization (ICDE 2023)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_select = sub.add_parser("select", help="select k seeds")
+    _add_common(p_select)
+    p_select.add_argument("--method", choices=METHOD_NAMES, default="rs")
+    p_select.add_argument("-k", type=int, default=20, help="seed budget")
+    p_select.set_defaults(func=cmd_select)
+
+    p_win = sub.add_parser("winmin", help="minimum seeds to win (Problem 2)")
+    _add_common(p_win)
+    p_win.add_argument("--method", choices=("dm", "rw", "rs"), default="dm")
+    p_win.add_argument("--kmax", type=int, default=300)
+    p_win.set_defaults(func=cmd_winmin)
+
+    p_case = sub.add_parser("case-study", help="ACM election case study")
+    p_case.add_argument("--users", type=int, default=2000)
+    p_case.add_argument("--horizon", type=int, default=20)
+    p_case.add_argument("--seed", type=int, default=0)
+    p_case.add_argument("-k", type=int, default=100)
+    p_case.add_argument("--method", choices=METHOD_NAMES, default="rw")
+    p_case.set_defaults(func=cmd_case_study)
+
+    sub.add_parser("datasets", help="list datasets").set_defaults(func=cmd_datasets)
+    sub.add_parser("methods", help="list methods").set_defaults(func=cmd_methods)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Core algorithms: the FJ-Vote problems and all seed-selection methods."""
+
+from repro.core.bounds import (
+    lambda_copeland,
+    lambda_cumulative,
+    lambda_rank,
+    theta_cumulative,
+)
+from repro.core.exact import brute_force_optimum, submodularity_violations
+from repro.core.greedy import GreedyResult, greedy_dm, greedy_select
+from repro.core.problem import FJVoteProblem
+from repro.core.random_walk import TruncatedWalks, random_walk_select
+from repro.core.reachability import ReachabilityIndex, coverage_greedy
+from repro.core.sandwich import SandwichResult, sandwich_select
+from repro.core.sketch import sketch_select
+from repro.core.winmin import WinMinResult, min_seeds_to_win
+
+__all__ = [
+    "FJVoteProblem",
+    "GreedyResult",
+    "ReachabilityIndex",
+    "SandwichResult",
+    "TruncatedWalks",
+    "WinMinResult",
+    "brute_force_optimum",
+    "coverage_greedy",
+    "greedy_dm",
+    "greedy_select",
+    "lambda_copeland",
+    "lambda_cumulative",
+    "lambda_rank",
+    "min_seeds_to_win",
+    "random_walk_select",
+    "sandwich_select",
+    "sketch_select",
+    "submodularity_violations",
+    "theta_cumulative",
+]

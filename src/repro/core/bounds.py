@@ -1,0 +1,215 @@
+"""Sample-complexity formulas from the paper's accuracy analysis (§V-C, §VI-B).
+
+All bounds are returned as integer counts (ceil of the analytic expression).
+``log_comb`` computes ``ln C(n, k)`` stably via log-gamma.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.utils.validation import check_probability
+
+
+def log_comb(n: int, k: int) -> float:
+    """Natural log of the binomial coefficient C(n, k)."""
+    if k < 0 or k > n:
+        return float("-inf")
+    return float(gammaln(n + 1) - gammaln(k + 1) - gammaln(n - k + 1))
+
+
+def lambda_cumulative(delta: float, rho: float) -> int:
+    """Walks per node for the cumulative score (Theorem 10).
+
+    ``λ_v ≥ ln(2 / (1 - ρ)) / (2 δ²)`` gives ``|b̂ - b| < δ`` with
+    probability at least ρ.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    rho = check_probability(rho, "rho")
+    if rho >= 1.0:
+        raise ValueError("rho must be < 1")
+    return int(np.ceil(np.log(2.0 / (1.0 - rho)) / (2.0 * delta * delta)))
+
+
+def lambda_rank(gamma: float | np.ndarray, rho: float) -> int | np.ndarray:
+    """Walks per node for plurality-variant scores (Theorem 11).
+
+    ``λ_v ≥ ln(2 / (1 - ρ)) / (2 γ_v²)`` ranks the target correctly for a
+    user with margin ``γ_v`` with probability at least ρ.  Accepts an array
+    of per-user margins.
+    """
+    rho = check_probability(rho, "rho")
+    if rho >= 1.0:
+        raise ValueError("rho must be < 1")
+    gamma_arr = np.asarray(gamma, dtype=np.float64)
+    if np.any(gamma_arr <= 0):
+        raise ValueError("gamma must be positive (Theorem 11 assumes γ ≠ 0)")
+    out = np.ceil(np.log(2.0 / (1.0 - rho)) / (2.0 * gamma_arr**2)).astype(np.int64)
+    return int(out) if np.isscalar(gamma) or out.ndim == 0 else out
+
+
+def lambda_copeland(gamma: float | np.ndarray, rho: float) -> int | np.ndarray:
+    """Walks per node for the Copeland score (Theorem 12).
+
+    One-sided version of :func:`lambda_rank`:
+    ``λ_v ≥ ln(1 / (1 - ρ)) / (2 γ_v²)``.
+    """
+    rho = check_probability(rho, "rho")
+    if rho >= 1.0:
+        raise ValueError("rho must be < 1")
+    gamma_arr = np.asarray(gamma, dtype=np.float64)
+    if np.any(gamma_arr <= 0):
+        raise ValueError("gamma must be positive (Theorem 12 assumes γ ≠ 0)")
+    out = np.ceil(np.log(1.0 / (1.0 - rho)) / (2.0 * gamma_arr**2)).astype(np.int64)
+    return int(out) if np.isscalar(gamma) or out.ndim == 0 else out
+
+
+def theta_cumulative(n: int, k: int, opt_lower_bound: float, epsilon: float, ell: float) -> int:
+    """Sketch count for the cumulative score (Theorem 13, Eq. 40).
+
+    ``θ ≥ (2n / (OPT ε²)) [ (1-1/e) √(ln 2nˡ) +
+    √((1-1/e)(ln 2nˡ + ln C(n,k))) ]²`` makes Algorithm 5 a
+    ``(1 - 1/e - ε)``-approximation with probability ``1 - n^{-ℓ}``.
+    ``opt_lower_bound`` stands in for the unknown OPT (any lower bound is
+    sound; a tighter one means fewer sketches).
+    """
+    if opt_lower_bound <= 0:
+        raise ValueError("opt_lower_bound must be positive")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if n < 1 or not 0 <= k <= n:
+        raise ValueError("need n >= 1 and 0 <= k <= n")
+    one_minus_inv_e = 1.0 - 1.0 / np.e
+    log_2nl = ell * np.log(n) + np.log(2.0)
+    inner = (
+        one_minus_inv_e * np.sqrt(log_2nl)
+        + np.sqrt(one_minus_inv_e * (log_2nl + log_comb(n, k)))
+    ) ** 2
+    return int(np.ceil(2.0 * n * inner / (opt_lower_bound * epsilon * epsilon)))
+
+
+def theta_estimate_round(n: int, k: int, x: float, epsilon_prime: float, ell: float) -> int:
+    """Sketches for one round of the OPT lower-bound test (IMM Alg. 2 style).
+
+    For a guess ``OPT ≥ x``, sampling this many sketches lets the test
+    accept/reject the guess with failure probability ``n^{-ℓ} / log₂ n``.
+    """
+    if x <= 0 or epsilon_prime <= 0:
+        raise ValueError("x and epsilon_prime must be positive")
+    log_term = (
+        log_comb(n, k) + ell * np.log(max(n, 2)) + np.log(max(np.log2(max(n, 2)), 1.0))
+    )
+    return int(np.ceil((2.0 + 2.0 * epsilon_prime / 3.0) * log_term * n / (epsilon_prime**2 * x)))
+
+
+def _scan_theta(log_lhs, log_rhs: float, theta_max: int) -> int | None:
+    """Smallest θ ≤ theta_max with ``log_lhs(θ) >= log_rhs`` (Fig. 3 method).
+
+    The LHS of Eqs. 44/48 rises and then decays in θ (ρ^θ eventually
+    dominates), so a linear-in-log scan over θ suffices: evaluate on a
+    geometric grid, refine around the first crossing.  Returns ``None`` when
+    no admissible θ exists — exactly the regime where §VI-E's heuristic
+    takes over.
+    """
+    grid = np.unique(
+        np.concatenate(
+            [
+                np.arange(1, min(1024, theta_max) + 1),
+                np.geomspace(1, max(theta_max, 2), num=512).astype(np.int64),
+            ]
+        )
+    )
+    grid = grid[grid <= theta_max]
+    values = log_lhs(grid.astype(np.float64))
+    ok = np.where(values >= log_rhs)[0]
+    if ok.size == 0:
+        return None
+    first = int(grid[ok[0]])
+    # Refine: the grid is exact for θ <= 1024; otherwise walk back linearly.
+    lo = int(grid[ok[0] - 1]) + 1 if ok[0] > 0 else 1
+    for theta in range(lo, first + 1):
+        if log_lhs(np.array([float(theta)]))[0] >= log_rhs:
+            return theta
+    return first
+
+
+def theta_positional_scan(
+    n: int,
+    k: int,
+    opt_lower_bound: float,
+    epsilon: float,
+    ell: float,
+    rho: float,
+    *,
+    theta_max: int = 10_000_000,
+) -> int | None:
+    """Smallest θ satisfying the positional-p-approval condition (Eq. 44).
+
+    ``ρ^θ [1 - 2 exp(-ε² OPT θ / ((8+2ε) n))] ≥ 1 - C(n,k)^{-1} n^{-ℓ}``.
+    Evaluated in log space (the RHS is astronomically close to 1 for
+    realistic n, k).  Usually returns ``None`` — the paper's own motivation
+    for the §VI-E heuristic ("difficult to compute a closed form... we use a
+    heuristic method").
+    """
+    if opt_lower_bound <= 0 or epsilon <= 0:
+        raise ValueError("opt_lower_bound and epsilon must be positive")
+    rho = check_probability(rho, "rho", inclusive_low=False)
+    if rho >= 1.0:
+        raise ValueError("rho must be < 1")
+    c = epsilon**2 * opt_lower_bound / ((8.0 + 2.0 * epsilon) * n)
+    log_rho = np.log(rho)
+    # log(RHS) = log(1 - tiny) = log1p(-exp(log_tiny)).
+    log_tiny = -(log_comb(n, k) + ell * np.log(max(n, 2)))
+    log_rhs = float(np.log1p(-np.exp(log_tiny))) if log_tiny > -700 else -0.0
+
+    def log_lhs(theta: np.ndarray) -> np.ndarray:
+        inner = 1.0 - 2.0 * np.exp(-c * theta)
+        out = np.full_like(theta, -np.inf)
+        pos = inner > 0
+        out[pos] = theta[pos] * log_rho + np.log(inner[pos])
+        return out
+
+    return _scan_theta(log_lhs, log_rhs, theta_max)
+
+
+def theta_copeland_scan(
+    n: int,
+    k: int,
+    r: int,
+    mu: float,
+    ell: float,
+    rho: float,
+    *,
+    theta_max: int = 10_000_000,
+) -> int | None:
+    """Smallest θ satisfying the Copeland condition (Eq. 48).
+
+    ``ρ^θ [1 - (1-μ²)^{θ/2}] ≥ 1 - C(n,k)^{-1} n^{-ℓ} (r-1)^{-1}`` with
+    ``μ`` the minimum pairwise margin (§VI-D).  As with Eq. 44, typically
+    ``None`` for realistic parameters.
+    """
+    if not 0 < mu <= 1:
+        raise ValueError("mu must be in (0, 1]")
+    if r < 2:
+        raise ValueError("need at least two candidates")
+    rho = check_probability(rho, "rho", inclusive_low=False)
+    if rho >= 1.0:
+        raise ValueError("rho must be < 1")
+    log_rho = np.log(rho)
+    log_one_minus_mu2 = np.log1p(-mu * mu) if mu < 1 else -np.inf
+    log_tiny = -(log_comb(n, k) + ell * np.log(max(n, 2)) + np.log(r - 1))
+    log_rhs = float(np.log1p(-np.exp(log_tiny))) if log_tiny > -700 else -0.0
+
+    def log_lhs(theta: np.ndarray) -> np.ndarray:
+        fail = np.exp(0.5 * theta * log_one_minus_mu2) if np.isfinite(
+            log_one_minus_mu2
+        ) else np.zeros_like(theta)
+        inner = 1.0 - fail
+        out = np.full_like(theta, -np.inf)
+        pos = inner > 0
+        out[pos] = theta[pos] * log_rho + np.log(inner[pos])
+        return out
+
+    return _scan_theta(log_lhs, log_rhs, theta_max)

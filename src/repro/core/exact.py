@@ -1,0 +1,118 @@
+"""Exact (exponential-time) reference solvers and submodularity probes.
+
+Used by the test suite to certify the (1 - 1/e) guarantee for the cumulative
+score on small instances (Theorem 3 + [Nemhauser et al.]), and by the
+Table II reproduction to exhibit the non-submodularity of the plurality and
+Copeland scores (Example 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.problem import FJVoteProblem
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_seed_budget
+
+
+def brute_force_optimum(problem: FJVoteProblem, k: int) -> tuple[np.ndarray, float]:
+    """Enumerate all size-``k`` seed sets and return ``(best_set, best_value)``.
+
+    Exponential in ``k``; intended for instances with at most a few dozen
+    nodes (tests and counterexample search).
+    """
+    k = check_seed_budget(k, problem.n)
+    best_set: tuple[int, ...] = ()
+    best_val = -np.inf
+    for combo in combinations(range(problem.n), k):
+        val = problem.objective(np.array(combo, dtype=np.int64))
+        if val > best_val:
+            best_val = val
+            best_set = combo
+    return np.array(best_set, dtype=np.int64), float(best_val)
+
+
+@dataclass
+class SubmodularityViolation:
+    """A witnessed violation ``F(X+s) - F(X) < F(Y+s) - F(Y)`` with ``X ⊆ Y``."""
+
+    x: tuple[int, ...]
+    y: tuple[int, ...]
+    element: int
+    gain_x: float
+    gain_y: float
+
+
+def submodularity_violations(
+    problem: FJVoteProblem,
+    *,
+    trials: int = 200,
+    max_set_size: int = 3,
+    rng: int | np.random.Generator | None = None,
+) -> list[SubmodularityViolation]:
+    """Randomly probe for submodularity violations of the problem objective.
+
+    Samples nested pairs ``X ⊂ Y`` and an element ``s ∉ Y`` and checks the
+    diminishing-returns inequality.  An empty result does *not* prove
+    submodularity; a non-empty result disproves it (used to reproduce the
+    "No" cells of Table II).
+    """
+    rng = ensure_rng(rng)
+    n = problem.n
+    violations: list[SubmodularityViolation] = []
+    for _ in range(trials):
+        size_y = int(rng.integers(1, max_set_size + 1))
+        if size_y + 1 > n:
+            continue
+        y = rng.choice(n, size=size_y, replace=False)
+        size_x = int(rng.integers(0, size_y))
+        x = rng.choice(y, size=size_x, replace=False) if size_x else np.empty(0, np.int64)
+        outside = np.setdiff1d(np.arange(n), y)
+        if outside.size == 0:
+            continue
+        s = int(rng.choice(outside))
+        fx = problem.objective(x)
+        fy = problem.objective(y)
+        fxs = problem.objective(np.append(x, s))
+        fys = problem.objective(np.append(y, s))
+        if (fxs - fx) - (fys - fy) < -1e-9:
+            violations.append(
+                SubmodularityViolation(
+                    x=tuple(int(v) for v in sorted(x)),
+                    y=tuple(int(v) for v in sorted(y)),
+                    element=s,
+                    gain_x=fxs - fx,
+                    gain_y=fys - fy,
+                )
+            )
+    return violations
+
+
+def monotonicity_violations(
+    problem: FJVoteProblem,
+    *,
+    trials: int = 200,
+    max_set_size: int = 4,
+    rng: int | np.random.Generator | None = None,
+) -> list[tuple[tuple[int, ...], int, float]]:
+    """Randomly probe for monotonicity violations ``F(S + s) < F(S)``.
+
+    All five scores are non-decreasing in the seed set (§III-B), so this
+    should always return an empty list; kept as a test oracle.
+    """
+    rng = ensure_rng(rng)
+    n = problem.n
+    bad: list[tuple[tuple[int, ...], int, float]] = []
+    for _ in range(trials):
+        size = int(rng.integers(0, min(max_set_size, n - 1) + 1))
+        s_set = rng.choice(n, size=size, replace=False)
+        outside = np.setdiff1d(np.arange(n), s_set)
+        v = int(rng.choice(outside))
+        before = problem.objective(s_set)
+        after = problem.objective(np.append(s_set, v))
+        if after < before - 1e-9:
+            bad.append((tuple(int(u) for u in sorted(s_set)), v, after - before))
+    return bad

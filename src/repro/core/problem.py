@@ -1,0 +1,175 @@
+"""Problem 1 (FJ-Vote) as a first-class object.
+
+An :class:`FJVoteProblem` fixes the campaign state, the target candidate, the
+time horizon and the scoring function, and exposes the objective
+``F(B(t)[S], c_q)`` as a function of the seed set ``S``.  Competitor opinions
+at the horizon never depend on the target's seeds (campaigns diffuse
+independently, §II-B), so they are computed once and cached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.opinion.fj import fj_evolve
+from repro.opinion.state import CampaignState
+from repro.utils.validation import check_time_horizon
+from repro.voting.rules import is_strict_winner, score_all_candidates
+from repro.voting.scores import SeparableScore, VotingScore
+
+
+class FJVoteProblem:
+    """Seed-selection problem: maximize ``F(B(t)[S], c_q)`` s.t. ``|S| = k``.
+
+    Parameters
+    ----------
+    state:
+        The multi-campaign instance (graphs, B⁰, stubbornness).
+    target:
+        Index ``q`` of the target candidate.
+    horizon:
+        Time horizon ``t`` at which the vote takes place.
+    score:
+        One of the :mod:`repro.voting.scores` functions.
+    """
+
+    def __init__(
+        self,
+        state: CampaignState,
+        target: int,
+        horizon: int,
+        score: VotingScore,
+        *,
+        competitor_seeds: dict[int, np.ndarray] | None = None,
+    ) -> None:
+        if not 0 <= target < state.r:
+            raise ValueError(f"target must be in [0, {state.r}), got {target}")
+        self.state = state
+        self.target = int(target)
+        self.horizon = check_time_horizon(horizon)
+        self.score = score
+        # §II-C Remark (2): competitors may have their own (known, fixed)
+        # seed sets placed at time 0.  They only shift the competitors'
+        # horizon opinions, which stay independent of the target's seeds.
+        self.competitor_seeds: dict[int, np.ndarray] = {}
+        for cand, seeds in (competitor_seeds or {}).items():
+            cand = int(cand)
+            if cand == self.target:
+                raise ValueError(
+                    "competitor_seeds must not include the target candidate"
+                )
+            if not 0 <= cand < state.r:
+                raise ValueError(f"unknown candidate index {cand}")
+            self.competitor_seeds[cand] = np.asarray(seeds, dtype=np.int64)
+        self._competitors: np.ndarray | None = None
+        self._others_by_user: np.ndarray | None = None
+        self._base_target: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of users."""
+        return self.state.n
+
+    @property
+    def r(self) -> int:
+        """Number of candidates."""
+        return self.state.r
+
+    def competitor_opinions(self) -> np.ndarray:
+        """``(r-1, n)`` horizon opinions of all non-target candidates (cached).
+
+        Competitors with entries in ``competitor_seeds`` diffuse from their
+        seeded ``(b⁰, D)``; the caches remain valid because these seed sets
+        are fixed inputs, not decision variables.
+        """
+        if self._competitors is None:
+            rows = []
+            for x in range(self.r):
+                if x == self.target:
+                    continue
+                if x in self.competitor_seeds:
+                    b0_x, d_x = self.state.seeded(x, self.competitor_seeds[x])
+                else:
+                    b0_x = self.state.initial_opinions[x]
+                    d_x = self.state.stubbornness[x]
+                rows.append(fj_evolve(b0_x, d_x, self.state.graph(x), self.horizon))
+            self._competitors = (
+                np.vstack(rows) if rows else np.empty((0, self.n), dtype=np.float64)
+            )
+        return self._competitors
+
+    def others_by_user(self) -> np.ndarray:
+        """``(n, r-1)`` transpose of :meth:`competitor_opinions` (cached)."""
+        if self._others_by_user is None:
+            self._others_by_user = np.ascontiguousarray(self.competitor_opinions().T)
+        return self._others_by_user
+
+    def target_opinions(self, seeds: np.ndarray | tuple = ()) -> np.ndarray:
+        """Horizon opinions about the target with ``seeds`` applied."""
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if seeds.size == 0:
+            if self._base_target is None:
+                self._base_target = fj_evolve(
+                    self.state.initial_opinions[self.target],
+                    self.state.stubbornness[self.target],
+                    self.state.graph(self.target),
+                    self.horizon,
+                )
+            return self._base_target
+        b0, d = self.state.seeded(self.target, seeds)
+        return fj_evolve(b0, d, self.state.graph(self.target), self.horizon)
+
+    def full_opinions(self, seeds: np.ndarray | tuple = ()) -> np.ndarray:
+        """Full ``(r, n)`` horizon opinion matrix with ``seeds`` for the target."""
+        competitors = self.competitor_opinions()
+        out = np.empty((self.r, self.n), dtype=np.float64)
+        out[self.target] = self.target_opinions(seeds)
+        others = [x for x in range(self.r) if x != self.target]
+        for row, x in enumerate(others):
+            out[x] = competitors[row]
+        return out
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+    def objective(self, seeds: np.ndarray | tuple = ()) -> float:
+        """``F(B(t)[S], c_q)`` for seed set ``seeds``."""
+        if isinstance(self.score, SeparableScore):
+            values = self.target_opinions(seeds)
+            return float(self.score.contributions(values, self.others_by_user()).sum())
+        return float(self.score.evaluate(self.full_opinions(seeds), self.target))
+
+    def all_scores(self, seeds: np.ndarray | tuple = ()) -> np.ndarray:
+        """Scores of all candidates with ``seeds`` applied to the target."""
+        return score_all_candidates(self.full_opinions(seeds), self.score)
+
+    def target_wins(self, seeds: np.ndarray | tuple = ()) -> bool:
+        """Problem-2 winning criterion: strict score maximum for the target."""
+        return is_strict_winner(self.full_opinions(seeds), self.score, self.target)
+
+    def with_score(self, score: VotingScore) -> "FJVoteProblem":
+        """A copy of the problem with a different scoring function.
+
+        Competitor opinion caches are shared: they depend only on the state,
+        horizon, and competitor seeds, not on the score.
+        """
+        clone = FJVoteProblem(
+            self.state,
+            self.target,
+            self.horizon,
+            score,
+            competitor_seeds=self.competitor_seeds,
+        )
+        clone._competitors = self._competitors
+        clone._others_by_user = self._others_by_user
+        clone._base_target = self._base_target
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FJVoteProblem(target={self.target}, horizon={self.horizon}, "
+            f"score={self.score.name}, n={self.n}, r={self.r})"
+        )

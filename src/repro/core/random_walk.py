@@ -1,0 +1,504 @@
+"""Random-walk-based opinion estimation and greedy seed selection (paper §V).
+
+A *t-step reverse random walk* from node ``u`` walks the in-edges of the
+target candidate's graph: at each of ``t`` steps it first terminates at the
+current node ``v`` with probability ``d_qv`` (the stubbornness), otherwise
+moves to an in-neighbor sampled with the column-stochastic weights.  The
+initial opinion of the end node is an unbiased estimate of ``b_qu^(t)``
+(Theorem 8).
+
+*Post-Generation Truncation* (Theorem 9) lets one walk collection serve
+every seed set: walks are generated once with no seeds, and a seed set ``S``
+simply truncates each walk at its first occurrence of a node in ``S`` (whose
+initial opinion is 1).  :class:`TruncatedWalks` stores the walks in padded
+matrices plus a first-occurrence inverted index so that each greedy round of
+Algorithm 4/5 is a handful of vectorized numpy passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bounds import lambda_cumulative, lambda_rank
+from repro.core.greedy import GreedyResult
+from repro.core.problem import FJVoteProblem
+from repro.graph.alias import AliasSampler
+from repro.graph.digraph import InfluenceGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_seed_budget
+from repro.voting.scores import (
+    CopelandScore,
+    CumulativeScore,
+    SeparableScore,
+    VotingScore,
+)
+
+
+def generate_reverse_walks(
+    graph: InfluenceGraph,
+    stubbornness: np.ndarray,
+    horizon: int,
+    starts: np.ndarray,
+    rng: int | np.random.Generator | None = None,
+    *,
+    sampler: AliasSampler | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate ``len(starts)`` t-step reverse walks (Direct Generation, §V-A).
+
+    Returns ``(walks, lengths)`` where ``walks`` is ``(W, horizon+1)`` int32
+    padded with -1 and ``lengths[i]`` is the index of walk ``i``'s end node.
+    """
+    rng = ensure_rng(rng)
+    starts = np.asarray(starts, dtype=np.int64)
+    if starts.size and (starts.min() < 0 or starts.max() >= graph.n):
+        raise ValueError("walk start nodes out of range")
+    d = np.asarray(stubbornness, dtype=np.float64)
+    if d.shape != (graph.n,):
+        raise ValueError(f"stubbornness must have shape ({graph.n},)")
+    if sampler is None:
+        sampler = AliasSampler(graph.csc)
+    num = starts.size
+    walks = np.full((num, horizon + 1), -1, dtype=np.int32)
+    walks[:, 0] = starts
+    lengths = np.zeros(num, dtype=np.int64)
+    cur = starts.copy()
+    active = np.ones(num, dtype=bool)
+    for step in range(1, horizon + 1):
+        idx = np.where(active)[0]
+        if idx.size == 0:
+            break
+        stops = rng.random(idx.size) < d[cur[idx]]
+        active[idx[stops]] = False
+        go = idx[~stops]
+        if go.size == 0:
+            continue
+        nxt = sampler.sample(cur[go], rng)
+        walks[go, step] = nxt
+        cur[go] = nxt
+        lengths[go] = step
+    return walks, lengths
+
+
+class TruncatedWalks:
+    """A collection of reverse walks supporting Post-Generation Truncation.
+
+    Attributes
+    ----------
+    walks, lengths, starts:
+        The generated walks (see :func:`generate_reverse_walks`).
+    end_pos:
+        Current truncation pointer per walk; the walk's estimate is the
+        (possibly seeded) initial opinion of ``walks[i, end_pos[i]]``.
+    values:
+        Current per-walk estimates ``Y_qu^(t)[S]``.
+    """
+
+    def __init__(
+        self,
+        walks: np.ndarray,
+        lengths: np.ndarray,
+        initial_opinions: np.ndarray,
+        n: int,
+    ) -> None:
+        self.walks = walks
+        self.lengths = np.asarray(lengths, dtype=np.int64)
+        self.n = int(n)
+        self.starts = walks[:, 0].astype(np.int64)
+        self.num_walks = walks.shape[0]
+        self._b0 = np.array(initial_opinions, dtype=np.float64)
+        if self._b0.shape != (self.n,):
+            raise ValueError(f"initial_opinions must have shape ({self.n},)")
+        self.end_pos = self.lengths.copy()
+        ends = walks[np.arange(self.num_walks), self.end_pos]
+        self.values = self._b0[ends]
+        self.seeds: list[int] = []
+        self._build_index()
+
+    @classmethod
+    def generate(
+        cls,
+        graph: InfluenceGraph,
+        stubbornness: np.ndarray,
+        initial_opinions: np.ndarray,
+        horizon: int,
+        starts: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+        *,
+        sampler: AliasSampler | None = None,
+    ) -> "TruncatedWalks":
+        """Generate walks with the empty seed set and wrap them."""
+        walks, lengths = generate_reverse_walks(
+            graph, stubbornness, horizon, starts, rng, sampler=sampler
+        )
+        return cls(walks, lengths, initial_opinions, graph.n)
+
+    # ------------------------------------------------------------------
+    def _build_index(self) -> None:
+        """First-occurrence inverted index: (node, walk, pos) triples.
+
+        Only the first occurrence of a node within a walk matters: it is
+        where truncation would cut.  Triples are stored sorted by node with
+        a CSR-style ``node_ptr`` for per-node slicing.
+        """
+        num, width = self.walks.shape
+        pos_grid = np.broadcast_to(np.arange(width, dtype=np.int64), (num, width))
+        walk_grid = np.broadcast_to(np.arange(num, dtype=np.int64)[:, None], (num, width))
+        valid = self.walks >= 0
+        nodes = self.walks[valid].astype(np.int64)
+        pos = pos_grid[valid]
+        wids = walk_grid[valid]
+        order = np.lexsort((pos, nodes, wids))
+        nodes, pos, wids = nodes[order], pos[order], wids[order]
+        first = np.ones(nodes.size, dtype=bool)
+        if nodes.size > 1:
+            first[1:] = (nodes[1:] != nodes[:-1]) | (wids[1:] != wids[:-1])
+        nodes, pos, wids = nodes[first], pos[first], wids[first]
+        by_node = np.argsort(nodes, kind="stable")
+        self.idx_node = nodes[by_node]
+        self.idx_pos = pos[by_node]
+        self.idx_walk = wids[by_node]
+        self.node_ptr = np.searchsorted(self.idx_node, np.arange(self.n + 1))
+
+    # ------------------------------------------------------------------
+    def entries_for(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(walk_ids, first_positions)`` of walks containing ``node``."""
+        lo, hi = self.node_ptr[node], self.node_ptr[node + 1]
+        return self.idx_walk[lo:hi], self.idx_pos[lo:hi]
+
+    def live_entries(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(nodes, walk_ids)`` of index entries inside current truncations.
+
+        An entry is *live* when its first-occurrence position has not been
+        cut off by a previously chosen seed; only live entries can change a
+        walk's value.
+        """
+        mask = self.idx_pos <= self.end_pos[self.idx_walk]
+        return self.idx_node[mask], self.idx_walk[mask]
+
+    def add_seed(self, node: int) -> None:
+        """Truncate every walk containing ``node`` at ``node`` (Alg. 4 line 8)."""
+        node = int(node)
+        if node in self.seeds:
+            return
+        self.seeds.append(node)
+        self._b0 = self._b0.copy()
+        self._b0[node] = 1.0
+        wids, pos = self.entries_for(node)
+        hit = pos <= self.end_pos[wids]
+        wids, pos = wids[hit], pos[hit]
+        self.end_pos[wids] = pos
+        self.values[wids] = 1.0
+
+    def estimated_opinions(self) -> np.ndarray:
+        """Per-start-node average walk value (NaN for nodes without walks)."""
+        sums = np.bincount(self.starts, weights=self.values, minlength=self.n)
+        counts = np.bincount(self.starts, minlength=self.n).astype(np.float64)
+        with np.errstate(invalid="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1.0), np.nan)
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of walks + index (Fig. 17 metric)."""
+        arrays = (
+            self.walks,
+            self.lengths,
+            self.end_pos,
+            self.values,
+            self.idx_node,
+            self.idx_pos,
+            self.idx_walk,
+            self.node_ptr,
+        )
+        return int(sum(a.nbytes for a in arrays))
+
+
+class WalkGreedyOptimizer:
+    """Greedy seed selection on walk-estimated scores (Algorithms 4 and 5).
+
+    Parameters
+    ----------
+    walks:
+        A :class:`TruncatedWalks` collection for the target candidate.
+    score:
+        The voting score to maximize.
+    others_by_user:
+        ``(n, r-1)`` *exact* competitor opinions at the horizon (the paper
+        computes these once via direct matrix multiplication).
+    grouping:
+        ``"start"`` (Algorithm 4, RW): walks from the same start node are
+        averaged into one per-user estimate, and the score sums over all
+        users.  ``"walk"`` (Algorithm 5, RS): each walk is an independent
+        sketch sample and the score is rescaled by ``n / θ``.
+    """
+
+    def __init__(
+        self,
+        walks: TruncatedWalks,
+        score: VotingScore,
+        others_by_user: np.ndarray | None,
+        *,
+        grouping: str = "start",
+    ) -> None:
+        if grouping not in ("start", "walk"):
+            raise ValueError(f"grouping must be 'start' or 'walk', got {grouping!r}")
+        self.walks = walks
+        self.score = score
+        self.grouping = grouping
+        n = walks.n
+        if isinstance(score, CumulativeScore):
+            self.others = np.empty((n, 0), dtype=np.float64)
+        else:
+            if others_by_user is None:
+                raise ValueError(f"score {score.name!r} needs competitor opinions")
+            self.others = np.asarray(others_by_user, dtype=np.float64)
+        if grouping == "start":
+            uniq, group_of_walk = np.unique(walks.starts, return_inverse=True)
+            self.group_of_walk = group_of_walk.astype(np.int64)
+            self.group_user = uniq.astype(np.int64)
+            self.group_weight = np.ones(uniq.size, dtype=np.float64)
+        else:
+            self.group_of_walk = np.arange(walks.num_walks, dtype=np.int64)
+            self.group_user = walks.starts.copy()
+            self.group_weight = np.full(
+                walks.num_walks, n / max(walks.num_walks, 1), dtype=np.float64
+            )
+        self.num_groups = self.group_user.size
+        self.group_size = np.bincount(
+            self.group_of_walk, minlength=self.num_groups
+        ).astype(np.float64)
+        self._is_copeland = isinstance(score, CopelandScore)
+        if not self._is_copeland and not isinstance(score, SeparableScore):
+            raise TypeError(f"unsupported score type {type(score).__name__}")
+
+    # ------------------------------------------------------------------
+    def _group_sums(self) -> np.ndarray:
+        return np.bincount(
+            self.group_of_walk, weights=self.walks.values, minlength=self.num_groups
+        )
+
+    def group_estimates(self) -> np.ndarray:
+        """Current estimated opinion per group (per user for RW)."""
+        return self._group_sums() / self.group_size
+
+    def estimated_score(self) -> float:
+        """Walk/sketch estimate of ``F`` for the current seed set."""
+        b_hat = self.group_estimates()
+        others_g = self.others[self.group_user]
+        if self._is_copeland:
+            wins = ((b_hat[:, None] > others_g) * self.group_weight[:, None]).sum(axis=0)
+            losses = ((b_hat[:, None] < others_g) * self.group_weight[:, None]).sum(axis=0)
+            return float(np.sum(wins > losses))
+        contrib = self.score.contributions(b_hat, others_g)
+        return float(np.dot(self.group_weight, contrib))
+
+    # ------------------------------------------------------------------
+    def _candidate_updates(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per (candidate-node, group) estimate updates for this round.
+
+        Returns ``(pair_node, pair_group, old_b, new_b)``: for every node
+        ``w`` still present in some truncated walk and every group with a
+        walk through ``w``, the group estimate before and after seeding
+        ``w`` (all affected walk values jump to 1).
+        """
+        nodes, wids = self.walks.live_entries()
+        groups = self.group_of_walk[wids]
+        delta = 1.0 - self.walks.values[wids]
+        key = nodes * np.int64(self.num_groups) + groups
+        uniq, inverse = np.unique(key, return_inverse=True)
+        delta_sum = np.bincount(inverse, weights=delta, minlength=uniq.size)
+        pair_node = (uniq // self.num_groups).astype(np.int64)
+        pair_group = (uniq % self.num_groups).astype(np.int64)
+        sums = self._group_sums()
+        old_b = sums[pair_group] / self.group_size[pair_group]
+        new_b = (sums[pair_group] + delta_sum) / self.group_size[pair_group]
+        return pair_node, pair_group, old_b, new_b
+
+    def marginal_gains(self) -> np.ndarray:
+        """Estimated marginal gain of seeding each node (one vectorized scan)."""
+        n = self.walks.n
+        pair_node, pair_group, old_b, new_b = self._candidate_updates()
+        others_pair = self.others[self.group_user[pair_group]]
+        weight = self.group_weight[pair_group]
+        if self._is_copeland:
+            return self._copeland_gains(pair_node, old_b, new_b, others_pair, weight)
+        contrib_old = self.score.contributions(old_b, others_pair)
+        contrib_new = self.score.contributions(new_b, others_pair)
+        return np.bincount(
+            pair_node, weights=weight * (contrib_new - contrib_old), minlength=n
+        )
+
+    def _copeland_gains(
+        self,
+        pair_node: np.ndarray,
+        old_b: np.ndarray,
+        new_b: np.ndarray,
+        others_pair: np.ndarray,
+        weight: np.ndarray,
+    ) -> np.ndarray:
+        n = self.walks.n
+        b_hat = self.group_estimates()
+        others_g = self.others[self.group_user]
+        w_g = self.group_weight[:, None]
+        wins_base = ((b_hat[:, None] > others_g) * w_g).sum(axis=0)
+        losses_base = ((b_hat[:, None] < others_g) * w_g).sum(axis=0)
+        score_base = float(np.sum(wins_base > losses_base))
+        n_comp = others_g.shape[1]
+        gains = np.zeros(n, dtype=np.float64)
+        if pair_node.size == 0 or n_comp == 0:
+            return gains
+        d_win = (
+            (new_b[:, None] > others_pair).astype(np.float64)
+            - (old_b[:, None] > others_pair)
+        ) * weight[:, None]
+        d_loss = (
+            (new_b[:, None] < others_pair).astype(np.float64)
+            - (old_b[:, None] < others_pair)
+        ) * weight[:, None]
+        win_acc = np.zeros((n, n_comp), dtype=np.float64)
+        loss_acc = np.zeros((n, n_comp), dtype=np.float64)
+        for x in range(n_comp):
+            win_acc[:, x] = np.bincount(pair_node, weights=d_win[:, x], minlength=n)
+            loss_acc[:, x] = np.bincount(pair_node, weights=d_loss[:, x], minlength=n)
+        new_scores = np.sum(
+            (wins_base[None, :] + win_acc) > (losses_base[None, :] + loss_acc), axis=1
+        ).astype(np.float64)
+        return new_scores - score_base
+
+    # ------------------------------------------------------------------
+    def select(self, k: int) -> GreedyResult:
+        """Greedy selection of ``k`` seeds on the estimated score."""
+        n = self.walks.n
+        k = check_seed_budget(k, n)
+        gains_trace: list[float] = []
+        evaluations = 0
+        for _ in range(k):
+            gains = self.marginal_gains()
+            evaluations += 1
+            if self.walks.seeds:
+                gains[np.asarray(self.walks.seeds, dtype=np.int64)] = -np.inf
+            best = int(np.argmax(gains))
+            gains_trace.append(float(gains[best]))
+            self.walks.add_seed(best)
+        return GreedyResult(
+            seeds=np.array(self.walks.seeds[-k:] if k else [], dtype=np.int64),
+            objective=self.estimated_score(),
+            gains=np.array(gains_trace, dtype=np.float64),
+            evaluations=evaluations,
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-node walk counts and the top-level RW method
+# ----------------------------------------------------------------------
+def estimate_gamma_star(
+    estimated: np.ndarray, others_by_user: np.ndarray, *, floor: float = 0.05
+) -> np.ndarray:
+    """Heuristic per-user margin ``γ*_v = min_{|S|≤k} γ_v[S]`` (§V-C).
+
+    Seeding only raises the target estimate, sweeping ``b̂_v`` upward over
+    the interval ``[b̂_v[∅], 1]`` (seeding ``v`` itself already reaches 1).
+    The minimum distance from any competitor opinion to that interval is
+    therefore ``b̂_v[∅] − max_x b_xv`` when all competitors sit below the
+    current estimate and (essentially) 0 otherwise; a ``floor`` keeps the
+    resulting walk counts finite, as in the paper's heuristic estimation.
+    """
+    estimated = np.asarray(estimated, dtype=np.float64)
+    others = np.asarray(others_by_user, dtype=np.float64)
+    if others.size == 0:
+        return np.full(estimated.shape, np.inf)
+    top_other = others.max(axis=1)
+    gamma = np.where(estimated > top_other, estimated - top_other, 0.0)
+    return np.maximum(gamma, floor)
+
+
+@dataclass
+class WalkSelectResult:
+    """Seed set chosen by the RW method plus diagnostics."""
+
+    seeds: np.ndarray
+    estimated_objective: float
+    exact_objective: float
+    total_walks: int
+    walks_per_node: np.ndarray
+    memory_bytes: int
+
+
+def random_walk_select(
+    problem: FJVoteProblem,
+    k: int,
+    *,
+    rho: float = 0.9,
+    delta: float = 0.1,
+    gamma_floor: float = 0.05,
+    lambda_cap: int | None = 256,
+    walks_per_node: int | np.ndarray | None = None,
+    probe_walks: int = 16,
+    rng: int | np.random.Generator | None = None,
+) -> WalkSelectResult:
+    """The RW method (Algorithm 4): greedy on walk-estimated scores.
+
+    The number of walks per node follows the paper's accuracy analysis:
+    the Hoeffding bound of Theorem 10 for the cumulative score (parameters
+    ``delta``, ``rho``), and the γ-margin bounds of Theorems 11/12 with the
+    heuristic γ* estimate for the rank-based scores.  Pass
+    ``walks_per_node`` to override (scalar or per-node array).
+
+    Parameters mirror the paper's defaults (ρ = 0.9, δ = 0.1).  The exact
+    objective of the returned seed set is evaluated via DM for reporting.
+    """
+    rng = ensure_rng(rng)
+    k = check_seed_budget(k, problem.n)
+    state = problem.state
+    q = problem.target
+    graph = state.graph(q)
+    sampler = AliasSampler(graph.csc)
+    d_q = state.stubbornness[q]
+    b0_q = state.initial_opinions[q]
+    n = problem.n
+    if walks_per_node is not None:
+        lam = np.broadcast_to(
+            np.asarray(walks_per_node, dtype=np.int64), (n,)
+        ).copy()
+    elif isinstance(problem.score, CumulativeScore):
+        lam = np.full(n, lambda_cumulative(delta, rho), dtype=np.int64)
+    else:
+        # Probe walks give a cheap opinion estimate, from which per-user
+        # margins γ*_v and then per-node walk counts follow (Theorems 11-12).
+        probe = TruncatedWalks.generate(
+            graph,
+            d_q,
+            b0_q,
+            problem.horizon,
+            np.repeat(np.arange(n, dtype=np.int64), max(probe_walks, 1)),
+            rng,
+            sampler=sampler,
+        )
+        gamma = estimate_gamma_star(
+            probe.estimated_opinions(), problem.others_by_user(), floor=gamma_floor
+        )
+        lam = lambda_rank(gamma, rho)
+    if lambda_cap is not None:
+        lam = np.minimum(lam, int(lambda_cap))
+    lam = np.maximum(lam, 1)
+    starts = np.repeat(np.arange(n, dtype=np.int64), lam)
+    walks = TruncatedWalks.generate(
+        graph, d_q, b0_q, problem.horizon, starts, rng, sampler=sampler
+    )
+    optimizer = WalkGreedyOptimizer(
+        walks,
+        problem.score,
+        None if isinstance(problem.score, CumulativeScore) else problem.others_by_user(),
+        grouping="start",
+    )
+    result = optimizer.select(k)
+    return WalkSelectResult(
+        seeds=result.seeds,
+        estimated_objective=result.objective,
+        exact_objective=problem.objective(result.seeds),
+        total_walks=walks.num_walks,
+        walks_per_node=lam,
+        memory_bytes=walks.memory_bytes(),
+    )

@@ -1,0 +1,83 @@
+"""Problem 2 (FJ-Vote-Win): minimum seed set for the target to win (Alg. 2).
+
+Binary search over the budget ``k``: scores are non-decreasing in the seed
+set, and with a deterministic greedy selector the size-``k`` solutions are
+nested prefixes of one ranking, so the winning indicator is monotone in
+``k``.  As the paper remarks, the returned size can exceed the true optimum
+because the inner seed selection is itself approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.greedy import greedy_dm
+from repro.core.problem import FJVoteProblem
+
+
+@dataclass
+class WinMinResult:
+    """Outcome of the minimum-winning-seed-set search.
+
+    ``found`` is false when the target cannot win even with the maximum
+    budget probed, in which case ``seeds``/``k`` describe that largest
+    attempt.
+    """
+
+    seeds: np.ndarray
+    k: int
+    found: bool
+    probes: int
+
+
+def min_seeds_to_win(
+    problem: FJVoteProblem,
+    *,
+    k_max: int | None = None,
+    selector: Callable[[int], np.ndarray] | None = None,
+) -> WinMinResult:
+    """Find the smallest budget whose selected seed set makes the target win.
+
+    Parameters
+    ----------
+    k_max:
+        Upper end of the binary search (default: n).  Use a smaller cap to
+        bound runtime on large instances.
+    selector:
+        Maps a budget to a seed set (e.g. a closure over
+        :func:`repro.core.random_walk.random_walk_select`).  Defaults to the
+        exact greedy ranking, evaluated as prefixes so Algorithm 1 runs only
+        once.
+    """
+    n = problem.n
+    upper = n if k_max is None else int(k_max)
+    if not 0 < upper <= n:
+        raise ValueError(f"k_max must be in (0, {n}], got {k_max}")
+    probes = 1
+    if problem.target_wins(()):
+        return WinMinResult(seeds=np.empty(0, dtype=np.int64), k=0, found=True, probes=probes)
+    if selector is None:
+        ranking = greedy_dm(problem, upper).seeds
+
+        def get(k: int) -> np.ndarray:
+            return ranking[:k]
+
+    else:
+        get = selector
+    best = get(upper)
+    probes += 1
+    if not problem.target_wins(best):
+        return WinMinResult(seeds=best, k=upper, found=False, probes=probes)
+    lo, hi = 0, upper
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        candidate = get(mid)
+        probes += 1
+        if problem.target_wins(candidate):
+            hi, best = mid, candidate
+        else:
+            lo = mid
+    return WinMinResult(seeds=best, k=hi, found=True, probes=probes)

@@ -1,0 +1,30 @@
+"""Dataset construction.
+
+The paper evaluates on five real datasets (Table III).  Those graphs and
+their raw records (reviews, tweets, papers) are not redistributable, so this
+package builds synthetic stand-ins that follow the *same construction
+recipe* — graph family, activity-based edge weights ``1 - exp(-a/μ)``,
+rating/sentiment-derived initial opinions, variance-derived stubbornness —
+at configurable laptop scale.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.dblp import dblp_like
+from repro.datasets.example import running_example, running_example_table
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.synth import Dataset, activity_edge_weights
+from repro.datasets.twitter import twitter_mask, twitter_social_distancing, twitter_us_election
+from repro.datasets.yelp import yelp_like
+
+__all__ = [
+    "Dataset",
+    "activity_edge_weights",
+    "dblp_like",
+    "load_dataset",
+    "running_example",
+    "running_example_table",
+    "save_dataset",
+    "twitter_mask",
+    "twitter_social_distancing",
+    "twitter_us_election",
+    "yelp_like",
+]

@@ -1,0 +1,128 @@
+"""DBLP-like collaboration network with research domains (case-study dataset).
+
+Mirrors the paper's DBLP construction (§VIII-A): a co-authorship graph of
+senior researchers, edge weights from co-authorship counts, initial opinions
+as the similarity between a user's topic profile and each candidate's, and
+stubbornness from the variance of yearly opinions.  The seven research
+domains of Table V (DM, HCI, ML, CN, AL, SW, HW) drive community structure,
+user topic vectors, and the case-study breakdown of Table IV; users may
+belong to up to three domains.
+
+The two candidates model the ACM 2022 presidential election: the target has
+an HCI/recsys-leaning profile (also active in DM and ML), the competitor a
+data-management-leaning one (also active in CN and AL) — matching the
+paper's observation that DM is common ground of both, SW initially favors
+the target, and HW does not overlap DM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synth import (
+    Dataset,
+    activity_edge_weights,
+    topic_opinions,
+    variance_stubbornness,
+)
+from repro.graph.build import graph_from_edges
+from repro.graph.generators import planted_partition_edges
+from repro.opinion.state import CampaignState
+from repro.utils.rng import ensure_rng
+
+#: Research domains of Table V, in the paper's order.
+DOMAINS = ("DM", "HCI", "ML", "CN", "AL", "SW", "HW")
+
+# Probability that a member of the row domain also works in the column
+# domain (secondary membership).  Encodes the overlaps discussed in §VIII-B:
+# HCI/ML/CN overlap DM substantially; HW overlaps CN/SW but not DM.
+_OVERLAP = np.array(
+    #  DM   HCI  ML   CN   AL   SW   HW
+    [
+        [0.0, 0.25, 0.30, 0.20, 0.15, 0.05, 0.00],  # DM
+        [0.30, 0.0, 0.25, 0.10, 0.05, 0.10, 0.05],  # HCI
+        [0.35, 0.25, 0.0, 0.10, 0.10, 0.05, 0.05],  # ML
+        [0.25, 0.10, 0.10, 0.0, 0.10, 0.05, 0.20],  # CN
+        [0.20, 0.05, 0.15, 0.10, 0.0, 0.05, 0.05],  # AL
+        [0.05, 0.15, 0.05, 0.10, 0.05, 0.0, 0.20],  # SW
+        [0.00, 0.05, 0.05, 0.25, 0.05, 0.20, 0.0],  # HW
+    ]
+)
+
+#: Candidate topic profiles over DOMAINS (rows sum to 1).
+_TARGET_TOPICS = np.array([0.25, 0.40, 0.20, 0.03, 0.02, 0.08, 0.02])
+_COMPETITOR_TOPICS = np.array([0.45, 0.05, 0.10, 0.20, 0.15, 0.02, 0.03])
+
+
+def dblp_like(
+    n: int = 2000,
+    *,
+    mu: float = 10.0,
+    p_in: float | None = None,
+    p_out: float | None = None,
+    horizon: int = 20,
+    rng: int | np.random.Generator | None = None,
+) -> Dataset:
+    """Build the DBLP-like two-candidate instance.
+
+    Parameters
+    ----------
+    n:
+        Number of researchers (the paper uses 63,910; default scales down).
+    mu:
+        Edge-weight decay of ``1 - exp(-a/μ)`` (Appendix D; default 10).
+    p_in, p_out:
+        Community densities; defaults give an average degree around 20.
+    horizon:
+        Default time horizon carried by the dataset (paper default t=20).
+    """
+    rng = ensure_rng(rng)
+    k = len(DOMAINS)
+    if p_in is None:
+        p_in = min(1.0, 16.0 * k / max(n, 1))
+    if p_out is None:
+        p_out = min(1.0, 1.2 / max(n, 1))
+    src, dst, primary = planted_partition_edges(n, k, p_in, p_out, rng)
+    # Co-authorship influences both directions; symmetrize.
+    src2 = np.concatenate([src, dst])
+    dst2 = np.concatenate([dst, src])
+    weights = activity_edge_weights(src2.size, mu, mean_activity=4.0, rng=rng)
+    graph = graph_from_edges(n, src2, dst2, weights)
+    # Multi-domain membership: primary community plus overlap-driven extras.
+    member = np.zeros((k, n), dtype=bool)
+    member[primary, np.arange(n)] = True
+    extra_draws = rng.random((n, k))
+    for d in range(k):
+        rows = np.where(extra_draws[:, d] < _OVERLAP[primary, d])[0]
+        member[d, rows] = True
+    # Cap at 3 domains per user (paper footnote 7), dropping extras randomly.
+    counts = member.sum(axis=0)
+    for v in np.where(counts > 3)[0]:
+        doms = np.where(member[:, v])[0]
+        doms = doms[doms != primary[v]]
+        drop = rng.choice(doms, size=int(counts[v] - 3), replace=False)
+        member[drop, v] = False
+    candidate_topics = np.vstack([_TARGET_TOPICS, _COMPETITOR_TOPICS])
+    opinions, user_topics = topic_opinions(
+        n, candidate_topics, primary, concentration=4.0, rng=rng
+    )
+    stub = variance_stubbornness(opinions, rng=rng)
+    state = CampaignState(
+        graphs=(graph, graph),
+        initial_opinions=opinions,
+        stubbornness=np.vstack([stub, stub]),
+        candidates=("Joseph A. Konstan", "Yannis E. Ioannidis"),
+    )
+    return Dataset(
+        name="dblp",
+        state=state,
+        target=0,
+        horizon=horizon,
+        meta={
+            "domains": DOMAINS,
+            "membership": member,
+            "primary_domain": primary,
+            "user_topics": user_topics,
+            "mu": mu,
+        },
+    )

@@ -1,0 +1,69 @@
+"""The paper's running example (Fig. 1, Table I, Example 1-3).
+
+Four users, edges 1→3, 2→3 (weight 1/2 each) and 3→4 (weight 1); all users
+have stubbornness 1/2 toward the target candidate c1.  The figure's initial
+opinions for c1 are recovered from Table I: ``B⁰_1 = (0.4, 0.8, 0.6, 0.9)``
+(users 1-2 keep their initial opinions; user 4's 0.75 at t=1 implies 0.9 at
+t=0).  The paper specifies the competitor c2 only by its *horizon* opinions
+``(0.35, 0.75, 0.78, 0.90)`` at t=1 — these are not FJ-consistent with any
+[0,1] initial vector under the shared weights — so c2's users are made fully
+stubborn at those values, which pins c2's opinions at every horizon exactly
+as Table I assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synth import Dataset
+from repro.graph.build import graph_from_edges
+from repro.opinion.state import CampaignState
+
+#: Expected Table I rows: seed set (0-indexed) -> (cumulative, plurality, copeland)
+TABLE_I = {
+    (): (2.55, 2, 0),
+    (0,): (3.30, 2, 0),
+    (1,): (2.80, 2, 0),
+    (2,): (3.15, 4, 1),
+    (3,): (2.80, 3, 1),
+    (0, 1): (3.55, 3, 1),
+}
+
+#: Expected Table I opinion rows for c1 at t=1, same keys as TABLE_I.
+TABLE_I_OPINIONS = {
+    (): (0.40, 0.80, 0.60, 0.75),
+    (0,): (1.00, 0.80, 0.75, 0.75),
+    (1,): (0.40, 1.00, 0.65, 0.75),
+    (2,): (0.40, 0.80, 1.00, 0.95),
+    (3,): (0.40, 0.80, 0.60, 1.00),
+    (0, 1): (1.00, 1.00, 0.80, 0.75),
+}
+
+
+def running_example() -> Dataset:
+    """Build the 4-user, 2-candidate instance of Fig. 1."""
+    graph = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    initial = np.array(
+        [
+            [0.40, 0.80, 0.60, 0.90],  # c1 (target) at t=0
+            [0.35, 0.75, 0.78, 0.90],  # c2 pinned at its t=1 values
+        ]
+    )
+    stubbornness = np.array(
+        [
+            [0.5, 0.5, 0.5, 0.5],
+            [1.0, 1.0, 1.0, 1.0],
+        ]
+    )
+    state = CampaignState(
+        graphs=(graph, graph),
+        initial_opinions=initial,
+        stubbornness=stubbornness,
+        candidates=("c1", "c2"),
+    )
+    return Dataset(name="running-example", state=state, target=0, horizon=1, meta={})
+
+
+def running_example_table() -> dict[tuple[int, ...], tuple[float, int, int]]:
+    """The expected (cumulative, plurality, Copeland) values of Table I."""
+    return dict(TABLE_I)

@@ -1,0 +1,142 @@
+"""Saving and loading datasets as ``.npz`` archives.
+
+Datasets are fully determined by edge lists + weights (per candidate graph,
+deduplicated by object identity), the opinion/stubbornness matrices, names
+and the default target/horizon.  Non-array metadata is serialized as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.synth import Dataset
+from repro.graph.digraph import InfluenceGraph
+from repro.opinion.state import CampaignState
+from scipy import sparse
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` (.npz)."""
+    path = Path(path)
+    state = dataset.state
+    unique_graphs: list[InfluenceGraph] = []
+    graph_index: list[int] = []
+    for g in state.graphs:
+        for i, seen in enumerate(unique_graphs):
+            if seen is g:
+                graph_index.append(i)
+                break
+        else:
+            graph_index.append(len(unique_graphs))
+            unique_graphs.append(g)
+    payload: dict[str, np.ndarray] = {
+        "initial_opinions": np.asarray(state.initial_opinions),
+        "stubbornness": np.asarray(state.stubbornness),
+        "graph_index": np.asarray(graph_index, dtype=np.int64),
+        "target": np.asarray([dataset.target], dtype=np.int64),
+        "horizon": np.asarray([dataset.horizon], dtype=np.int64),
+        "n": np.asarray([state.n], dtype=np.int64),
+    }
+    for i, g in enumerate(unique_graphs):
+        src, dst, w = g.edges()
+        payload[f"graph{i}_src"] = src.astype(np.int64)
+        payload[f"graph{i}_dst"] = dst.astype(np.int64)
+        payload[f"graph{i}_weight"] = w
+    meta = {
+        "name": dataset.name,
+        "candidates": list(state.candidates),
+        "num_graphs": len(unique_graphs),
+        "scalar_meta": {
+            key: value
+            for key, value in dataset.meta.items()
+            if isinstance(value, (int, float, str, bool))
+        },
+    }
+    payload["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def save_edge_list(graph: InfluenceGraph, path: str | Path) -> None:
+    """Write a graph as whitespace-separated ``src dst weight`` lines.
+
+    The plain-text interchange format used by most public graph snapshots
+    (SNAP, KONECT); weights are the *normalized* column-stochastic values.
+    """
+    src, dst, weight = graph.edges()
+    with Path(path).open("w") as handle:
+        handle.write("# src dst weight\n")
+        for u, v, w in zip(src, dst, weight):
+            handle.write(f"{int(u)} {int(v)} {w:.12g}\n")
+
+
+def load_edge_list(
+    path: str | Path, *, n: int | None = None, normalize: bool = True
+) -> InfluenceGraph:
+    """Read a ``src dst [weight]`` text file into an :class:`InfluenceGraph`.
+
+    Lines starting with ``#`` or ``%`` are comments.  ``n`` defaults to
+    1 + the largest node id seen.  Raw weights are column-normalized unless
+    the file already stores stochastic weights (``normalize=False``).
+    """
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    w_list: list[float] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            src_list.append(int(parts[0]))
+            dst_list.append(int(parts[1]))
+            w_list.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    if not src_list:
+        raise ValueError(f"no edges found in {path}")
+    inferred = max(max(src_list), max(dst_list)) + 1
+    n = inferred if n is None else int(n)
+    from repro.graph.build import graph_from_edges
+
+    graph = graph_from_edges(
+        n,
+        np.asarray(src_list),
+        np.asarray(dst_list),
+        np.asarray(w_list),
+        normalize=normalize,
+    )
+    return graph
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Only scalar metadata survives the round trip; array-valued metadata
+    (e.g. DBLP domain memberships) is reconstruction-time information.
+    """
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode())
+        n = int(data["n"][0])
+        graphs: list[InfluenceGraph] = []
+        for i in range(meta["num_graphs"]):
+            mat = sparse.coo_matrix(
+                (data[f"graph{i}_weight"], (data[f"graph{i}_src"], data[f"graph{i}_dst"])),
+                shape=(n, n),
+            ).tocsr()
+            graphs.append(InfluenceGraph(mat))
+        state = CampaignState(
+            graphs=tuple(graphs[i] for i in data["graph_index"]),
+            initial_opinions=data["initial_opinions"],
+            stubbornness=data["stubbornness"],
+            candidates=tuple(meta["candidates"]),
+        )
+        return Dataset(
+            name=meta["name"],
+            state=state,
+            target=int(data["target"][0]),
+            horizon=int(data["horizon"][0]),
+            meta=dict(meta["scalar_meta"]),
+        )

@@ -1,0 +1,160 @@
+"""Shared synthetic-dataset building blocks (§VIII-A recipes).
+
+Every dataset in the paper is assembled from the same three ingredients:
+
+* **edge weights** from interaction counts ``a`` via ``1 - exp(-a / μ)``
+  (common visits for Yelp, co-author counts for DBLP, retweet counts for
+  Twitter; default μ = 10, justified in Appendix D), normalized so incoming
+  weights sum to 1;
+* **initial opinions** in [0, 1] derived from user behaviour (ratings,
+  embedding similarity, sentiment);
+* **stubbornness** as ``1 - variance`` of a user's opinion history, or
+  uniform random when no history exists (Twitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.problem import FJVoteProblem
+from repro.opinion.state import CampaignState
+from repro.utils.rng import ensure_rng
+from repro.voting.scores import VotingScore
+
+
+@dataclass
+class Dataset:
+    """A named problem instance: campaign state + default target and horizon."""
+
+    name: str
+    state: CampaignState
+    target: int
+    horizon: int = 20
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        """Number of users."""
+        return self.state.n
+
+    @property
+    def r(self) -> int:
+        """Number of candidates."""
+        return self.state.r
+
+    def problem(self, score: VotingScore, *, horizon: int | None = None) -> FJVoteProblem:
+        """An :class:`FJVoteProblem` for this dataset's default target."""
+        t = self.horizon if horizon is None else int(horizon)
+        return FJVoteProblem(self.state, self.target, t, score)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dataset({self.name!r}, n={self.n}, r={self.r}, target={self.target})"
+
+
+def activity_edge_weights(
+    n_edges: int,
+    mu: float = 10.0,
+    *,
+    mean_activity: float = 5.0,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Raw edge weights ``1 - exp(-a/μ)`` from Poisson interaction counts.
+
+    ``a ~ 1 + Poisson(mean_activity)`` models "number of common visits" /
+    "co-authorship count" / "retweet count"; more interactions mean higher
+    influence [Potamias et al.], exactly as §VIII-A.
+    """
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    rng = ensure_rng(rng)
+    activity = 1 + rng.poisson(mean_activity, size=n_edges)
+    return 1.0 - np.exp(-activity / mu)
+
+
+def variance_stubbornness(
+    opinions: np.ndarray,
+    *,
+    history_noise: float = 0.25,
+    history_length: int = 12,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Stubbornness ``1 - Var(opinion history)`` (DBLP/Yelp recipe).
+
+    Simulates ``history_length`` periodic (monthly/yearly) re-measurements
+    of each opinion with user-specific noise and returns one value per user
+    (the mean over candidates), clipped to [0, 1].  Users whose opinions
+    wobble a lot are easily swayed — low stubbornness.
+    """
+    rng = ensure_rng(rng)
+    r, n = np.asarray(opinions).shape
+    noise_scale = rng.uniform(0.0, history_noise, size=n)
+    history = (
+        opinions[None, :, :]
+        + rng.normal(0.0, 1.0, size=(history_length, r, n)) * noise_scale[None, None, :]
+    )
+    history = np.clip(history, 0.0, 1.0)
+    variance = history.var(axis=0).mean(axis=0)
+    return np.clip(1.0 - 4.0 * variance, 0.0, 1.0)
+
+
+def topic_opinions(
+    n_users: int,
+    candidate_topics: np.ndarray,
+    membership: np.ndarray,
+    *,
+    concentration: float = 3.0,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Initial opinions as cosine similarity of latent topic vectors (DBLP recipe).
+
+    Each user draws a Dirichlet topic vector concentrated on her community's
+    topic; each candidate has a fixed topic vector.  The opinion of user v
+    about candidate q is the cosine similarity of the two vectors, linearly
+    rescaled to [0, 1] per candidate (mirroring the paper's normalization of
+    embedding similarities).
+
+    Returns ``(opinions (r, n), user_topics (n, n_topics))``.
+    """
+    rng = ensure_rng(rng)
+    candidate_topics = np.asarray(candidate_topics, dtype=np.float64)
+    r, n_topics = candidate_topics.shape
+    alphas = np.ones((n_users, n_topics))
+    alphas[np.arange(n_users), membership % n_topics] += concentration
+    user_topics = np.vstack([rng.dirichlet(a) for a in alphas])
+    cand_norm = candidate_topics / np.linalg.norm(candidate_topics, axis=1, keepdims=True)
+    user_norm = user_topics / np.maximum(
+        np.linalg.norm(user_topics, axis=1, keepdims=True), 1e-12
+    )
+    sims = cand_norm @ user_norm.T  # (r, n)
+    lo = sims.min(axis=1, keepdims=True)
+    hi = sims.max(axis=1, keepdims=True)
+    opinions = (sims - lo) / np.maximum(hi - lo, 1e-12)
+    return opinions, user_topics
+
+
+def sentiment_opinions(
+    n_users: int,
+    r: int,
+    *,
+    polarization: float = 2.0,
+    lean: np.ndarray | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Initial opinions as normalized sentiment scores (Twitter recipe).
+
+    Per-user sentiment toward candidate q is Beta-distributed with a mean
+    set by the user's latent lean (e.g. community-driven), mimicking VADER
+    scores normalized to [0, 1].
+    """
+    rng = ensure_rng(rng)
+    if lean is None:
+        lean = rng.uniform(0.2, 0.8, size=(r, n_users))
+    lean = np.asarray(lean, dtype=np.float64)
+    if lean.shape != (r, n_users):
+        raise ValueError(f"lean must have shape ({r}, {n_users})")
+    a = 1.0 + polarization * lean
+    b = 1.0 + polarization * (1.0 - lean)
+    return rng.beta(a, b)

@@ -1,0 +1,98 @@
+"""Yelp-like review network: 10 restaurant categories as candidates.
+
+Mirrors §VIII-A: nodes are users, edges friendships (influence flows both
+ways), edge weight ``1 - exp(-a/μ)`` where ``a`` counts common restaurant
+visits within a month, initial opinions are users' average ratings per
+category normalized to [0, 1], and stubbornness is one minus the variance
+of monthly average opinions.  The default target is the "Chinese" category,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synth import Dataset, activity_edge_weights, variance_stubbornness
+from repro.graph.build import graph_from_edges
+from repro.graph.generators import preferential_attachment_edges
+from repro.opinion.state import CampaignState
+from repro.utils.rng import ensure_rng
+
+#: Restaurant categories (the paper names American, Chinese, Italian, ...).
+CATEGORIES = (
+    "American",
+    "Chinese",
+    "Italian",
+    "Mexican",
+    "Japanese",
+    "Thai",
+    "Indian",
+    "French",
+    "Korean",
+    "Vietnamese",
+)
+
+
+def yelp_like(
+    n: int = 3000,
+    *,
+    r: int = 10,
+    mu: float = 10.0,
+    m_attach: int = 6,
+    horizon: int = 20,
+    per_candidate_weights: bool = False,
+    rng: int | np.random.Generator | None = None,
+) -> Dataset:
+    """Build the Yelp-like instance with ``r ≤ 10`` category candidates.
+
+    Ratings are simulated per user from a Dirichlet taste profile: the mean
+    rating of category q is ``1 + 4·taste_q / max(taste)`` stars with
+    per-review noise, averaged and rescaled to [0, 1] — the same pipeline as
+    averaging real star ratings.
+
+    With ``per_candidate_weights=True`` each candidate gets its own
+    influence matrix ``W_q`` (§II-A allows this; cf. topic-aware IM): the
+    raw weight of edge ``(u, v)`` is scaled by how much *both* endpoints
+    care about category q, so influence about Chinese food flows along
+    Chinese-food-lover friendships.
+    """
+    rng = ensure_rng(rng)
+    if not 2 <= r <= len(CATEGORIES):
+        raise ValueError(f"r must be in [2, {len(CATEGORIES)}]")
+    src, dst = preferential_attachment_edges(n, m_attach, rng)
+    weights = activity_edge_weights(src.size, mu, mean_activity=5.0, rng=rng)
+    taste = rng.dirichlet(np.full(r, 0.8), size=n).T  # (r, n)
+    mean_rating = 1.0 + 4.0 * taste / np.maximum(taste.max(axis=0, keepdims=True), 1e-12)
+    n_reviews = 1 + rng.poisson(4.0, size=(r, n))
+    noise = rng.normal(0.0, 0.8, size=(r, n)) / np.sqrt(n_reviews)
+    ratings = np.clip(mean_rating + noise, 1.0, 5.0)
+    opinions = (ratings - 1.0) / 4.0
+    stub = variance_stubbornness(opinions, rng=rng)
+    if per_candidate_weights:
+        # Topic affinity of an edge for category q: geometric mean of the
+        # endpoints' (normalized) tastes, floored to keep graphs connected.
+        rel_taste = taste / np.maximum(taste.max(axis=0, keepdims=True), 1e-12)
+        graphs = tuple(
+            graph_from_edges(
+                n,
+                src,
+                dst,
+                weights * (0.1 + np.sqrt(rel_taste[q, src] * rel_taste[q, dst])),
+            )
+            for q in range(r)
+        )
+    else:
+        graphs = (graph_from_edges(n, src, dst, weights),) * r
+    state = CampaignState(
+        graphs=graphs,
+        initial_opinions=opinions,
+        stubbornness=np.tile(stub, (r, 1)),
+        candidates=CATEGORIES[:r],
+    )
+    return Dataset(
+        name="yelp",
+        state=state,
+        target=1,  # "Chinese", the paper's default target
+        horizon=horizon,
+        meta={"mu": mu, "taste": taste},
+    )

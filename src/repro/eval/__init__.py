@@ -1,0 +1,21 @@
+"""Experiment harness reproducing every table and figure of §VIII."""
+
+from repro.eval.case_study import CaseStudyResult, acm_election_case_study
+from repro.eval.charts import bar_chart, line_chart
+from repro.eval.harness import METHOD_NAMES, MethodRun, run_methods, select_seeds
+from repro.eval.metrics import seed_overlap
+from repro.eval.reporting import format_series, format_table
+
+__all__ = [
+    "CaseStudyResult",
+    "METHOD_NAMES",
+    "MethodRun",
+    "acm_election_case_study",
+    "bar_chart",
+    "format_series",
+    "format_table",
+    "line_chart",
+    "run_methods",
+    "seed_overlap",
+    "select_seeds",
+]

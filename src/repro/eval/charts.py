@@ -1,0 +1,87 @@
+"""Dependency-free ASCII charts for experiment output.
+
+The paper's figures are line/bar plots; the benchmarks emit their numeric
+series, and these helpers render them as terminal charts so trends
+(crossovers, saturation, divergence) are visible without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKS = "*o+x#@%&"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title or ""
+    peak = max(max(values), 0.0)
+    label_width = max(len(str(lab)) for lab in labels)
+    lines = [title] if title else []
+    for lab, val in zip(labels, values):
+        filled = 0 if peak == 0 else int(round(width * max(val, 0.0) / peak))
+        lines.append(f"{str(lab).rjust(label_width)} |{'#' * filled} {val:g}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series gets a marker from ``*o+x#@%&``; x positions interpolate the
+    given ``x_values`` onto the grid, y is min-max scaled across all series.
+    """
+    if height < 2 or width < 2:
+        raise ValueError("width and height must be at least 2")
+    names = list(series)
+    if not names or not x_values:
+        return title or ""
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch with x_values")
+    all_y = [v for name in names for v in series[name]]
+    y_lo, y_hi = min(all_y), max(all_y)
+    y_span = (y_hi - y_lo) or 1.0
+    x_lo, x_hi = min(x_values), max(x_values)
+    x_span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, name in enumerate(names):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in zip(x_values, series[name]):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_lo) / y_span * (height - 1)))
+            grid[row][col] = mark
+    axis_width = max(len(f"{y_hi:g}"), len(f"{y_lo:g}"))
+    lines = [title] if title else []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:g}".rjust(axis_width)
+        elif i == height - 1:
+            label = f"{y_lo:g}".rjust(axis_width)
+        else:
+            label = " " * axis_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * axis_width + " +" + "-" * width)
+    lines.append(
+        " " * axis_width + f"  {x_lo:g}" + f"{x_hi:g}".rjust(width - len(f"{x_lo:g}"))
+    )
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(names)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Method registry and the common evaluation protocol of §VIII-A.
+
+All methods differ *only* in seed selection; once seeds are chosen, every
+method is evaluated in the same multi-campaign FJ setting with the same
+voting score, via :meth:`FJVoteProblem.objective`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.centrality import degree_select, pagerank_select, rwr_select
+from repro.baselines.gedt import gedt_select
+from repro.baselines.imm import imm
+from repro.core.greedy import greedy_dm
+from repro.core.problem import FJVoteProblem
+from repro.core.random_walk import random_walk_select
+from repro.core.sketch import sketch_select
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+
+#: Selection methods of §VIII-A: ours (DM, RW, RS) plus baselines.
+METHOD_NAMES = ("dm", "rw", "rs", "gedt", "ic", "lt", "pr", "rwr", "dc", "random")
+
+
+def select_seeds(
+    method: str,
+    problem: FJVoteProblem,
+    k: int,
+    rng: int | np.random.Generator | None = None,
+    **kwargs: object,
+) -> np.ndarray:
+    """Select ``k`` seeds with the named method.
+
+    ``kwargs`` are forwarded to the underlying selector (e.g. ``lambda_cap``
+    for RW, ``theta`` for RS, ``epsilon`` for IMM).
+    """
+    rng = ensure_rng(rng)
+    if method == "dm":
+        return greedy_dm(problem, k).seeds
+    if method == "rw":
+        return random_walk_select(problem, k, rng=rng, **kwargs).seeds
+    if method == "rs":
+        return sketch_select(problem, k, rng=rng, **kwargs).seeds
+    if method == "gedt":
+        return gedt_select(problem, k)
+    if method in ("ic", "lt"):
+        graph = problem.state.graph(problem.target)
+        return imm(graph, k, model=method, rng=rng, **kwargs).seeds
+    if method == "pr":
+        return pagerank_select(problem, k, **kwargs)
+    if method == "rwr":
+        return rwr_select(problem, k, **kwargs)
+    if method == "dc":
+        return degree_select(problem, k)
+    if method == "random":
+        return rng.choice(problem.n, size=k, replace=False).astype(np.int64)
+    raise ValueError(f"unknown method {method!r}; expected one of {METHOD_NAMES}")
+
+
+@dataclass
+class MethodRun:
+    """One (method, k) cell of an effectiveness/efficiency figure."""
+
+    method: str
+    k: int
+    score_value: float
+    seconds: float
+    seeds: np.ndarray
+
+
+def run_methods(
+    problem: FJVoteProblem,
+    ks: Sequence[int],
+    methods: Sequence[str],
+    rng: int | np.random.Generator | None = None,
+    *,
+    method_kwargs: dict[str, dict[str, object]] | None = None,
+) -> list[MethodRun]:
+    """Run every (method, k) combination; timing covers seed selection only.
+
+    Competitor opinions are pre-computed before timing starts: they are a
+    shared input to all methods, as in the paper's setup.
+    """
+    rng = ensure_rng(rng)
+    method_kwargs = method_kwargs or {}
+    problem.others_by_user()  # warm the shared cache outside the timers
+    runs: list[MethodRun] = []
+    for method in methods:
+        kwargs = dict(method_kwargs.get(method, {}))
+        for k in ks:
+            with Timer() as timer:
+                seeds = select_seeds(method, problem, k, rng, **kwargs)
+            runs.append(
+                MethodRun(
+                    method=method,
+                    k=int(k),
+                    score_value=problem.objective(seeds),
+                    seconds=timer.elapsed,
+                    seeds=seeds,
+                )
+            )
+    return runs

@@ -1,0 +1,26 @@
+"""Evaluation metrics shared across experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def seed_overlap(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of seeds shared by two equal-budget seed sets (Fig. 9).
+
+    ``|A ∩ B| / max(|A|, |B|)`` — with equal budgets this is the paper's
+    "overlap of the seed set".
+    """
+    a_set = set(int(v) for v in np.asarray(a).ravel())
+    b_set = set(int(v) for v in np.asarray(b).ravel())
+    denom = max(len(a_set), len(b_set))
+    if denom == 0:
+        return 1.0
+    return len(a_set & b_set) / denom
+
+
+def relative_score(value: float, reference: float) -> float:
+    """``value / reference`` guarded against a zero reference."""
+    if reference == 0:
+        return 1.0 if value == 0 else float("inf")
+    return value / reference

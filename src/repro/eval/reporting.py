@@ -1,0 +1,45 @@
+"""Plain-text rendering of experiment outputs (paper-shaped rows/series)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table with a header rule."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(row[i]) for row in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(str(p).rjust(w) for p, w in zip(parts, widths))
+
+    out = [line([str(h) for h in headers]), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+) -> str:
+    """Render named series against a shared x-axis (one figure panel)."""
+    headers = [x_name, *series.keys()]
+    rows = [
+        [x, *(vals[i] for vals in series.values())] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,27 @@
+"""Directed-graph substrate: sparse influence graphs, samplers, generators."""
+
+from repro.graph.alias import AliasSampler
+from repro.graph.build import column_stochastic, graph_from_edges, induced_subgraph
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import (
+    erdos_renyi_edges,
+    planted_partition_edges,
+    power_law_edges,
+    preferential_attachment_edges,
+    ring_lattice_edges,
+    watts_strogatz_edges,
+)
+
+__all__ = [
+    "AliasSampler",
+    "InfluenceGraph",
+    "column_stochastic",
+    "erdos_renyi_edges",
+    "graph_from_edges",
+    "induced_subgraph",
+    "planted_partition_edges",
+    "power_law_edges",
+    "preferential_attachment_edges",
+    "ring_lattice_edges",
+    "watts_strogatz_edges",
+]

@@ -1,0 +1,107 @@
+"""Constructing :class:`InfluenceGraph` objects from raw edges.
+
+The paper normalizes raw edge weights "such that the incoming weights of each
+node add up to 1" (§VIII-A).  Nodes without any in-edge keep their initial
+opinion under DeGroot/FJ; we realize that by giving such nodes a self-loop of
+weight 1 during normalization, which makes the matrix exactly
+column-stochastic while preserving the model semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.digraph import InfluenceGraph
+
+
+def column_stochastic(matrix: sparse.spmatrix, *, self_loop_isolated: bool = True) -> sparse.csr_matrix:
+    """Normalize columns of ``matrix`` to sum to 1.
+
+    Parameters
+    ----------
+    matrix:
+        Square sparse matrix of non-negative raw weights; entry ``(i, j)`` is
+        the raw influence of ``i`` on ``j``.
+    self_loop_isolated:
+        Give nodes whose column sums to 0 (no in-edges) a self-loop of
+        weight 1 so the result is a valid stochastic matrix.  When false,
+        such columns raise ``ValueError``.
+    """
+    csc = sparse.csc_matrix(matrix, dtype=np.float64)
+    if csc.shape[0] != csc.shape[1]:
+        raise ValueError(f"matrix must be square, got {csc.shape}")
+    if csc.nnz and csc.data.min() < 0:
+        raise ValueError("raw weights must be non-negative")
+    col_sums = np.asarray(csc.sum(axis=0)).ravel()
+    empty = col_sums <= 0
+    if empty.any() and not self_loop_isolated:
+        raise ValueError(
+            f"{int(empty.sum())} columns have zero in-weight and "
+            "self_loop_isolated=False"
+        )
+    # Scale every stored entry by the inverse of its column sum.
+    scale = np.ones_like(col_sums)
+    nonzero = ~empty
+    scale[nonzero] = 1.0 / col_sums[nonzero]
+    csc = csc.copy()
+    csc.data *= np.repeat(scale, np.diff(csc.indptr))
+    if empty.any():
+        idx = np.where(empty)[0]
+        loops = sparse.csc_matrix(
+            (np.ones(idx.size), (idx, idx)), shape=csc.shape, dtype=np.float64
+        )
+        csc = csc + loops
+    return csc.tocsr()
+
+
+def graph_from_edges(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weight: np.ndarray | None = None,
+    *,
+    normalize: bool = True,
+) -> InfluenceGraph:
+    """Build an :class:`InfluenceGraph` from edge arrays.
+
+    Duplicate ``(src, dst)`` pairs have their weights summed.  With
+    ``normalize=True`` (default) the raw weights are column-normalized and
+    isolated nodes receive a self-loop.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same shape")
+    if src.size and (src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n):
+        raise ValueError(f"edge endpoints must lie in [0, {n})")
+    if weight is None:
+        weight = np.ones(src.size, dtype=np.float64)
+    else:
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.shape != src.shape:
+            raise ValueError("weight must match src/dst shape")
+    mat = sparse.coo_matrix((weight, (src, dst)), shape=(n, n)).tocsr()
+    mat.sum_duplicates()
+    if normalize:
+        mat = column_stochastic(mat)
+    return InfluenceGraph(mat)
+
+
+def induced_subgraph(
+    graph: InfluenceGraph, nodes: np.ndarray, *, renormalize: bool = True
+) -> tuple[InfluenceGraph, np.ndarray]:
+    """Return the subgraph induced by ``nodes`` plus the node mapping.
+
+    Used by the scalability experiment (Fig. 17), which subsamples node sets
+    of increasing size.  Returns ``(subgraph, nodes)`` where row ``i`` of the
+    subgraph corresponds to ``nodes[i]`` in the original graph.
+    """
+    nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+    if nodes.size and (nodes.min() < 0 or nodes.max() >= graph.n):
+        raise ValueError("nodes out of range")
+    sub = graph.csr[nodes][:, nodes]
+    if renormalize:
+        sub = column_stochastic(sub)
+        return InfluenceGraph(sub), nodes
+    return InfluenceGraph(sub, validate=False), nodes

@@ -1,0 +1,125 @@
+"""Sparse directed influence graph.
+
+The paper (§II) models the social network as a directed graph ``G = (V, E)``
+with a *column-stochastic* influence matrix ``W`` per candidate, where
+``w[i, j]`` is the influence weight of user ``i`` on user ``j``.  Column
+``j`` therefore holds the in-neighbor weights of node ``j`` and sums to 1.
+
+:class:`InfluenceGraph` wraps a ``scipy.sparse`` matrix and exposes both
+orientations: CSR for fast row access (out-edges, used by forward
+reachability and cascade baselines) and CSC for fast column access
+(in-edges, used by the reverse random walks of §V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+_STOCHASTIC_ATOL = 1e-8
+
+
+class InfluenceGraph:
+    """A directed graph with a column-stochastic edge-weight matrix.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n, n)`` sparse matrix with non-negative entries whose columns each
+        sum to 1.  Use :func:`repro.graph.build.graph_from_edges` (or
+        :func:`repro.graph.build.column_stochastic`) to construct one from
+        raw edge weights.
+    validate:
+        When true (default), verify non-negativity and column sums.
+    """
+
+    def __init__(self, matrix: sparse.spmatrix, *, validate: bool = True) -> None:
+        csr = sparse.csr_matrix(matrix, dtype=np.float64)
+        if csr.shape[0] != csr.shape[1]:
+            raise ValueError(f"influence matrix must be square, got {csr.shape}")
+        csr.eliminate_zeros()
+        csr.sort_indices()
+        if validate:
+            _validate_column_stochastic(csr)
+        self._csr = csr
+        self._csc = csr.tocsc()
+        self._csc.sort_indices()
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._csr.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Number of (non-zero weight) directed edges, including self-loops."""
+        return self._csr.nnz
+
+    @property
+    def csr(self) -> sparse.csr_matrix:
+        """Row-oriented weight matrix (row i = out-edges of node i)."""
+        return self._csr
+
+    @property
+    def csc(self) -> sparse.csc_matrix:
+        """Column-oriented weight matrix (column j = in-edges of node j)."""
+        return self._csc
+
+    # ------------------------------------------------------------------
+    # Neighborhood access
+    # ------------------------------------------------------------------
+    def out_neighbors(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(targets, weights)`` of the out-edges of node ``i``."""
+        lo, hi = self._csr.indptr[i], self._csr.indptr[i + 1]
+        return self._csr.indices[lo:hi], self._csr.data[lo:hi]
+
+    def in_neighbors(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(sources, weights)`` of the in-edges of node ``j``.
+
+        The weights sum to 1 by column-stochasticity, so this is directly the
+        transition distribution of a reverse random-walk step from ``j``.
+        """
+        lo, hi = self._csc.indptr[j], self._csc.indptr[j + 1]
+        return self._csc.indices[lo:hi], self._csc.data[lo:hi]
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree (edge count) of every node."""
+        return np.diff(self._csr.indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree (edge count) of every node."""
+        return np.diff(self._csc.indptr)
+
+    def weighted_out_degrees(self) -> np.ndarray:
+        """Sum of outgoing weights per node (the DC baseline's centrality).
+
+        Self-loops are excluded: they are artifacts of stochastic
+        normalization for nodes without in-neighbors, not social influence.
+        """
+        totals = np.asarray(self._csr.sum(axis=1)).ravel()
+        return totals - self._csr.diagonal()
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(src, dst, weight)`` arrays of all edges (COO order)."""
+        coo = self._csr.tocoo()
+        return coo.row, coo.col, coo.data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InfluenceGraph(n={self.n}, m={self.m})"
+
+
+def _validate_column_stochastic(csr: sparse.csr_matrix) -> None:
+    if csr.nnz and csr.data.min() < 0:
+        raise ValueError("influence weights must be non-negative")
+    col_sums = np.asarray(csr.sum(axis=0)).ravel()
+    bad = np.where(np.abs(col_sums - 1.0) > _STOCHASTIC_ATOL)[0]
+    if bad.size:
+        j = int(bad[0])
+        raise ValueError(
+            f"matrix is not column-stochastic: column {j} sums to "
+            f"{col_sums[j]:.6g} ({bad.size} offending columns); normalize "
+            "with repro.graph.build.column_stochastic first"
+        )

@@ -1,0 +1,180 @@
+"""Random graph generators (implemented from scratch; no networkx).
+
+These supply the structural substrate for the synthetic dataset recipes in
+:mod:`repro.datasets`.  All generators return ``(src, dst)`` integer edge
+arrays with self-loops and duplicate edges removed; weights are assigned by
+the dataset layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def _dedup(n: int, src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Drop self-loops and duplicate directed edges."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    keys = np.unique(src * np.int64(n) + dst)
+    return keys // n, keys % n
+
+
+def erdos_renyi_edges(
+    n: int, p: float, rng: int | np.random.Generator | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Directed Erdős–Rényi G(n, p) edges.
+
+    Samples the edge count from a binomial and then draws that many distinct
+    ordered pairs, which is exact and avoids materializing all n(n-1)
+    candidate edges.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = ensure_rng(rng)
+    total = n * (n - 1)
+    if total == 0 or p == 0.0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    m = int(rng.binomial(total, p))
+    # Sample distinct pair codes in [0, total); rejection is cheap for the
+    # sparse regimes used here.
+    codes: set[int] = set()
+    while len(codes) < m:
+        draw = rng.integers(0, total, size=m - len(codes))
+        codes.update(int(c) for c in draw)
+    arr = np.fromiter(codes, dtype=np.int64, count=len(codes))
+    src = arr // (n - 1)
+    off = arr % (n - 1)
+    dst = np.where(off >= src, off + 1, off)  # skip the diagonal
+    return src, dst
+
+
+def preferential_attachment_edges(
+    n: int, m_attach: int, rng: int | np.random.Generator | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Barabási–Albert-style preferential attachment, emitted bidirectionally.
+
+    Each new node attaches to ``m_attach`` distinct existing nodes chosen
+    proportionally to degree; both edge directions are emitted (social ties
+    such as friendships/co-authorships influence both endpoints).
+    """
+    if m_attach < 1:
+        raise ValueError("m_attach must be >= 1")
+    if n <= m_attach:
+        raise ValueError("n must exceed m_attach")
+    rng = ensure_rng(rng)
+    repeated: list[int] = list(range(m_attach))  # seed clique targets
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    for v in range(m_attach, n):
+        targets: set[int] = set()
+        while len(targets) < m_attach:
+            pick = repeated[int(rng.integers(0, len(repeated)))]
+            targets.add(pick)
+        for u in targets:
+            src_list.append(v)
+            dst_list.append(u)
+            repeated.append(u)
+        repeated.extend([v] * m_attach)
+    src = np.array(src_list, dtype=np.int64)
+    dst = np.array(dst_list, dtype=np.int64)
+    return _dedup(n, np.concatenate([src, dst]), np.concatenate([dst, src]))
+
+
+def ring_lattice_edges(n: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Directed ring lattice: each node points to its ``k`` clockwise successors."""
+    if k < 0 or (n > 0 and k >= n):
+        raise ValueError("need 0 <= k < n")
+    src = np.repeat(np.arange(n, dtype=np.int64), k)
+    shift = np.tile(np.arange(1, k + 1, dtype=np.int64), n)
+    dst = (src + shift) % n
+    return _dedup(n, src, dst)
+
+
+def watts_strogatz_edges(
+    n: int, k: int, beta: float, rng: int | np.random.Generator | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Watts–Strogatz small world: ring lattice with rewiring, bidirectional."""
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError("beta must be in [0, 1]")
+    rng = ensure_rng(rng)
+    src, dst = ring_lattice_edges(n, k)
+    rewire = rng.random(src.size) < beta
+    new_dst = dst.copy()
+    new_dst[rewire] = rng.integers(0, n, size=int(rewire.sum()))
+    src2 = np.concatenate([src, new_dst])
+    dst2 = np.concatenate([new_dst, src])
+    return _dedup(n, src2, dst2)
+
+
+def planted_partition_edges(
+    n: int,
+    n_communities: int,
+    p_in: float,
+    p_out: float,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Planted-partition (community) graph.
+
+    Returns ``(src, dst, membership)`` where ``membership[v]`` is the
+    community index of node ``v``.  Within-community pairs connect with
+    probability ``p_in``, across with ``p_out``.
+    """
+    if n_communities < 1:
+        raise ValueError("n_communities must be >= 1")
+    rng = ensure_rng(rng)
+    membership = rng.integers(0, n_communities, size=n)
+    src_all: list[np.ndarray] = []
+    dst_all: list[np.ndarray] = []
+    # Sample across the full pair space with the background probability, then
+    # add the extra in-community density.
+    s, d = erdos_renyi_edges(n, p_out, rng)
+    src_all.append(s)
+    dst_all.append(d)
+    if p_in > p_out:
+        extra = (p_in - p_out) / max(1.0 - p_out, 1e-12)
+        for c in range(n_communities):
+            members = np.where(membership == c)[0]
+            if members.size < 2:
+                continue
+            s, d = erdos_renyi_edges(members.size, extra, rng)
+            src_all.append(members[s])
+            dst_all.append(members[d])
+    src = np.concatenate(src_all) if src_all else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dst_all) if dst_all else np.empty(0, dtype=np.int64)
+    src, dst = _dedup(n, src, dst)
+    return src, dst, membership
+
+
+def power_law_edges(
+    n: int,
+    exponent: float = 2.5,
+    min_degree: int = 1,
+    max_degree: int | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Configuration-model digraph with power-law out-degrees.
+
+    Out-degrees are drawn from a truncated discrete power law with the given
+    ``exponent``; targets are chosen uniformly at random (distinctness within
+    a node enforced by dedup).  This mimics the heavy-tailed retweet graphs
+    of the Twitter datasets.
+    """
+    if exponent <= 1.0:
+        raise ValueError("exponent must exceed 1")
+    if min_degree < 1:
+        raise ValueError("min_degree must be >= 1")
+    rng = ensure_rng(rng)
+    cap = max_degree if max_degree is not None else max(min_degree, int(np.sqrt(n)) + 1)
+    degrees = np.arange(min_degree, cap + 1, dtype=np.float64)
+    pmf = degrees ** (-exponent)
+    pmf /= pmf.sum()
+    out_deg = rng.choice(np.arange(min_degree, cap + 1), size=n, p=pmf)
+    src = np.repeat(np.arange(n, dtype=np.int64), out_deg)
+    dst = rng.integers(0, n, size=src.size)
+    return _dedup(n, src, dst)

@@ -1,0 +1,29 @@
+"""Opinion formation and diffusion models (DeGroot, Friedkin-Johnsen)."""
+
+from repro.opinion.convergence import (
+    fraction_changing,
+    oblivious_nodes,
+    time_to_convergence,
+)
+from repro.opinion.degroot import degroot_evolve
+from repro.opinion.fj import (
+    apply_seeds,
+    fj_equilibrium,
+    fj_evolve,
+    fj_step,
+    fj_trajectory,
+)
+from repro.opinion.state import CampaignState
+
+__all__ = [
+    "CampaignState",
+    "apply_seeds",
+    "degroot_evolve",
+    "fj_equilibrium",
+    "fj_evolve",
+    "fj_step",
+    "fj_trajectory",
+    "fraction_changing",
+    "oblivious_nodes",
+    "time_to_convergence",
+]

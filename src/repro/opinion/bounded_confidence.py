@@ -1,0 +1,101 @@
+"""Bounded-confidence opinion dynamics (Hegselmann-Krause on a network).
+
+The paper's conclusion (§IX) names "more opinion diffusion models" as future
+work and its related-work section (§VII) singles out the bounded-confidence
+(BC) and Hegselmann-Krause (HK) families as the continuous models suited to
+voting-based winning criteria.  This module provides a graph-restricted HK
+model as that extension:
+
+    b_i(t+1) = (1 - d_i) * avg_w { b_j(t) : j in N_in(i) ∪ {i},
+                                   |b_j(t) - b_i(t)| <= ε }  +  d_i * b_i(0)
+
+i.e. users average only the in-neighbors whose current opinion lies within
+their confidence bound ε (weighted by influence), retaining the FJ-style
+stubbornness anchor.  With ε >= 1 every neighbor is heard and the model
+coincides with FJ; with ε = 0 only the self-anchor remains.
+
+The model is *not* linear, so the random-walk/sketch estimators do not apply;
+seed selection uses the generic greedy engine via
+:func:`bounded_confidence_objective`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import InfluenceGraph
+from repro.utils.validation import check_time_horizon
+
+
+def hk_step(
+    b: np.ndarray,
+    b0: np.ndarray,
+    d: np.ndarray,
+    graph: InfluenceGraph,
+    epsilon: float,
+) -> np.ndarray:
+    """One bounded-confidence update."""
+    n = graph.n
+    csc = graph.csc
+    out = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        lo, hi = csc.indptr[i], csc.indptr[i + 1]
+        sources = csc.indices[lo:hi]
+        weights = csc.data[lo:hi]
+        heard = np.abs(b[sources] - b[i]) <= epsilon
+        total = weights[heard].sum()
+        if total <= 0:
+            social = b[i]
+        else:
+            social = float(np.dot(weights[heard], b[sources[heard]]) / total)
+        out[i] = (1.0 - d[i]) * social + d[i] * b0[i]
+    return out
+
+
+def hk_evolve(
+    b0: np.ndarray,
+    d: np.ndarray,
+    graph: InfluenceGraph,
+    t: int,
+    *,
+    epsilon: float = 0.3,
+) -> np.ndarray:
+    """Opinions at horizon ``t`` under the bounded-confidence model."""
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    t = check_time_horizon(t)
+    b0 = np.asarray(b0, dtype=np.float64)
+    d = np.asarray(d, dtype=np.float64)
+    b = b0.copy()
+    for _ in range(t):
+        b = hk_step(b, b0, d, graph, epsilon)
+    return b
+
+
+def bounded_confidence_objective(
+    graph: InfluenceGraph,
+    b0: np.ndarray,
+    d: np.ndarray,
+    t: int,
+    *,
+    epsilon: float = 0.3,
+):
+    """A set objective ``seeds -> Σ_v b_v(t)`` for greedy seed selection.
+
+    Returns a callable compatible with :func:`repro.core.greedy.greedy_select`
+    (cumulative-score semantics under HK dynamics).  HK is non-linear, so no
+    submodularity guarantee transfers — use eager greedy (``lazy=False``).
+    """
+    b0 = np.asarray(b0, dtype=np.float64)
+    d = np.asarray(d, dtype=np.float64)
+
+    def objective(seeds: tuple[int, ...]) -> float:
+        b0_s = b0.copy()
+        d_s = d.copy()
+        idx = np.asarray(list(seeds), dtype=np.int64)
+        if idx.size:
+            b0_s[idx] = 1.0
+            d_s[idx] = 1.0
+        return float(hk_evolve(b0_s, d_s, graph, t, epsilon=epsilon).sum())
+
+    return objective

@@ -1,0 +1,86 @@
+"""Convergence diagnostics for FJ diffusion.
+
+Implements the oblivious-node notion from §II-A (non-stubborn nodes not
+reachable from any stubborn node — the obstruction to FJ convergence) and
+the opinion-change statistic plotted in the paper's Fig. 18 (Appendix B).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.digraph import InfluenceGraph
+from repro.opinion.fj import fj_step
+
+
+def oblivious_nodes(graph: InfluenceGraph, stubbornness: np.ndarray) -> np.ndarray:
+    """Nodes that are non-stubborn and unreachable from any stubborn node.
+
+    Influence travels along directed edges ``i -> j`` (``w[i, j] > 0``), so a
+    node is "reached" by a stubborn node via forward BFS.  Self-loops do not
+    count as reachability from a stubborn node unless the node itself is
+    stubborn.
+    """
+    d = np.asarray(stubbornness, dtype=np.float64)
+    if d.shape != (graph.n,):
+        raise ValueError(f"stubbornness must have shape ({graph.n},)")
+    stubborn = np.where(d > 0)[0]
+    reached = np.zeros(graph.n, dtype=bool)
+    reached[stubborn] = True
+    queue = deque(int(v) for v in stubborn)
+    while queue:
+        u = queue.popleft()
+        targets, _ = graph.out_neighbors(u)
+        for v in targets:
+            if not reached[v]:
+                reached[v] = True
+                queue.append(int(v))
+    return np.where(~reached)[0]
+
+
+def fraction_changing(
+    b0: np.ndarray,
+    d: np.ndarray,
+    graph: InfluenceGraph,
+    horizon: int,
+    tolerance_pct: float,
+) -> np.ndarray:
+    """Fraction of users whose opinion changes by more than ``Δ%`` per step.
+
+    Reproduces Fig. 18: entry ``t-1`` of the returned array is the fraction
+    of nodes ``v`` with ``|b_t(v) - b_{t-1}(v)| > (Δ/100) * b_{t-1}(v)`` for
+    ``t = 1..horizon``.
+    """
+    if tolerance_pct < 0:
+        raise ValueError("tolerance_pct must be non-negative")
+    b_prev = np.array(b0, dtype=np.float64)
+    fractions = np.empty(horizon, dtype=np.float64)
+    for step in range(horizon):
+        b_cur = fj_step(b_prev, b0, d, graph)
+        changed = np.abs(b_cur - b_prev) > (tolerance_pct / 100.0) * b_prev
+        fractions[step] = changed.mean() if changed.size else 0.0
+        b_prev = b_cur
+    return fractions
+
+
+def time_to_convergence(
+    b0: np.ndarray,
+    d: np.ndarray,
+    graph: InfluenceGraph,
+    *,
+    tol: float = 1e-8,
+    max_t: int = 1_000,
+) -> int | None:
+    """First timestamp at which the max opinion change drops below ``tol``.
+
+    Returns ``None`` when no such timestamp exists within ``max_t`` steps.
+    """
+    b_prev = np.array(b0, dtype=np.float64)
+    for step in range(1, max_t + 1):
+        b_cur = fj_step(b_prev, b0, d, graph)
+        if np.max(np.abs(b_cur - b_prev)) < tol:
+            return step
+        b_prev = b_cur
+    return None

@@ -1,0 +1,19 @@
+"""The DeGroot opinion diffusion model (paper Eq. 1).
+
+``B(t) = B(0) @ W^t``: at every step each user adopts the weighted average
+of her in-neighbors' previous opinions.  This is the stubbornness-free
+special case of FJ, so the implementation simply delegates with ``d = 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import InfluenceGraph
+from repro.opinion.fj import fj_evolve
+
+
+def degroot_evolve(b0: np.ndarray, graph: InfluenceGraph, t: int) -> np.ndarray:
+    """Opinions at time ``t`` under DeGroot (``b0 @ W^t``, computed iteratively)."""
+    zeros = np.zeros(graph.n, dtype=np.float64)
+    return fj_evolve(np.asarray(b0, dtype=np.float64), zeros, graph, t)

@@ -1,0 +1,154 @@
+"""The Friedkin-Johnsen (FJ) opinion diffusion model (paper Eq. 2).
+
+For one candidate with row-vector opinions ``b`` and stubbornness diagonal
+``d``::
+
+    b(t+1) = (b(t) @ W) * (1 - d) + b(0) * d
+
+Since ``W`` is column-stochastic and opinions start in [0, 1], all iterates
+stay in [0, 1].  The DeGroot model is the special case ``d = 0``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.graph.digraph import InfluenceGraph
+from repro.opinion.state import CampaignState
+from repro.utils.validation import check_time_horizon
+
+
+def fj_step(
+    b: np.ndarray, b0: np.ndarray, d: np.ndarray, graph: InfluenceGraph
+) -> np.ndarray:
+    """One FJ update: ``(b @ W)(1-d) + b0 d``."""
+    return (b @ graph.csr) * (1.0 - d) + b0 * d
+
+
+def fj_evolve(
+    b0: np.ndarray,
+    d: np.ndarray,
+    graph: InfluenceGraph,
+    t: int,
+    *,
+    b_init: np.ndarray | None = None,
+) -> np.ndarray:
+    """Opinions at time horizon ``t`` starting from ``b_init`` (default ``b0``).
+
+    Cost is ``O(t * m)`` via sparse matrix-vector products — the "direct
+    matrix multiplication" (DM) computation of §III-C.
+    """
+    t = check_time_horizon(t)
+    b = np.array(b0 if b_init is None else b_init, dtype=np.float64)
+    b0 = np.asarray(b0, dtype=np.float64)
+    d = np.asarray(d, dtype=np.float64)
+    for _ in range(t):
+        b = fj_step(b, b0, d, graph)
+    return b
+
+
+def fj_trajectory(
+    b0: np.ndarray, d: np.ndarray, graph: InfluenceGraph, t: int
+) -> Iterator[np.ndarray]:
+    """Yield opinions ``b(0), b(1), ..., b(t)`` (t+1 arrays)."""
+    t = check_time_horizon(t)
+    b = np.array(b0, dtype=np.float64)
+    yield b.copy()
+    for _ in range(t):
+        b = fj_step(b, b0, d, graph)
+        yield b.copy()
+
+
+def apply_seeds(
+    b0: np.ndarray, d: np.ndarray, seeds: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return copies of ``(b0, d)`` with seed nodes set to opinion 1, stubbornness 1."""
+    seeds = np.asarray(seeds, dtype=np.int64)
+    b0 = np.array(b0, dtype=np.float64)
+    d = np.array(d, dtype=np.float64)
+    b0[seeds] = 1.0
+    d[seeds] = 1.0
+    return b0, d
+
+
+def horizon_opinions(
+    state: CampaignState,
+    t: int,
+    *,
+    target: int | None = None,
+    seeds: np.ndarray | None = None,
+) -> np.ndarray:
+    """Opinion matrix ``B(t)`` for all candidates, optionally seeding the target.
+
+    Campaigns diffuse concurrently and independently (§II-B): each row of the
+    result is the FJ evolution of that candidate's row.  When ``target`` and
+    ``seeds`` are given, the target row uses the seeded ``(b0, d)``.
+    """
+    rows = []
+    for q in range(state.r):
+        if target is not None and seeds is not None and q == target:
+            b0_q, d_q = state.seeded(q, seeds)
+        else:
+            b0_q, d_q = state.initial_opinions[q], state.stubbornness[q]
+        rows.append(fj_evolve(b0_q, d_q, state.graph(q), t))
+    return np.vstack(rows)
+
+
+def fj_equilibrium_exact(
+    b0: np.ndarray, d: np.ndarray, graph: InfluenceGraph
+) -> np.ndarray:
+    """Closed-form FJ equilibrium via a sparse linear solve.
+
+    The fixed point of Eq. 2 satisfies ``(I - (I-D) Wᵀ) bᵀ = D b0ᵀ``.  This
+    is the objective substrate of Gionis et al.'s equilibrium-based opinion
+    maximization (Appendix A), used by the GED-EQ baseline to contrast
+    equilibrium seeds with finite-horizon seeds.  Requires at least one
+    (partially) stubborn node reaching every node, otherwise the system is
+    singular (oblivious nodes have no anchored equilibrium) and a
+    ``ValueError`` is raised.
+    """
+    import warnings
+
+    from scipy.sparse import eye, diags
+    from scipy.sparse.linalg import MatrixRankWarning, spsolve
+
+    b0 = np.asarray(b0, dtype=np.float64)
+    d = np.asarray(d, dtype=np.float64)
+    n = graph.n
+    system = eye(n, format="csr") - diags(1.0 - d) @ graph.csr.T.tocsr()
+    with np.errstate(all="ignore"), warnings.catch_warnings():
+        # Singularity is detected below via non-finite entries and reported
+        # as a ValueError; scipy's warning would be redundant noise.
+        warnings.simplefilter("ignore", MatrixRankWarning)
+        solution = spsolve(system.tocsc(), d * b0)
+    if not np.all(np.isfinite(solution)):
+        raise ValueError(
+            "FJ equilibrium system is singular: some nodes are oblivious "
+            "(non-stubborn and unreachable from any stubborn node)"
+        )
+    return np.clip(solution, 0.0, 1.0)
+
+
+def fj_equilibrium(
+    b0: np.ndarray,
+    d: np.ndarray,
+    graph: InfluenceGraph,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+) -> tuple[np.ndarray, int]:
+    """Iterate FJ to (approximate) convergence.
+
+    Returns ``(opinions, iterations)``.  Raises ``RuntimeError`` if the
+    diffusion has not converged within ``max_iter`` steps (e.g. an oblivious
+    cycle with period > 1; see §II-A on convergence conditions).
+    """
+    b = np.array(b0, dtype=np.float64)
+    for it in range(1, max_iter + 1):
+        nxt = fj_step(b, b0, d, graph)
+        if np.max(np.abs(nxt - b)) < tol:
+            return nxt, it
+        b = nxt
+    raise RuntimeError(f"FJ diffusion did not converge within {max_iter} iterations")

@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling, validation helpers and timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_opinions,
+    check_probability,
+    check_seed_budget,
+    check_stubbornness,
+)
+
+__all__ = [
+    "Timer",
+    "check_opinions",
+    "check_probability",
+    "check_seed_budget",
+    "check_stubbornness",
+    "ensure_rng",
+    "spawn_rngs",
+]

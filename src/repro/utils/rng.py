@@ -1,0 +1,41 @@
+"""Random number generator helpers.
+
+Every stochastic component in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``.  :func:`ensure_rng` normalizes
+all three into a ``Generator`` so that experiments are reproducible end to
+end from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a numpy ``Generator`` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, int, or numpy Generator, got {type(rng)!r}")
+
+
+def spawn_rngs(rng: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Used when an experiment runs several stochastic sub-procedures that must
+    not share a stream (e.g. walk generation for different candidates).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    base = ensure_rng(rng)
+    return [np.random.default_rng(seed) for seed in base.integers(0, 2**63 - 1, size=count)]

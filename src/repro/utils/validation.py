@@ -1,0 +1,57 @@
+"""Input validation helpers shared across the library.
+
+All public entry points validate their numeric inputs eagerly, raising
+``ValueError`` with a descriptive message, so failures surface at the API
+boundary instead of deep inside a diffusion loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_probability(value: float, name: str, *, inclusive_low: bool = True) -> float:
+    """Validate that ``value`` is a probability in [0, 1] (or (0, 1])."""
+    value = float(value)
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    if not (low_ok and value <= 1.0):
+        bracket = "[0, 1]" if inclusive_low else "(0, 1]"
+        raise ValueError(f"{name} must be in {bracket}, got {value}")
+    return value
+
+
+def check_opinions(opinions: np.ndarray, name: str = "opinions") -> np.ndarray:
+    """Validate an opinion array: finite values in [0, 1]."""
+    arr = np.asarray(opinions, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    if arr.size and (arr.min() < -1e-12 or arr.max() > 1 + 1e-12):
+        raise ValueError(
+            f"{name} must lie in [0, 1]; observed range "
+            f"[{arr.min():.6g}, {arr.max():.6g}]"
+        )
+    return np.clip(arr, 0.0, 1.0)
+
+
+def check_stubbornness(stubbornness: np.ndarray, n: int) -> np.ndarray:
+    """Validate a stubbornness vector: length ``n``, values in [0, 1]."""
+    arr = np.asarray(stubbornness, dtype=np.float64)
+    if arr.shape != (n,):
+        raise ValueError(f"stubbornness must have shape ({n},), got {arr.shape}")
+    return check_opinions(arr, "stubbornness")
+
+
+def check_seed_budget(k: int, n: int) -> int:
+    """Validate a seed budget ``k`` against the number of nodes ``n``."""
+    k = int(k)
+    if not 0 <= k <= n:
+        raise ValueError(f"seed budget k must be in [0, {n}], got {k}")
+    return k
+
+
+def check_time_horizon(t: int) -> int:
+    """Validate a time horizon (non-negative integer)."""
+    t = int(t)
+    if t < 0:
+        raise ValueError(f"time horizon must be non-negative, got {t}")
+    return t

@@ -1,0 +1,43 @@
+"""Voting-based scores and winner-determination rules (paper §II-B)."""
+
+from repro.voting.extensions import BordaScore, DowdallScore
+from repro.voting.rank import rank_against, ranks
+from repro.voting.rules import (
+    condorcet_winner,
+    copeland_margin,
+    gamma_values,
+    pairwise_tally,
+    score_all_candidates,
+    winner,
+)
+from repro.voting.scores import (
+    CopelandScore,
+    CumulativeScore,
+    PApprovalScore,
+    PluralityScore,
+    PositionalPApprovalScore,
+    SeparableScore,
+    VotingScore,
+    make_score,
+)
+
+__all__ = [
+    "BordaScore",
+    "CopelandScore",
+    "DowdallScore",
+    "CumulativeScore",
+    "PApprovalScore",
+    "PluralityScore",
+    "PositionalPApprovalScore",
+    "SeparableScore",
+    "VotingScore",
+    "condorcet_winner",
+    "copeland_margin",
+    "gamma_values",
+    "make_score",
+    "pairwise_tally",
+    "rank_against",
+    "ranks",
+    "score_all_candidates",
+    "winner",
+]

@@ -1,0 +1,55 @@
+"""Additional voting scores beyond the paper's five (§IX future work).
+
+The paper's positional framework (Eq. 6) directly accommodates classic
+positional rules; this module instantiates two standard ones from social
+choice theory so downstream users can experiment with richer winning
+criteria:
+
+* **Borda** — position weights ``(r-1, r-2, ..., 0) / (r-1)`` over all
+  positions; the archetypal positional rule.
+* **Dowdall / harmonic** — weights ``1/i`` for position ``i``; used in
+  Nauru's parliamentary elections, heavier-headed than Borda.
+
+Both inherit the monotonicity (non-decreasing in the seed set) of all
+positional scores and the non-submodularity of the plurality family, and
+both work with every solver (DM greedy, sandwich, RW, RS) out of the box
+because they are :class:`PositionalPApprovalScore` instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.voting.scores import PositionalPApprovalScore
+
+
+class BordaScore(PositionalPApprovalScore):
+    """Borda count over opinion rankings, normalized to [0, 1] weights."""
+
+    name = "borda"
+
+    def __init__(self, r: int) -> None:
+        if r < 2:
+            raise ValueError("Borda needs at least 2 candidates")
+        weights = np.arange(r - 1, -1, -1, dtype=np.float64) / (r - 1)
+        super().__init__(p=r, weights=weights)
+        self.r = int(r)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BordaScore(r={self.r})"
+
+
+class DowdallScore(PositionalPApprovalScore):
+    """Dowdall (harmonic) positional rule: weight 1/i at position i."""
+
+    name = "dowdall"
+
+    def __init__(self, r: int) -> None:
+        if r < 1:
+            raise ValueError("Dowdall needs at least 1 candidate")
+        weights = 1.0 / np.arange(1, r + 1, dtype=np.float64)
+        super().__init__(p=r, weights=weights)
+        self.r = int(r)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DowdallScore(r={self.r})"

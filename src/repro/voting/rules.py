@@ -1,0 +1,87 @@
+"""Winner determination and election diagnostics.
+
+Implements the winner rule of §II-B (candidate with the maximum score), the
+Condorcet winner, and the per-user / per-pair margins γ and μ used by the
+random-walk and sketch accuracy analyses (§V-C, §VI-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.voting.scores import VotingScore
+
+
+def score_all_candidates(opinions: np.ndarray, score: VotingScore) -> np.ndarray:
+    """Score of every candidate under ``score``."""
+    return score.evaluate_all(np.asarray(opinions, dtype=np.float64))
+
+
+def winner(opinions: np.ndarray, score: VotingScore) -> int:
+    """Index of the winning candidate (ties broken toward the lowest index)."""
+    return int(np.argmax(score_all_candidates(opinions, score)))
+
+
+def is_strict_winner(opinions: np.ndarray, score: VotingScore, q: int) -> bool:
+    """Whether candidate ``q`` strictly beats every other candidate's score.
+
+    This is the winning criterion of Problem 2 (FJ-Vote-Win):
+    ``F(B, c_q) > max_{x≠q} F(B, c_x)``.
+    """
+    values = score_all_candidates(opinions, score)
+    others = np.delete(values, q)
+    return bool(others.size == 0 or values[q] > others.max())
+
+
+def pairwise_tally(opinions: np.ndarray, q: int, x: int) -> tuple[int, int]:
+    """``(wins, losses)`` of candidate ``q`` against ``x`` across users."""
+    opinions = np.asarray(opinions, dtype=np.float64)
+    wins = int(np.sum(opinions[q] > opinions[x]))
+    losses = int(np.sum(opinions[q] < opinions[x]))
+    return wins, losses
+
+
+def condorcet_winner(opinions: np.ndarray) -> int | None:
+    """The candidate winning all one-on-one competitions, or ``None``.
+
+    A Condorcet winner has the maximum possible Copeland score ``r - 1``
+    (§II-B); it need not exist.
+    """
+    opinions = np.asarray(opinions, dtype=np.float64)
+    r = opinions.shape[0]
+    for q in range(r):
+        if all(
+            pairwise_tally(opinions, q, x)[0] > pairwise_tally(opinions, q, x)[1]
+            for x in range(r)
+            if x != q
+        ):
+            return q
+    return None
+
+
+def gamma_values(opinions: np.ndarray, q: int) -> np.ndarray:
+    """Per-user margin ``γ_v = min_{x≠q} |b_xv − b_qv|`` (Theorem 11).
+
+    The number of reverse walks needed to rank the target correctly for user
+    ``v`` scales as ``1/γ_v²``.
+    """
+    opinions = np.asarray(opinions, dtype=np.float64)
+    others = np.delete(opinions, q, axis=0)
+    if others.shape[0] == 0:
+        return np.full(opinions.shape[1], np.inf)
+    return np.min(np.abs(others - opinions[q][None, :]), axis=0)
+
+
+def copeland_margin(opinions: np.ndarray, q: int) -> float:
+    """Pairwise margin ``μ = min_x |wins_x − losses_x| / n`` (§VI-D)."""
+    opinions = np.asarray(opinions, dtype=np.float64)
+    r, n = opinions.shape
+    if r < 2:
+        return float("inf")
+    margins = []
+    for x in range(r):
+        if x == q:
+            continue
+        wins, losses = pairwise_tally(opinions, q, x)
+        margins.append(abs(wins - losses) / n)
+    return float(min(margins))

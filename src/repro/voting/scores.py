@@ -1,0 +1,193 @@
+"""The five voting-based scoring functions of paper §II-B.
+
+All scores share the :class:`VotingScore` interface: ``evaluate(opinions, q)``
+maps a full opinion matrix ``B(t) ∈ [0,1]^{r×n}`` and a candidate index to a
+scalar score.  The four rank-based scores additionally expose per-user
+contributions given *fixed* competitor opinions (:class:`SeparableScore`),
+which the greedy optimizers exploit: seeding the target only changes the
+target's own row, so competitor opinions can be computed once.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.voting.rank import rank_against
+
+
+class VotingScore(ABC):
+    """A scoring function ``F(B(t), c_q)`` over the opinion matrix."""
+
+    #: short identifier used in reports ("cumulative", "plurality", ...)
+    name: str = "abstract"
+
+    @abstractmethod
+    def evaluate(self, opinions: np.ndarray, q: int) -> float:
+        """Score of candidate ``q`` under the full opinion matrix ``(r, n)``."""
+
+    def evaluate_all(self, opinions: np.ndarray) -> np.ndarray:
+        """Score of every candidate (used for winner determination)."""
+        r = np.asarray(opinions).shape[0]
+        return np.array([self.evaluate(opinions, q) for q in range(r)])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SeparableScore(VotingScore):
+    """Scores of the form ``F = Σ_v contribution(b_qv; competitors of v)``."""
+
+    @abstractmethod
+    def contributions(self, values: np.ndarray, others_by_user: np.ndarray) -> np.ndarray:
+        """Per-user contribution of target values against fixed competitors.
+
+        Parameters
+        ----------
+        values:
+            ``(m,)`` target-candidate opinions of ``m`` users.
+        others_by_user:
+            ``(m, r-1)`` competitor opinions of the same users.
+        """
+
+    def evaluate(self, opinions: np.ndarray, q: int) -> float:
+        opinions = np.asarray(opinions, dtype=np.float64)
+        others = np.delete(opinions, q, axis=0).T  # (n, r-1)
+        return float(self.contributions(opinions[q], others).sum())
+
+
+class CumulativeScore(SeparableScore):
+    """Sum of all users' opinions on the target (Eq. 3).
+
+    The only submodular score (Theorem 3); competitor opinions are ignored.
+    """
+
+    name = "cumulative"
+
+    def contributions(self, values: np.ndarray, others_by_user: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64)
+
+
+class PositionalPApprovalScore(SeparableScore):
+    """Positional-p-approval (Eq. 6): ``Σ_v ω[β(b_qv)] · 1[β(b_qv) ≤ p]``.
+
+    Parameters
+    ----------
+    p:
+        Approval cutoff, ``1 ≤ p ≤ r``.
+    weights:
+        Position weights ``(ω[1], ..., ω[r])`` with ``ω[i] ∈ [0, 1]`` and
+        non-increasing (§II-B).  Positions beyond ``p`` never contribute.
+    """
+
+    name = "positional-p-approval"
+
+    def __init__(self, p: int, weights: np.ndarray) -> None:
+        self.p = int(p)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        if self.weights.ndim != 1 or self.weights.size < self.p:
+            raise ValueError("need at least p position weights")
+        if self.weights.min() < 0 or self.weights.max() > 1:
+            raise ValueError("position weights must lie in [0, 1]")
+        if np.any(np.diff(self.weights) > 1e-12):
+            raise ValueError("position weights must be non-increasing")
+
+    def weight_at(self, position: int) -> float:
+        """ω at a 1-based position (0 beyond the stored weights)."""
+        if 1 <= position <= self.weights.size:
+            return float(self.weights[position - 1])
+        return 0.0
+
+    def contributions(self, values: np.ndarray, others_by_user: np.ndarray) -> np.ndarray:
+        beta = rank_against(values, others_by_user)
+        padded = np.concatenate([self.weights, np.zeros(1)])
+        idx = np.minimum(beta - 1, padded.size - 1)
+        return np.where(beta <= self.p, padded[idx], 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PositionalPApprovalScore(p={self.p}, weights={self.weights.tolist()})"
+
+
+class PApprovalScore(PositionalPApprovalScore):
+    """p-approval (Eq. 5): number of users ranking the target in the top p."""
+
+    name = "p-approval"
+
+    def __init__(self, p: int, r: int | None = None) -> None:
+        size = max(int(p), 1) if r is None else int(r)
+        super().__init__(p, np.ones(size))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PApprovalScore(p={self.p})"
+
+
+class PluralityScore(PApprovalScore):
+    """Plurality (Eq. 4): number of users strictly preferring the target."""
+
+    name = "plurality"
+
+    def __init__(self) -> None:
+        super().__init__(1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "PluralityScore()"
+
+
+class CopelandScore(VotingScore):
+    """Copeland (Eq. 7): one-on-one competitions won by the target.
+
+    ``c_q ≻_M c_x`` when strictly more users hold a higher opinion of ``q``
+    than of ``x`` than the other way around.  Not separable per user: a
+    single user's change can flip a whole pairwise competition.
+    """
+
+    name = "copeland"
+
+    def evaluate(self, opinions: np.ndarray, q: int) -> float:
+        opinions = np.asarray(opinions, dtype=np.float64)
+        r = opinions.shape[0]
+        if not 0 <= q < r:
+            raise ValueError(f"candidate index {q} out of range for r={r}")
+        b_q = opinions[q]
+        score = 0
+        for x in range(r):
+            if x == q:
+                continue
+            wins = int(np.sum(b_q > opinions[x]))
+            losses = int(np.sum(b_q < opinions[x]))
+            if wins > losses:
+                score += 1
+        return float(score)
+
+
+_SIMPLE_SCORES = {
+    "cumulative": CumulativeScore,
+    "plurality": PluralityScore,
+    "copeland": CopelandScore,
+}
+
+
+def make_score(
+    name: str, *, p: int | None = None, weights: np.ndarray | None = None
+) -> VotingScore:
+    """Factory from a score name.
+
+    ``"cumulative" | "plurality" | "copeland"`` take no parameters;
+    ``"p-approval"`` needs ``p``; ``"positional-p-approval"`` needs ``p`` and
+    ``weights``.
+    """
+    key = name.lower().replace("_", "-")
+    if key in _SIMPLE_SCORES:
+        return _SIMPLE_SCORES[key]()
+    if key == "p-approval":
+        if p is None:
+            raise ValueError("p-approval requires p")
+        return PApprovalScore(p)
+    if key == "positional-p-approval":
+        if p is None or weights is None:
+            raise ValueError("positional-p-approval requires p and weights")
+        return PositionalPApprovalScore(p, weights)
+    raise ValueError(f"unknown score {name!r}")

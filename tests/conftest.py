@@ -1,0 +1,71 @@
+"""Shared fixtures: the paper's running example and small random instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import FJVoteProblem
+from repro.datasets.example import running_example
+from repro.graph.build import graph_from_edges
+from repro.opinion.state import CampaignState
+from repro.voting.scores import VotingScore
+
+
+@pytest.fixture
+def example_dataset():
+    """The Fig. 1 running example (4 users, 2 candidates, t=1)."""
+    return running_example()
+
+
+@pytest.fixture
+def example_problem_factory(example_dataset):
+    """Factory: a running-example problem for any score."""
+
+    def make(score: VotingScore) -> FJVoteProblem:
+        return example_dataset.problem(score)
+
+    return make
+
+
+def random_instance(
+    n: int = 12,
+    r: int = 3,
+    *,
+    density: float = 0.25,
+    seed: int = 0,
+    shared_graph: bool = True,
+) -> CampaignState:
+    """A small random campaign state for property-style tests."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < density
+    np.fill_diagonal(mask, False)
+    src, dst = np.where(mask)
+    weights = rng.uniform(0.1, 1.0, size=src.size)
+    graph = graph_from_edges(n, src, dst, weights)
+    if shared_graph:
+        graphs = (graph,) * r
+    else:
+        graphs = tuple(
+            graph_from_edges(
+                n, src, dst, rng.uniform(0.1, 1.0, size=src.size)
+            )
+            for _ in range(r)
+        )
+    return CampaignState(
+        graphs=graphs,
+        initial_opinions=rng.uniform(0, 1, size=(r, n)),
+        stubbornness=rng.uniform(0, 1, size=(r, n)),
+    )
+
+
+@pytest.fixture
+def random_state() -> CampaignState:
+    """One deterministic small random instance."""
+    return random_instance(seed=42)
+
+
+@pytest.fixture
+def random_state_factory():
+    """Factory for seeded random instances."""
+    return random_instance

@@ -1,0 +1,83 @@
+"""Tests for IC/LT simulation and expected spread."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cascade import expected_spread, simulate_ic, simulate_lt
+from repro.graph.build import graph_from_edges
+
+
+def _path_graph(n=5):
+    return graph_from_edges(n, list(range(n - 1)), list(range(1, n)))
+
+
+def test_ic_deterministic_chain():
+    # All edge probabilities are 1 (single in-neighbor): full activation.
+    g = _path_graph()
+    active = simulate_ic(g, np.array([0]), rng=0)
+    assert active.all()
+
+
+def test_ic_seeds_always_active():
+    g = _path_graph()
+    active = simulate_ic(g, np.array([4]), rng=0)
+    assert active[4]
+    assert active.sum() == 1  # no outgoing edges from the chain's end
+
+
+def test_ic_empty_seed_set():
+    g = _path_graph()
+    assert simulate_ic(g, np.array([], dtype=np.int64), rng=0).sum() == 0
+
+
+def test_ic_probabilistic_branching():
+    # 0 -> {1, 2} with probability 1/2 each (two in-edges? no: per-column).
+    # Here node 1 has in-edges from 0 and 3 -> each weight 1/2.
+    g = graph_from_edges(4, [0, 3, 0], [1, 1, 2])
+    counts = 0
+    runs = 2000
+    rng = np.random.default_rng(1)
+    for _ in range(runs):
+        counts += simulate_ic(g, np.array([0]), rng)[1]
+    assert counts / runs == pytest.approx(0.5, abs=0.05)
+
+
+def test_lt_deterministic_chain():
+    # Single in-neighbor with weight 1 >= any threshold in [0,1): cascades.
+    g = _path_graph()
+    active = simulate_lt(g, np.array([0]), rng=2)
+    assert active.sum() >= 4  # threshold exactly ... extremely unlikely edge
+
+
+def test_lt_self_loops_do_not_activate():
+    # Isolated node 1 has only a self-loop; node 0 has no edge to it.
+    g = graph_from_edges(2, [1], [0])
+    active = simulate_lt(g, np.array([1]), rng=3)
+    assert active[1]
+    assert active[0]  # weight 1 in-edge from seed fires
+
+
+def test_expected_spread_bounds():
+    g = _path_graph()
+    eis = expected_spread(g, np.array([0]), model="ic", mc_runs=20, rng=4)
+    assert eis == pytest.approx(5.0)
+    eis_lt = expected_spread(g, np.array([0]), model="lt", mc_runs=50, rng=5)
+    assert 4.0 <= eis_lt <= 5.0
+
+
+def test_expected_spread_validation():
+    g = _path_graph()
+    with pytest.raises(ValueError):
+        expected_spread(g, np.array([0]), model="sir")
+    with pytest.raises(ValueError):
+        expected_spread(g, np.array([0]), mc_runs=0)
+
+
+def test_ic_monotone_in_seeds():
+    rng = np.random.default_rng(6)
+    g = graph_from_edges(
+        12, rng.integers(0, 12, 40), rng.integers(0, 12, 40)
+    )
+    small = expected_spread(g, np.array([0]), mc_runs=300, rng=7)
+    large = expected_spread(g, np.array([0, 1, 2]), mc_runs=300, rng=7)
+    assert large >= small - 0.5

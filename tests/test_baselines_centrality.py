@@ -1,0 +1,78 @@
+"""Tests for PageRank / RWR / Degree seed selectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.centrality import (
+    degree_select,
+    influence_pagerank,
+    pagerank_select,
+    rwr_select,
+)
+from repro.baselines.gedt import gedt_select
+from repro.core.greedy import greedy_dm
+from repro.core.problem import FJVoteProblem
+from repro.graph.build import graph_from_edges
+from repro.voting.scores import CumulativeScore, PluralityScore
+from tests.conftest import random_instance
+
+
+def test_pagerank_sums_to_one():
+    g = graph_from_edges(10, np.arange(9), np.arange(1, 10))
+    pi = influence_pagerank(g)
+    assert pi.sum() == pytest.approx(1.0)
+    assert np.all(pi >= 0)
+
+
+def test_pagerank_ranks_star_hub_first():
+    g = graph_from_edges(8, [0] * 7, list(range(1, 8)))
+    pi = influence_pagerank(g)
+    assert int(np.argmax(pi)) == 0
+
+
+def test_pagerank_validation():
+    g = graph_from_edges(3, [0], [1])
+    with pytest.raises(ValueError):
+        influence_pagerank(g, damping=1.5)
+    with pytest.raises(ValueError):
+        influence_pagerank(g, personalization=np.array([1.0, -1.0, 0.0]))
+    with pytest.raises(ValueError):
+        influence_pagerank(g, personalization=np.ones(5))
+
+
+def test_personalization_shifts_mass():
+    g = graph_from_edges(6, [0, 1, 2, 3, 4], [1, 2, 3, 4, 5])
+    p = np.zeros(6)
+    p[5] = 1.0
+    pi = influence_pagerank(g, personalization=p)
+    uniform = influence_pagerank(g)
+    assert pi[5] > uniform[5]
+
+
+def test_selectors_return_k_distinct(random_state):
+    problem = FJVoteProblem(random_state, 0, 3, PluralityScore())
+    for select in (pagerank_select, rwr_select, degree_select):
+        seeds = select(problem, 4)
+        assert seeds.size == 4
+        assert len(set(seeds.tolist())) == 4
+
+
+def test_degree_select_prefers_hub():
+    g = graph_from_edges(8, [0] * 7, list(range(1, 8)))
+    state_args = dict(
+        initial_opinions=np.full((2, 8), 0.5), stubbornness=np.zeros((2, 8))
+    )
+    from repro.opinion.state import CampaignState
+
+    problem = FJVoteProblem(
+        CampaignState(graphs=(g, g), **state_args), 0, 2, CumulativeScore()
+    )
+    assert degree_select(problem, 1).tolist() == [0]
+
+
+def test_gedt_matches_dm_greedy_on_cumulative(random_state):
+    plurality = FJVoteProblem(random_state, 0, 3, PluralityScore())
+    cumulative = FJVoteProblem(random_state, 0, 3, CumulativeScore())
+    np.testing.assert_array_equal(
+        gedt_select(plurality, 3), greedy_dm(cumulative, 3).seeds
+    )

@@ -1,0 +1,59 @@
+"""Tests for the IMM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cascade import expected_spread
+from repro.baselines.imm import IMMResult, imm, max_coverage
+from repro.graph.build import graph_from_edges
+
+
+def test_max_coverage_simple():
+    rr_sets = [np.array([0, 1]), np.array([1, 2]), np.array([3])]
+    seeds, frac = max_coverage(rr_sets, 4, 1)
+    assert seeds.tolist() == [1]
+    assert frac == pytest.approx(2 / 3)
+
+
+def test_max_coverage_pads_when_everything_covered():
+    rr_sets = [np.array([0])]
+    seeds, frac = max_coverage(rr_sets, 4, 3)
+    assert seeds.size == 3
+    assert frac == 1.0
+    assert 0 in seeds.tolist()
+
+
+def test_imm_identifies_dominant_hub():
+    # Star: hub 0 -> 20 leaves with probability-1 edges.
+    n = 21
+    g = graph_from_edges(n, [0] * 20, list(range(1, 21)))
+    result = imm(g, 1, model="ic", epsilon=0.5, rng=0, theta_cap=20_000)
+    assert isinstance(result, IMMResult)
+    assert result.seeds.tolist() == [0]
+    assert result.spread_estimate == pytest.approx(n, rel=0.1)
+
+
+def test_imm_lt_runs_and_is_sane():
+    rng = np.random.default_rng(1)
+    g = graph_from_edges(30, rng.integers(0, 30, 120), rng.integers(0, 30, 120))
+    result = imm(g, 3, model="lt", epsilon=0.5, rng=2, theta_cap=20_000)
+    assert result.seeds.size == 3
+    assert len(set(result.seeds.tolist())) == 3
+
+
+def test_imm_spread_estimate_close_to_monte_carlo():
+    rng = np.random.default_rng(3)
+    g = graph_from_edges(25, rng.integers(0, 25, 100), rng.integers(0, 25, 100))
+    result = imm(g, 2, model="ic", epsilon=0.3, rng=4, theta_cap=50_000)
+    mc = expected_spread(g, result.seeds, model="ic", mc_runs=2000, rng=5)
+    assert result.spread_estimate == pytest.approx(mc, rel=0.15)
+
+
+def test_imm_validation():
+    g = graph_from_edges(5, [0], [1])
+    with pytest.raises(ValueError):
+        imm(g, 2, model="sir")
+    with pytest.raises(ValueError):
+        imm(g, 2, epsilon=0.0)
+    with pytest.raises(ValueError):
+        imm(g, 9)

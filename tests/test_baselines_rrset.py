@@ -1,0 +1,52 @@
+"""Tests for RR-set generation."""
+
+import numpy as np
+
+from repro.baselines.rrset import rr_set_ic, rr_set_lt
+from repro.graph.build import graph_from_edges
+
+
+def _path_graph(n=5):
+    return graph_from_edges(n, list(range(n - 1)), list(range(1, n)))
+
+
+def test_rr_ic_contains_root():
+    g = _path_graph()
+    for root in range(5):
+        rr = rr_set_ic(g, root, rng=root)
+        assert root in rr.tolist()
+
+
+def test_rr_ic_deterministic_chain_reaches_sources():
+    g = _path_graph()
+    rr = rr_set_ic(g, 4, rng=0)
+    # Every in-edge has probability 1: the RR set is all ancestors.
+    assert sorted(rr.tolist()) == [0, 1, 2, 3, 4]
+
+
+def test_rr_lt_is_a_chain():
+    g = _path_graph()
+    rr = rr_set_lt(g, 4, rng=1)
+    assert 4 in rr.tolist()
+    assert sorted(rr.tolist()) == list(range(5 - len(rr), 5))
+
+
+def test_rr_lt_stops_on_self_loop():
+    # Node 0 has only its normalization self-loop.
+    g = _path_graph()
+    rr = rr_set_lt(g, 0, rng=2)
+    assert rr.tolist() == [0]
+
+
+def test_rr_ic_probability_matches_edge_weight():
+    # Node 1 has in-neighbors {0, 3} each with weight 1/2.
+    g = graph_from_edges(4, [0, 3, 0], [1, 1, 2])
+    rng = np.random.default_rng(3)
+    hits = sum(0 in rr_set_ic(g, 1, rng).tolist() for _ in range(4000))
+    assert abs(hits / 4000 - 0.5) < 0.03
+
+
+def test_rr_lt_cycle_terminates():
+    g = graph_from_edges(3, [0, 1, 2], [1, 2, 0])
+    rr = rr_set_lt(g, 0, rng=4)
+    assert len(rr) <= 3

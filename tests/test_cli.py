@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_methods_lists_all(capsys):
+    assert main(["methods"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "dm" in out and "rs" in out and "random" in out
+
+
+def test_datasets_lists_all(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "yelp" in out and "twitter-mask" in out
+
+
+def test_select_runs_small(capsys):
+    code = main(
+        [
+            "select",
+            "--dataset", "yelp",
+            "--users", "120",
+            "--horizon", "3",
+            "--method", "dc",
+            "-k", "3",
+            "--seed", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "seeds:" in out
+    assert "->" in out
+
+
+def test_select_p_approval(capsys):
+    code = main(
+        [
+            "select",
+            "--dataset", "twitter-mask",
+            "--users", "100",
+            "--horizon", "2",
+            "--method", "pr",
+            "--score", "p-approval",
+            "--p", "2",
+            "-k", "2",
+        ]
+    )
+    assert code == 0
+
+
+def test_winmin_small(capsys):
+    code = main(
+        [
+            "winmin",
+            "--dataset", "twitter-mask",
+            "--users", "150",
+            "--horizon", "3",
+            "--method", "dm",
+            "--kmax", "80",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert ("k* =" in out) or ("cannot win" in out)
+    assert code in (0, 1)
+
+
+def test_case_study_small(capsys):
+    code = main(
+        ["case-study", "--users", "150", "--horizon", "3", "-k", "5",
+         "--method", "dc"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "votes for target" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "methods"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "rs" in proc.stdout.split()

@@ -1,0 +1,88 @@
+"""Tests for competitor seed sets (§II-C Remark 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_dm
+from repro.core.problem import FJVoteProblem
+from repro.opinion.fj import apply_seeds, fj_evolve
+from repro.voting.scores import CumulativeScore, PluralityScore
+from tests.conftest import random_instance
+
+
+def test_competitor_seeds_shift_competitor_opinions(random_state):
+    plain = FJVoteProblem(random_state, 0, 4, PluralityScore())
+    rigged = FJVoteProblem(
+        random_state, 0, 4, PluralityScore(),
+        competitor_seeds={1: np.array([0, 1, 2])},
+    )
+    base = plain.competitor_opinions()
+    seeded = rigged.competitor_opinions()
+    assert np.all(seeded[0] >= base[0] - 1e-12)
+    assert seeded[0].sum() > base[0].sum()
+    # Other competitors are untouched.
+    np.testing.assert_allclose(seeded[1], base[1])
+
+
+def test_competitor_seeds_match_manual_evolution(random_state):
+    seeds = np.array([2, 5])
+    problem = FJVoteProblem(
+        random_state, 0, 3, CumulativeScore(), competitor_seeds={2: seeds}
+    )
+    b0, d = apply_seeds(
+        random_state.initial_opinions[2], random_state.stubbornness[2], seeds
+    )
+    expected = fj_evolve(b0, d, random_state.graph(2), 3)
+    # Row for candidate 2 sits at index 1 of (r-1, n) competitors (target 0).
+    np.testing.assert_allclose(problem.competitor_opinions()[1], expected)
+
+
+def test_competitor_seeds_lower_target_plurality(random_state):
+    """A rigged competitor makes the target's rank-based score weakly worse."""
+    plain = FJVoteProblem(random_state, 0, 4, PluralityScore())
+    rigged = FJVoteProblem(
+        random_state, 0, 4, PluralityScore(),
+        competitor_seeds={1: np.arange(4)},
+    )
+    assert rigged.objective(()) <= plain.objective(()) + 1e-9
+
+
+def test_cumulative_score_ignores_competitor_seeds(random_state):
+    """The cumulative score is independent of the competition (§II-C)."""
+    plain = FJVoteProblem(random_state, 0, 4, CumulativeScore())
+    rigged = FJVoteProblem(
+        random_state, 0, 4, CumulativeScore(), competitor_seeds={1: np.arange(3)}
+    )
+    assert plain.objective(np.array([0])) == pytest.approx(
+        rigged.objective(np.array([0]))
+    )
+
+
+def test_greedy_adapts_to_competitor_seeds():
+    """Greedy still runs and improves the score under a rigged competitor."""
+    state = random_instance(n=10, r=2, seed=21)
+    problem = FJVoteProblem(
+        state, 0, 3, PluralityScore(), competitor_seeds={1: np.array([0, 1])}
+    )
+    result = greedy_dm(problem, 2)
+    assert result.objective >= problem.objective(()) - 1e-9
+
+
+def test_with_score_preserves_competitor_seeds(random_state):
+    problem = FJVoteProblem(
+        random_state, 0, 3, PluralityScore(), competitor_seeds={1: np.array([0])}
+    )
+    clone = problem.with_score(CumulativeScore())
+    assert 1 in clone.competitor_seeds
+    np.testing.assert_array_equal(clone.competitor_seeds[1], [0])
+
+
+def test_competitor_seeds_validation(random_state):
+    with pytest.raises(ValueError, match="target"):
+        FJVoteProblem(
+            random_state, 0, 3, PluralityScore(), competitor_seeds={0: np.array([1])}
+        )
+    with pytest.raises(ValueError, match="unknown candidate"):
+        FJVoteProblem(
+            random_state, 0, 3, PluralityScore(), competitor_seeds={9: np.array([1])}
+        )

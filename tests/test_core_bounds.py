@@ -1,0 +1,120 @@
+"""Tests for the sample-complexity formulas (Theorems 10-13)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    lambda_copeland,
+    lambda_cumulative,
+    lambda_rank,
+    log_comb,
+    theta_cumulative,
+    theta_estimate_round,
+)
+
+
+def test_log_comb_values():
+    assert log_comb(5, 2) == pytest.approx(np.log(10))
+    assert log_comb(10, 0) == pytest.approx(0.0)
+    assert log_comb(10, 10) == pytest.approx(0.0)
+    assert log_comb(3, 5) == float("-inf")
+
+
+def test_lambda_cumulative_formula():
+    # λ = ceil(ln(2/(1-ρ)) / (2 δ²)) — Theorem 10.
+    assert lambda_cumulative(0.1, 0.9) == int(np.ceil(np.log(20) / 0.02))
+
+
+def test_lambda_cumulative_monotone_in_accuracy():
+    assert lambda_cumulative(0.05, 0.9) > lambda_cumulative(0.1, 0.9)
+    assert lambda_cumulative(0.1, 0.95) > lambda_cumulative(0.1, 0.9)
+
+
+def test_lambda_cumulative_validation():
+    with pytest.raises(ValueError):
+        lambda_cumulative(0.0, 0.9)
+    with pytest.raises(ValueError):
+        lambda_cumulative(0.1, 1.0)
+    with pytest.raises(ValueError):
+        lambda_cumulative(0.1, -0.1)
+
+
+def test_lambda_rank_scalar_and_array():
+    scalar = lambda_rank(0.2, 0.9)
+    assert isinstance(scalar, int)
+    arr = lambda_rank(np.array([0.2, 0.1]), 0.9)
+    assert arr[0] == scalar
+    assert arr[1] > arr[0]
+
+
+def test_lambda_rank_rejects_zero_gamma():
+    with pytest.raises(ValueError):
+        lambda_rank(0.0, 0.9)
+
+
+def test_lambda_copeland_one_sided_smaller():
+    # ln(1/(1-ρ)) < ln(2/(1-ρ)): the Copeland bound needs fewer walks.
+    assert lambda_copeland(0.2, 0.9) <= lambda_rank(0.2, 0.9)
+
+
+def test_theta_cumulative_monotonicity():
+    base = theta_cumulative(1000, 10, 100.0, 0.1, 1.0)
+    assert theta_cumulative(1000, 10, 200.0, 0.1, 1.0) < base  # better OPT LB
+    assert theta_cumulative(1000, 10, 100.0, 0.05, 1.0) > base  # tighter ε
+    assert theta_cumulative(1000, 10, 100.0, 0.1, 2.0) > base  # higher confidence
+
+
+def test_theta_cumulative_validation():
+    with pytest.raises(ValueError):
+        theta_cumulative(100, 5, 0.0, 0.1, 1.0)
+    with pytest.raises(ValueError):
+        theta_cumulative(100, 5, 10.0, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        theta_cumulative(0, 0, 10.0, 0.1, 1.0)
+
+
+def test_theta_estimate_round_positive_and_decreasing_in_x():
+    hi = theta_estimate_round(1000, 10, 500.0, 0.2, 1.0)
+    lo = theta_estimate_round(1000, 10, 50.0, 0.2, 1.0)
+    assert 0 < hi < lo
+
+
+def test_theta_estimate_round_validation():
+    with pytest.raises(ValueError):
+        theta_estimate_round(100, 5, 0.0, 0.2, 1.0)
+    with pytest.raises(ValueError):
+        theta_estimate_round(100, 5, 10.0, 0.0, 1.0)
+
+
+def test_theta_scans_infeasible_for_realistic_parameters():
+    """§VI-E's motivation: Eqs. 44/48 admit no θ at realistic scales."""
+    from repro.core.bounds import theta_copeland_scan, theta_positional_scan
+
+    assert theta_positional_scan(10**6, 100, 5 * 10**5, 0.1, 1.0, 0.9) is None
+    assert theta_copeland_scan(10**6, 100, 4, 0.1, 1.0, 0.9) is None
+
+
+def test_theta_scans_feasible_on_tiny_instances():
+    from repro.core.bounds import theta_copeland_scan, theta_positional_scan
+
+    theta_p = theta_positional_scan(20, 2, 15, 0.5, 0.1, 0.999999)
+    assert theta_p is not None and theta_p > 0
+    theta_c = theta_copeland_scan(20, 2, 3, 0.9, 0.1, 0.999999)
+    assert theta_c is not None and theta_c > 0
+    # Minimality: θ-1 must violate the condition (re-scan capped below θ).
+    assert theta_positional_scan(
+        20, 2, 15, 0.5, 0.1, 0.999999, theta_max=theta_p - 1
+    ) is None
+
+
+def test_theta_scans_validation():
+    from repro.core.bounds import theta_copeland_scan, theta_positional_scan
+
+    with pytest.raises(ValueError):
+        theta_positional_scan(100, 5, 0.0, 0.1, 1.0, 0.9)
+    with pytest.raises(ValueError):
+        theta_positional_scan(100, 5, 10.0, 0.1, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        theta_copeland_scan(100, 5, 3, 0.0, 1.0, 0.9)
+    with pytest.raises(ValueError):
+        theta_copeland_scan(100, 5, 1, 0.5, 1.0, 0.9)

@@ -1,0 +1,73 @@
+"""Tests for brute force and the Table II property probes."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    brute_force_optimum,
+    monotonicity_violations,
+    submodularity_violations,
+)
+from repro.core.problem import FJVoteProblem
+from repro.voting.scores import (
+    CopelandScore,
+    CumulativeScore,
+    PluralityScore,
+)
+from tests.conftest import random_instance
+
+
+def test_brute_force_small(example_problem_factory):
+    problem = example_problem_factory(CumulativeScore())
+    seeds, value = brute_force_optimum(problem, 1)
+    # Table I: best single seed for the cumulative score is user 1 (index 0).
+    assert seeds.tolist() == [0]
+    assert value == pytest.approx(3.30)
+
+
+def test_brute_force_plurality(example_problem_factory):
+    problem = example_problem_factory(PluralityScore())
+    seeds, value = brute_force_optimum(problem, 1)
+    assert seeds.tolist() == [2]  # user 3 in the paper's 1-indexing
+    assert value == 4
+
+
+def test_example3_submodularity_violation(example_problem_factory):
+    """Example 3: inserting node 2 into {} vs {1} violates submodularity."""
+    for score in (PluralityScore(), CopelandScore()):
+        problem = example_problem_factory(score)
+        f = problem.objective
+        gain_empty = f(np.array([1])) - f(())
+        gain_with_1 = f(np.array([0, 1])) - f(np.array([0]))
+        assert gain_empty == 0
+        assert gain_with_1 == 1  # strictly larger: not submodular
+
+
+@pytest.mark.parametrize("score", [CumulativeScore(), PluralityScore(), CopelandScore()])
+def test_all_scores_monotone(score):
+    """Table II: every score is non-decreasing in the seed set."""
+    state = random_instance(n=8, r=3, seed=7)
+    problem = FJVoteProblem(state, 0, 3, score)
+    assert monotonicity_violations(problem, trials=60, rng=1) == []
+
+
+def test_cumulative_submodular_no_violations():
+    """Table II: the cumulative score is submodular (Theorem 3)."""
+    for seed in range(3):
+        state = random_instance(n=8, r=2, seed=seed)
+        problem = FJVoteProblem(state, 0, 3, CumulativeScore())
+        assert submodularity_violations(problem, trials=80, rng=seed) == []
+
+
+def test_plurality_violations_found_on_example(example_problem_factory):
+    problem = example_problem_factory(PluralityScore())
+    violations = submodularity_violations(problem, trials=400, rng=0)
+    assert violations, "expected to rediscover the Example 3 violation"
+    v = violations[0]
+    assert v.gain_x < v.gain_y
+
+
+def test_brute_force_budget_validation(example_problem_factory):
+    problem = example_problem_factory(CumulativeScore())
+    with pytest.raises(ValueError):
+        brute_force_optimum(problem, 10)

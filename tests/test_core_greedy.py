@@ -1,0 +1,96 @@
+"""Tests for the greedy engine, CELF equivalence, and the (1-1/e) guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import brute_force_optimum
+from repro.core.greedy import greedy_dm, greedy_select
+from repro.core.problem import FJVoteProblem
+from repro.voting.scores import CumulativeScore, PluralityScore
+from tests.conftest import random_instance
+
+
+def test_greedy_on_modular_function_is_exact():
+    weights = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+    result = greedy_select(lambda s: sum(weights[list(s)]), 5, 3)
+    assert sorted(result.seeds.tolist()) == [0, 2, 4]
+    assert result.objective == pytest.approx(12.0)
+    np.testing.assert_allclose(sorted(result.gains, reverse=True), [5.0, 4.0, 3.0])
+
+
+def test_celf_matches_exhaustive_on_submodular_coverage():
+    sets = [
+        {0, 1, 2},
+        {2, 3},
+        {3, 4, 5, 6},
+        {0, 6},
+        {7},
+    ]
+
+    def coverage(selected):
+        return float(len(set().union(*(sets[i] for i in selected)))) if selected else 0.0
+
+    lazy = greedy_select(coverage, len(sets), 3, lazy=True)
+    eager = greedy_select(coverage, len(sets), 3, lazy=False)
+    assert lazy.objective == pytest.approx(eager.objective)
+    assert lazy.seeds.tolist() == eager.seeds.tolist()
+    assert lazy.evaluations <= eager.evaluations
+
+
+def test_candidate_restriction():
+    weights = np.array([5.0, 1.0, 3.0])
+    result = greedy_select(lambda s: sum(weights[list(s)]), 3, 1, candidates=[1, 2])
+    assert result.seeds.tolist() == [2]
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        greedy_select(lambda s: 0.0, 3, 5)
+    with pytest.raises(ValueError):
+        greedy_select(lambda s: 0.0, 3, 2, candidates=[0])
+
+
+def test_zero_budget():
+    result = greedy_select(lambda s: float(len(s)), 4, 0)
+    assert result.seeds.size == 0
+    assert result.objective == 0.0
+
+
+def test_greedy_dm_celf_equals_exhaustive_for_cumulative():
+    state = random_instance(n=10, r=2, seed=3)
+    problem = FJVoteProblem(state, 0, 3, CumulativeScore())
+    lazy = greedy_dm(problem, 3, lazy=True)
+    eager = greedy_dm(problem, 3, lazy=False)
+    assert lazy.objective == pytest.approx(eager.objective)
+    assert lazy.evaluations <= eager.evaluations
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_greedy_dm_cumulative_meets_approximation_guarantee(seed):
+    """Theorem 3 + Nemhauser: greedy >= (1 - 1/e) OPT for the cumulative score."""
+    state = random_instance(n=9, r=2, seed=seed)
+    problem = FJVoteProblem(state, 0, 2, CumulativeScore())
+    greedy = greedy_dm(problem, 2)
+    _, opt = brute_force_optimum(problem, 2)
+    assert greedy.objective >= (1 - 1 / np.e) * opt - 1e-9
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_greedy_dm_plurality_reasonable(seed):
+    """No guarantee for plurality, but greedy should not collapse to zero."""
+    state = random_instance(n=9, r=3, seed=seed)
+    problem = FJVoteProblem(state, 0, 2, PluralityScore())
+    greedy = greedy_dm(problem, 2)
+    _, opt = brute_force_optimum(problem, 2)
+    assert greedy.objective >= 0.5 * opt  # empirically far better; loose floor
+
+
+def test_greedy_dm_auto_lazy_only_for_cumulative(random_state):
+    cumulative = FJVoteProblem(random_state, 0, 2, CumulativeScore())
+    plurality = FJVoteProblem(random_state, 0, 2, PluralityScore())
+    # Exhaustive greedy evaluates n + (n-1) gains for k=2; CELF fewer.
+    lazy_evals = greedy_dm(cumulative, 2).evaluations
+    eager_evals = greedy_dm(plurality, 2).evaluations
+    n = random_state.n
+    assert eager_evals == 2 * n - 1
+    assert lazy_evals <= eager_evals

@@ -1,0 +1,270 @@
+"""Tests for reverse random walks, truncation, and the walk-greedy optimizer.
+
+The key correctness properties from the paper:
+* Theorem 8/9 — walk estimates are unbiased for the FJ opinion at t,
+  with and without post-generation truncation (checked statistically).
+* The vectorized marginal-gain scan must equal brute-force re-estimation
+  (checked exactly for every score and both groupings).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import FJVoteProblem
+from repro.core.random_walk import (
+    TruncatedWalks,
+    WalkGreedyOptimizer,
+    estimate_gamma_star,
+    generate_reverse_walks,
+    random_walk_select,
+)
+from repro.graph.build import graph_from_edges
+from repro.opinion.fj import apply_seeds, fj_evolve
+from repro.voting.scores import (
+    CopelandScore,
+    CumulativeScore,
+    PluralityScore,
+)
+from tests.conftest import random_instance
+
+
+def _example():
+    g = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    b0 = np.array([0.4, 0.8, 0.6, 0.9])
+    d = np.full(4, 0.5)
+    return g, b0, d
+
+
+# ----------------------------------------------------------------------
+# Walk generation
+# ----------------------------------------------------------------------
+def test_walk_shapes_and_starts():
+    g, b0, d = _example()
+    starts = np.array([0, 1, 2, 3, 3])
+    walks, lengths = generate_reverse_walks(g, d, 3, starts, rng=0)
+    assert walks.shape == (5, 4)
+    np.testing.assert_array_equal(walks[:, 0], starts)
+    assert np.all(lengths >= 0) and np.all(lengths <= 3)
+
+
+def test_walk_steps_follow_reverse_edges():
+    g, b0, d = _example()
+    walks, lengths = generate_reverse_walks(g, np.zeros(4), 5, np.full(50, 3), rng=1)
+    for row, ln in zip(walks, lengths):
+        for pos in range(int(ln)):
+            cur, nxt = row[pos], row[pos + 1]
+            sources, _ = g.in_neighbors(int(cur))
+            assert int(nxt) in sources.tolist()
+
+
+def test_fully_stubborn_walks_never_move():
+    g, b0, _ = _example()
+    walks, lengths = generate_reverse_walks(g, np.ones(4), 5, np.arange(4), rng=2)
+    assert np.all(lengths == 0)
+
+
+def test_walk_start_validation():
+    g, b0, d = _example()
+    with pytest.raises(ValueError):
+        generate_reverse_walks(g, d, 2, np.array([9]), rng=0)
+    with pytest.raises(ValueError):
+        generate_reverse_walks(g, np.zeros(3), 2, np.array([0]), rng=0)
+
+
+# ----------------------------------------------------------------------
+# Theorems 8/9: unbiasedness, with and without truncation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seeds", [(), (2,), (0, 3)])
+def test_estimates_unbiased_with_truncation(seeds):
+    g, b0, d = _example()
+    t = 3
+    seeds = np.array(seeds, dtype=np.int64)
+    walks = TruncatedWalks.generate(
+        g, d, b0, t, np.repeat(np.arange(4), 40_000), rng=3
+    )
+    for s in seeds:
+        walks.add_seed(int(s))
+    b0_seeded, d_seeded = apply_seeds(b0, d, seeds)
+    exact = fj_evolve(b0_seeded, d_seeded, g, t)
+    estimated = walks.estimated_opinions()
+    np.testing.assert_allclose(estimated, exact, atol=0.01)
+
+
+def test_estimates_unbiased_on_random_instance():
+    state = random_instance(n=8, r=1, seed=5)
+    g = state.graph(0)
+    b0, d = state.initial_opinions[0], state.stubbornness[0]
+    t = 4
+    walks = TruncatedWalks.generate(g, d, b0, t, np.repeat(np.arange(8), 30_000), rng=6)
+    walks.add_seed(2)
+    b0_s, d_s = apply_seeds(b0, d, np.array([2]))
+    exact = fj_evolve(b0_s, d_s, g, t)
+    np.testing.assert_allclose(walks.estimated_opinions(), exact, atol=0.015)
+
+
+# ----------------------------------------------------------------------
+# Truncation mechanics on a deterministic path
+# ----------------------------------------------------------------------
+def _deterministic_path_walks(t=3):
+    # 0 -> 1 -> 2 -> 3, deterministic reverse walk from 3: 3,2,1,0.
+    g = graph_from_edges(4, [0, 1, 2], [1, 2, 3])
+    b0 = np.array([0.1, 0.2, 0.3, 0.4])
+    d = np.zeros(4)
+    walks = TruncatedWalks.generate(g, d, b0, t, np.array([3]), rng=0)
+    return g, b0, walks
+
+
+def test_truncation_on_deterministic_path():
+    _, b0, walks = _deterministic_path_walks()
+    assert walks.walks[0].tolist() == [3, 2, 1, 0]
+    assert walks.values[0] == pytest.approx(0.1)  # end node 0
+    walks.add_seed(1)
+    assert walks.end_pos[0] == 2
+    assert walks.values[0] == 1.0
+    # A later seed beyond the truncation point changes nothing.
+    walks.add_seed(0)
+    assert walks.end_pos[0] == 2
+    assert walks.values[0] == 1.0
+    # An earlier seed moves the cut forward.
+    walks.add_seed(2)
+    assert walks.end_pos[0] == 1
+    assert walks.values[0] == 1.0
+
+
+def test_add_seed_idempotent():
+    _, _, walks = _deterministic_path_walks()
+    walks.add_seed(2)
+    end = walks.end_pos.copy()
+    walks.add_seed(2)
+    np.testing.assert_array_equal(walks.end_pos, end)
+
+
+def test_live_entries_shrink_after_seeding():
+    _, _, walks = _deterministic_path_walks()
+    nodes_before, _ = walks.live_entries()
+    walks.add_seed(2)
+    nodes_after, _ = walks.live_entries()
+    assert nodes_after.size < nodes_before.size
+    assert 1 not in nodes_after.tolist()  # node 1 got cut off
+    assert 0 not in nodes_after.tolist()
+
+
+def test_memory_bytes_positive():
+    _, _, walks = _deterministic_path_walks()
+    assert walks.memory_bytes() > 0
+
+
+# ----------------------------------------------------------------------
+# Optimizer: vectorized gains must equal brute-force re-estimation
+# ----------------------------------------------------------------------
+def _brute_force_gains(optimizer: WalkGreedyOptimizer) -> np.ndarray:
+    """Recompute each candidate's gain by copying the walk state."""
+    import copy
+
+    walks = optimizer.walks
+    n = walks.n
+    base = optimizer.estimated_score()
+    gains = np.zeros(n)
+    for v in range(n):
+        clone_walks = copy.deepcopy(walks)
+        clone_opt = WalkGreedyOptimizer(
+            clone_walks,
+            optimizer.score,
+            optimizer.others if optimizer.others.size else None,
+            grouping=optimizer.grouping,
+        )
+        clone_walks.add_seed(v)
+        gains[v] = clone_opt.estimated_score() - base
+    return gains
+
+
+@pytest.mark.parametrize("grouping", ["start", "walk"])
+@pytest.mark.parametrize(
+    "score", [CumulativeScore(), PluralityScore(), CopelandScore()]
+)
+def test_marginal_gains_match_brute_force(grouping, score):
+    state = random_instance(n=7, r=3, seed=8)
+    problem = FJVoteProblem(state, 0, 3, score)
+    g = state.graph(0)
+    if grouping == "start":
+        starts = np.repeat(np.arange(7), 5)
+    else:
+        starts = np.random.default_rng(3).integers(0, 7, size=40)
+    walks = TruncatedWalks.generate(
+        g, state.stubbornness[0], state.initial_opinions[0], 3, starts, rng=9
+    )
+    optimizer = WalkGreedyOptimizer(
+        walks,
+        score,
+        None if isinstance(score, CumulativeScore) else problem.others_by_user(),
+        grouping=grouping,
+    )
+    fast = optimizer.marginal_gains()
+    slow = _brute_force_gains(optimizer)
+    np.testing.assert_allclose(fast, slow, atol=1e-9)
+    # And again after one seed is chosen (live-entry filtering path).
+    optimizer.walks.add_seed(int(np.argmax(fast)))
+    fast2 = optimizer.marginal_gains()
+    slow2 = _brute_force_gains(optimizer)
+    np.testing.assert_allclose(fast2, slow2, atol=1e-9)
+
+
+def test_optimizer_rejects_bad_grouping():
+    _, _, walks = _deterministic_path_walks()
+    with pytest.raises(ValueError):
+        WalkGreedyOptimizer(walks, CumulativeScore(), None, grouping="x")
+
+
+def test_optimizer_requires_competitors_for_rank_scores():
+    _, _, walks = _deterministic_path_walks()
+    with pytest.raises(ValueError):
+        WalkGreedyOptimizer(walks, PluralityScore(), None)
+
+
+def test_select_returns_distinct_seeds():
+    state = random_instance(n=10, r=2, seed=12)
+    problem = FJVoteProblem(state, 0, 3, PluralityScore())
+    walks = TruncatedWalks.generate(
+        state.graph(0),
+        state.stubbornness[0],
+        state.initial_opinions[0],
+        3,
+        np.repeat(np.arange(10), 8),
+        rng=13,
+    )
+    optimizer = WalkGreedyOptimizer(walks, PluralityScore(), problem.others_by_user())
+    result = optimizer.select(4)
+    assert len(set(result.seeds.tolist())) == 4
+
+
+# ----------------------------------------------------------------------
+# End-to-end RW selection + γ* heuristic
+# ----------------------------------------------------------------------
+def test_random_walk_select_improves_score():
+    state = random_instance(n=12, r=2, seed=14)
+    problem = FJVoteProblem(state, 0, 4, CumulativeScore())
+    result = random_walk_select(problem, 3, rng=15, walks_per_node=32)
+    assert result.exact_objective >= problem.objective(()) - 1e-9
+    assert result.seeds.size == 3
+    assert result.total_walks == 12 * 32
+
+
+def test_random_walk_select_rank_score_uses_gamma():
+    state = random_instance(n=10, r=3, seed=16)
+    problem = FJVoteProblem(state, 0, 3, PluralityScore())
+    result = random_walk_select(problem, 2, rng=17, lambda_cap=16)
+    assert result.walks_per_node.max() <= 16
+    assert result.seeds.size == 2
+
+
+def test_estimate_gamma_star():
+    estimated = np.array([0.8, 0.3, 0.6])
+    others = np.array([[0.2, 0.3], [0.5, 0.6], [0.1, 0.59]])
+    gamma = estimate_gamma_star(estimated, others, floor=0.05)
+    # User 0 sits 0.5 above every competitor; users 1 and 2 are contested.
+    np.testing.assert_allclose(gamma, [0.5, 0.05, 0.05])
+
+
+def test_estimate_gamma_star_no_competitors():
+    gamma = estimate_gamma_star(np.array([0.5]), np.empty((1, 0)))
+    assert np.isinf(gamma[0])

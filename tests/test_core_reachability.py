@@ -1,0 +1,68 @@
+"""Tests for t-hop reachability and greedy max coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core.reachability import ReachabilityIndex, coverage_greedy
+from repro.graph.build import graph_from_edges
+
+
+def _path_graph(n=6):
+    # 0 -> 1 -> 2 -> ... -> n-1
+    return graph_from_edges(n, list(range(n - 1)), list(range(1, n)))
+
+
+def test_reach_on_path():
+    idx = ReachabilityIndex(_path_graph(), t=2)
+    assert idx.reach(0).tolist() == [0, 1, 2]
+    assert idx.reach(4).tolist() == [4, 5]
+    assert idx.reach(5).tolist() == [5]
+
+
+def test_reach_zero_hops_is_self():
+    idx = ReachabilityIndex(_path_graph(), t=0)
+    assert idx.reach(3).tolist() == [3]
+
+
+def test_reach_set_union():
+    idx = ReachabilityIndex(_path_graph(), t=1)
+    np.testing.assert_array_equal(idx.reach_set([0, 3]), [0, 1, 3, 4])
+    assert idx.reach_set([]).size == 0
+
+
+def test_reach_caching():
+    idx = ReachabilityIndex(_path_graph(), t=2)
+    first = idx.reach(0)
+    assert idx.reach(0) is first
+
+
+def test_negative_t_rejected():
+    with pytest.raises(ValueError):
+        ReachabilityIndex(_path_graph(), t=-1)
+
+
+def test_coverage_greedy_optimal_on_disjoint_stars():
+    # Two stars: 0 -> {1,2,3}, 4 -> {5,6}; singleton 7.
+    g = graph_from_edges(8, [0, 0, 0, 4, 4], [1, 2, 3, 5, 6])
+    idx = ReachabilityIndex(g, t=1)
+    seeds, value = coverage_greedy(idx, np.empty(0, dtype=np.int64), 2)
+    assert seeds.tolist() == [0, 4]
+    assert value == pytest.approx(7.0)
+
+
+def test_coverage_greedy_respects_base_and_weight():
+    g = graph_from_edges(8, [0, 0, 0, 4, 4], [1, 2, 3, 5, 6])
+    idx = ReachabilityIndex(g, t=1)
+    base = np.array([1, 2, 3])  # star 0 mostly pre-covered
+    seeds, value = coverage_greedy(idx, base, 1, weight=0.5)
+    assert seeds.tolist() == [4]
+    assert value == pytest.approx(0.5 * 6)  # {1,2,3} ∪ {4,5,6}
+
+
+def test_coverage_greedy_candidate_restriction():
+    g = graph_from_edges(8, [0, 0, 0, 4, 4], [1, 2, 3, 5, 6])
+    idx = ReachabilityIndex(g, t=1)
+    seeds, _ = coverage_greedy(
+        idx, np.empty(0, dtype=np.int64), 1, candidates=[4, 7]
+    )
+    assert seeds.tolist() == [4]

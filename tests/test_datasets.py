@@ -1,0 +1,203 @@
+"""Tests for the dataset recipes, the running example, and IO round trips."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dblp import DOMAINS, dblp_like
+from repro.datasets.example import TABLE_I, TABLE_I_OPINIONS, running_example
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.synth import activity_edge_weights, variance_stubbornness
+from repro.datasets.twitter import (
+    twitter_mask,
+    twitter_social_distancing,
+    twitter_us_election,
+)
+from repro.datasets.yelp import yelp_like
+from repro.voting.scores import CopelandScore, CumulativeScore, PluralityScore
+
+
+# ----------------------------------------------------------------------
+# The running example must reproduce Table I exactly.
+# ----------------------------------------------------------------------
+def test_running_example_reproduces_table1_scores():
+    ds = running_example()
+    problems = {
+        "cumulative": ds.problem(CumulativeScore()),
+        "plurality": ds.problem(PluralityScore()),
+        "copeland": ds.problem(CopelandScore()),
+    }
+    for seed_set, (cum, plu, cope) in TABLE_I.items():
+        seeds = np.array(seed_set, dtype=np.int64)
+        assert problems["cumulative"].objective(seeds) == pytest.approx(cum)
+        assert problems["plurality"].objective(seeds) == plu
+        assert problems["copeland"].objective(seeds) == cope
+
+
+def test_running_example_reproduces_table1_opinions():
+    ds = running_example()
+    problem = ds.problem(CumulativeScore())
+    for seed_set, expected in TABLE_I_OPINIONS.items():
+        seeds = np.array(seed_set, dtype=np.int64)
+        np.testing.assert_allclose(
+            problem.target_opinions(seeds), expected, atol=1e-12
+        )
+
+
+def test_running_example_competitor_pinned():
+    ds = running_example()
+    problem = ds.problem(CumulativeScore())
+    np.testing.assert_allclose(
+        problem.competitor_opinions()[0], [0.35, 0.75, 0.78, 0.90]
+    )
+
+
+# ----------------------------------------------------------------------
+# Synthetic recipes
+# ----------------------------------------------------------------------
+def _check_dataset(ds, expected_r):
+    state = ds.state
+    assert state.r == expected_r
+    assert state.initial_opinions.shape == (expected_r, ds.n)
+    assert 0 <= state.initial_opinions.min() <= state.initial_opinions.max() <= 1
+    assert 0 <= state.stubbornness.min() <= state.stubbornness.max() <= 1
+    sums = np.asarray(state.graph(0).csr.sum(axis=0)).ravel()
+    np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+    assert 0 <= ds.target < expected_r
+
+
+def test_dblp_like_structure():
+    ds = dblp_like(n=300, rng=0)
+    _check_dataset(ds, 2)
+    member = ds.meta["membership"]
+    assert member.shape == (len(DOMAINS), 300)
+    counts = member.sum(axis=0)
+    assert counts.min() >= 1 and counts.max() <= 3  # 1-3 domains per user
+
+
+def test_yelp_like_structure():
+    ds = yelp_like(n=300, r=5, rng=1)
+    _check_dataset(ds, 5)
+    assert ds.state.candidates[ds.target] == "Chinese"
+    with pytest.raises(ValueError):
+        yelp_like(n=100, r=11)
+
+
+@pytest.mark.parametrize(
+    "maker,r",
+    [
+        (twitter_us_election, 4),
+        (twitter_social_distancing, 2),
+        (twitter_mask, 2),
+    ],
+)
+def test_twitter_structures(maker, r):
+    ds = maker(n=300, rng=2)
+    _check_dataset(ds, r)
+    assert ds.target == 0
+
+
+def test_twitter_target_starts_behind():
+    """Table VI requires a target that must fight to win."""
+    for maker in (twitter_mask, twitter_social_distancing):
+        ds = maker(n=800, rng=3)
+        problem = ds.problem(PluralityScore(), horizon=10)
+        scores = problem.all_scores(())
+        assert scores[0] < scores[1]
+
+
+def test_activity_edge_weights_range():
+    w = activity_edge_weights(1000, mu=10.0, rng=4)
+    assert 0 < w.min() and w.max() < 1
+    # Larger mu -> smaller weights for the same activity.
+    w_large_mu = activity_edge_weights(1000, mu=100.0, rng=4)
+    assert w_large_mu.mean() < w.mean()
+    with pytest.raises(ValueError):
+        activity_edge_weights(10, mu=0.0)
+
+
+def test_variance_stubbornness_range():
+    rng = np.random.default_rng(5)
+    opinions = rng.random((3, 200))
+    stub = variance_stubbornness(opinions, rng=6)
+    assert stub.shape == (200,)
+    assert 0 <= stub.min() <= stub.max() <= 1
+
+
+def test_dataset_problem_factory():
+    ds = yelp_like(n=200, r=3, rng=7, horizon=6)
+    problem = ds.problem(PluralityScore())
+    assert problem.horizon == 6
+    assert problem.target == ds.target
+    assert ds.problem(PluralityScore(), horizon=2).horizon == 2
+
+
+# ----------------------------------------------------------------------
+# IO round trip
+# ----------------------------------------------------------------------
+def test_save_load_round_trip(tmp_path):
+    ds = yelp_like(n=150, r=3, rng=8, horizon=9)
+    path = tmp_path / "yelp.npz"
+    save_dataset(ds, path)
+    loaded = load_dataset(path)
+    assert loaded.name == ds.name
+    assert loaded.target == ds.target
+    assert loaded.horizon == 9
+    assert loaded.state.candidates == ds.state.candidates
+    np.testing.assert_allclose(
+        loaded.state.initial_opinions, ds.state.initial_opinions
+    )
+    np.testing.assert_allclose(loaded.state.stubbornness, ds.state.stubbornness)
+    np.testing.assert_allclose(
+        loaded.state.graph(0).csr.toarray(), ds.state.graph(0).csr.toarray()
+    )
+    # Shared-graph structure is preserved (one stored copy).
+    assert loaded.state.graph(0) is loaded.state.graph(2)
+    assert loaded.meta.get("mu") == 10.0
+
+
+def test_save_load_running_example(tmp_path):
+    ds = running_example()
+    path = tmp_path / "example.npz"
+    save_dataset(ds, path)
+    loaded = load_dataset(path)
+    problem = loaded.problem(PluralityScore())
+    assert problem.objective(np.array([2])) == 4
+
+
+def test_edge_list_round_trip(tmp_path):
+    from repro.datasets.io import load_edge_list, save_edge_list
+
+    ds = yelp_like(n=80, r=3, rng=9)
+    graph = ds.state.graph(0)
+    path = tmp_path / "graph.txt"
+    save_edge_list(graph, path)
+    # Stored weights are already stochastic: reload without renormalizing.
+    loaded = load_edge_list(path, n=80, normalize=False)
+    np.testing.assert_allclose(
+        loaded.csr.toarray(), graph.csr.toarray(), atol=1e-9
+    )
+
+
+def test_edge_list_parsing(tmp_path):
+    from repro.datasets.io import load_edge_list
+
+    path = tmp_path / "tiny.txt"
+    path.write_text("# comment\n0 1\n1 2 3.5\n% another comment\n")
+    graph = load_edge_list(path)
+    assert graph.n == 3
+    sources, weights = graph.in_neighbors(2)
+    assert sources.tolist() == [1]
+    np.testing.assert_allclose(weights, [1.0])
+
+
+def test_edge_list_errors(tmp_path):
+    from repro.datasets.io import load_edge_list
+
+    empty = tmp_path / "empty.txt"
+    empty.write_text("# nothing\n")
+    with pytest.raises(ValueError, match="no edges"):
+        load_edge_list(empty)
+    bad = tmp_path / "bad.txt"
+    bad.write_text("42\n")
+    with pytest.raises(ValueError, match="malformed"):
+        load_edge_list(bad)

@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.eval.charts import bar_chart, line_chart
+
+
+def test_bar_chart_scales_to_width():
+    out = bar_chart(["a", "bb"], [10.0, 5.0], width=20, title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].count("#") == 20
+    assert lines[2].count("#") == 10
+    assert "10" in lines[1] and "5" in lines[2]
+
+
+def test_bar_chart_zero_values():
+    out = bar_chart(["x"], [0.0])
+    assert "#" not in out
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+    assert bar_chart([], [], title="empty") == "empty"
+
+
+def test_line_chart_contains_all_markers():
+    out = line_chart(
+        [0, 1, 2],
+        {"up": [0.0, 1.0, 2.0], "down": [2.0, 1.0, 0.0]},
+        width=30,
+        height=8,
+    )
+    assert "*" in out and "o" in out
+    assert "up" in out and "down" in out
+
+
+def test_line_chart_extremes_on_axis():
+    out = line_chart([0, 10], {"s": [0.0, 100.0]}, width=20, height=5)
+    lines = out.splitlines()
+    assert lines[0].lstrip().startswith("100")  # y max label
+    assert "0" in lines[4]
+
+
+def test_line_chart_flat_series():
+    out = line_chart([0, 1], {"flat": [3.0, 3.0]}, width=10, height=4)
+    assert "*" in out
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        line_chart([0, 1], {"s": [1.0]}, width=10, height=4)
+    with pytest.raises(ValueError):
+        line_chart([0, 1], {"s": [1.0, 2.0]}, width=1, height=4)
+    assert line_chart([], {}, title="t") == "t"

@@ -1,0 +1,164 @@
+"""Integration tests: every experiment function runs and returns sane shapes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.twitter import twitter_mask
+from repro.datasets.yelp import yelp_like
+from repro.eval.experiments import (
+    effectiveness_experiment,
+    eis_experiment,
+    epsilon_experiment,
+    horizon_experiment,
+    horizon_seed_overlap,
+    min_seeds_experiment,
+    mu_experiment,
+    opinion_change_experiment,
+    positional_overlap_experiment,
+    rank_distribution_experiment,
+    rho_experiment,
+    sandwich_ratio_trials,
+    scalability_experiment,
+    theta_experiment,
+)
+from repro.voting.scores import CopelandScore, CumulativeScore, PluralityScore
+
+FAST = {"rw": {"lambda_cap": 8}, "rs": {"theta": 200}}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return yelp_like(n=150, r=3, rng=0, horizon=4)
+
+
+@pytest.fixture(scope="module")
+def mask_dataset():
+    return twitter_mask(n=200, rng=1, horizon=4)
+
+
+def test_effectiveness(dataset):
+    res = effectiveness_experiment(
+        dataset, PluralityScore(), [2, 4], ["rw", "dc"], rng=1, method_kwargs=FAST
+    )
+    assert res.ks == [2, 4]
+    assert len(res.scores["rw"]) == 2
+    assert all(t >= 0 for t in res.times["dc"])
+    # Score should be non-decreasing in k for the same method.
+    assert res.scores["rw"][1] >= res.scores["rw"][0] - 1e-9
+
+
+def test_sandwich_ratio(dataset):
+    out = sandwich_ratio_trials(
+        dataset, PluralityScore(), [2, 3], rng=2, lambda_cap=8
+    )
+    assert len(out["ratio"]) == 2
+    assert all(0 <= r <= 1 + 1e-9 for r in out["ratio"])
+
+
+def test_positional_overlap(dataset):
+    out = positional_overlap_experiment(
+        dataset, 3, 2, [0.0, 1.0], rng=3, lambda_cap=8
+    )
+    assert len(out["vs_plurality"]) == 2
+    assert all(0 <= v <= 1 for v in out["vs_plurality"])
+
+
+def test_rank_distribution(dataset):
+    out = rank_distribution_experiment(dataset, 3, [1, 2], rng=4, lambda_cap=8)
+    assert len(out["position"]) == dataset.r
+    # Total users constant across positions.
+    assert sum(out["p=1"]) == dataset.n
+
+
+def test_min_seeds(mask_dataset):
+    out = min_seeds_experiment(
+        mask_dataset,
+        methods=("dm", "rw"),
+        k_max=60,
+        rng=5,
+        method_kwargs=FAST,
+    )
+    assert set(out) == {"dm", "rw"}
+    assert all(v == -1 or 0 <= v <= 60 for v in out.values())
+
+
+def test_eis(mask_dataset):
+    out = eis_experiment(
+        mask_dataset, [2, 4], mc_runs=10, rng=6, rw_kwargs={"lambda_cap": 8}
+    )
+    assert set(out) == {"ic", "lt"}
+    assert len(out["ic"]["rw-cumulative"]) == 2
+    assert all(v >= 0 for v in out["lt"]["imm-lt"])
+
+
+def test_horizon(dataset):
+    out = horizon_experiment(
+        dataset, [0, 2, 4], 2, methods=("rw", "rs"), rng=7, method_kwargs=FAST
+    )
+    assert len(out["score"]["rw"]) == 3
+    assert len(out["time"]["rs"]) == 3
+
+
+def test_theta(dataset):
+    out = theta_experiment(
+        dataset, PluralityScore(), [50, 100], ks=[2], ts=[2], rng=8
+    )
+    assert len(out["k=2"]) == 2
+    assert len(out["t=2"]) == 2
+
+
+def test_epsilon(dataset):
+    out = epsilon_experiment(dataset, [0.2, 0.4], 2, theta_cap=500, rng=9)
+    assert len(out["score"]) == 2
+    assert out["theta"][0] >= out["theta"][1]  # smaller ε needs more sketches
+
+
+def test_rho(dataset):
+    out = rho_experiment(dataset, [0.8, 0.9], 2, rng=10, lambda_cap=16)
+    assert len(out["score"]) == 2
+    assert all(w > 0 for w in out["walks"])
+
+
+def test_scalability(dataset):
+    out = scalability_experiment(
+        dataset, [50, 100], 2, methods=("rw", "rs"), rng=11, method_kwargs=FAST
+    )
+    assert len(out["time"]["rw"]) == 2
+    assert all(m > 0 for m in out["memory"]["rs"])
+
+
+def test_opinion_change(dataset):
+    out = opinion_change_experiment(dataset, [1.0, 5.0], horizon=6)
+    assert len(out["t"]) == 6
+    assert all(0 <= v <= 100 for v in out["delta=1.0%"])
+    # Looser tolerance counts fewer changes.
+    assert all(
+        a >= b for a, b in zip(out["delta=1.0%"], out["delta=5.0%"])
+    )
+
+
+def test_horizon_seed_overlap(dataset):
+    # DM is deterministic, so the reference horizon overlaps itself fully.
+    out = horizon_seed_overlap(dataset, [1, 4], 4, 3, rng=12, method="dm")
+    assert len(out["overlap"]) == 2
+    assert all(0 <= v <= 1 for v in out["overlap"])
+    assert out["overlap"][1] == pytest.approx(1.0)
+
+
+def test_mu(dataset):
+    out = mu_experiment(
+        lambda mu, rng: yelp_like(n=120, r=3, mu=mu, rng=rng, horizon=3),
+        [5.0, 10.0],
+        [2],
+        CumulativeScore(),
+        rng=13,
+        lambda_cap=8,
+    )
+    assert len(out["mu=5.0"]) == 1
+
+
+def test_effectiveness_with_copeland(dataset):
+    res = effectiveness_experiment(
+        dataset, CopelandScore(), [2], ["rw"], rng=14, method_kwargs=FAST
+    )
+    assert 0 <= res.scores["rw"][0] <= dataset.r - 1

@@ -1,0 +1,124 @@
+"""Tests for the future-work extensions: HK dynamics, Borda/Dowdall scores."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_select
+from repro.core.problem import FJVoteProblem
+from repro.graph.build import graph_from_edges
+from repro.opinion.bounded_confidence import (
+    bounded_confidence_objective,
+    hk_evolve,
+    hk_step,
+)
+from repro.opinion.fj import fj_evolve
+from repro.voting.extensions import BordaScore, DowdallScore
+from tests.conftest import random_instance
+
+
+def _example():
+    g = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    b0 = np.array([0.4, 0.8, 0.6, 0.9])
+    d = np.full(4, 0.5)
+    return g, b0, d
+
+
+# ----------------------------------------------------------------------
+# Bounded confidence (HK)
+# ----------------------------------------------------------------------
+def test_hk_with_full_confidence_equals_fj():
+    g, b0, d = _example()
+    hk = hk_evolve(b0, d, g, 6, epsilon=1.0)
+    fj = fj_evolve(b0, d, g, 6)
+    np.testing.assert_allclose(hk, fj, atol=1e-12)
+
+
+def test_hk_with_zero_confidence_freezes_non_neighbors():
+    g, b0, d = _example()
+    # ε=0: only exactly-equal neighbors are heard; everyone keeps mixing
+    # with their own anchor -> opinions stay at initial values.
+    hk = hk_evolve(b0, d, g, 5, epsilon=0.0)
+    np.testing.assert_allclose(hk, b0)
+
+
+def test_hk_opinions_stay_in_unit_interval():
+    state = random_instance(n=12, r=1, seed=3)
+    out = hk_evolve(
+        state.initial_opinions[0],
+        state.stubbornness[0],
+        state.graph(0),
+        8,
+        epsilon=0.25,
+    )
+    assert out.min() >= -1e-12 and out.max() <= 1 + 1e-12
+
+
+def test_hk_confidence_restricts_influence():
+    # 0 -> 1 with a huge opinion gap: with small ε node 1 ignores node 0.
+    g = graph_from_edges(2, [0], [1])
+    b0 = np.array([1.0, 0.0])
+    d = np.array([0.0, 0.0])
+    narrow = hk_step(b0, b0, d, g, epsilon=0.1)
+    wide = hk_step(b0, b0, d, g, epsilon=1.0)
+    assert narrow[1] == pytest.approx(0.0)  # unheard
+    assert wide[1] == pytest.approx(1.0)  # fully heard
+
+
+def test_hk_validation():
+    g, b0, d = _example()
+    with pytest.raises(ValueError):
+        hk_evolve(b0, d, g, 3, epsilon=-0.5)
+    with pytest.raises(ValueError):
+        hk_evolve(b0, d, g, -1)
+
+
+def test_bounded_confidence_greedy_objective():
+    state = random_instance(n=8, r=1, seed=5)
+    objective = bounded_confidence_objective(
+        state.graph(0),
+        state.initial_opinions[0],
+        state.stubbornness[0],
+        t=3,
+        epsilon=0.4,
+    )
+    base = objective(())
+    result = greedy_select(objective, 8, 2, lazy=False)
+    assert result.objective >= base
+    assert result.seeds.size == 2
+
+
+# ----------------------------------------------------------------------
+# Borda / Dowdall
+# ----------------------------------------------------------------------
+def test_borda_weights():
+    score = BordaScore(4)
+    np.testing.assert_allclose(score.weights, [1.0, 2 / 3, 1 / 3, 0.0])
+    assert score.p == 4
+
+
+def test_borda_on_known_profile():
+    opinions = np.array([[0.9, 0.2], [0.5, 0.8], [0.1, 0.5]])
+    # Candidate 0: rank 1 then rank 3 -> 1 + 0 = 1.
+    assert BordaScore(3).evaluate(opinions, 0) == pytest.approx(1.0)
+    # Candidate 1: rank 2 then rank 1 -> 0.5 + 1 = 1.5.
+    assert BordaScore(3).evaluate(opinions, 1) == pytest.approx(1.5)
+
+
+def test_dowdall_weights():
+    score = DowdallScore(3)
+    np.testing.assert_allclose(score.weights, [1.0, 0.5, 1 / 3])
+
+
+def test_extension_scores_work_with_problem(random_state):
+    for score in (BordaScore(random_state.r), DowdallScore(random_state.r)):
+        problem = FJVoteProblem(random_state, 0, 3, score)
+        base = problem.objective(())
+        seeded = problem.objective(np.array([0, 1]))
+        assert seeded >= base - 1e-12
+
+
+def test_extension_validation():
+    with pytest.raises(ValueError):
+        BordaScore(1)
+    with pytest.raises(ValueError):
+        DowdallScore(0)

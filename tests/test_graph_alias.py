@@ -1,0 +1,61 @@
+"""Tests for the alias-method sampler."""
+
+import numpy as np
+import pytest
+
+from repro.graph.alias import AliasSampler
+from repro.graph.build import graph_from_edges
+
+
+def _example_sampler():
+    g = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    return g, AliasSampler(g.csc)
+
+
+def test_distribution_reconstruction_matches_input():
+    g, sampler = _example_sampler()
+    for j in range(4):
+        expected_nodes, expected_weights = g.in_neighbors(j)
+        nodes, probs = sampler.distribution(j)
+        assert nodes.tolist() == expected_nodes.tolist()
+        np.testing.assert_allclose(probs, expected_weights, atol=1e-12)
+
+
+def test_sampling_frequencies_approximate_weights():
+    g, sampler = _example_sampler()
+    rng = np.random.default_rng(0)
+    draws = sampler.sample(np.full(20_000, 2), rng)
+    freq0 = np.mean(draws == 0)
+    assert freq0 == pytest.approx(0.5, abs=0.02)
+    assert set(np.unique(draws)) == {0, 1}
+
+
+def test_sampling_deterministic_column():
+    g, sampler = _example_sampler()
+    draws = sampler.sample(np.full(100, 3), np.random.default_rng(1))
+    assert set(np.unique(draws)) == {2}
+
+
+def test_skewed_distribution():
+    g = graph_from_edges(3, [0, 1], [2, 2], weight=np.array([9.0, 1.0]))
+    sampler = AliasSampler(g.csc)
+    rng = np.random.default_rng(5)
+    draws = sampler.sample(np.full(30_000, 2), rng)
+    assert np.mean(draws == 0) == pytest.approx(0.9, abs=0.01)
+
+
+def test_rejects_missing_in_neighbors():
+    from scipy import sparse
+
+    mat = sparse.csc_matrix((2, 2))
+    with pytest.raises(ValueError, match="no in-neighbors"):
+        AliasSampler(mat)
+
+
+def test_sample_shape_and_range():
+    g, sampler = _example_sampler()
+    rng = np.random.default_rng(2)
+    current = rng.integers(0, 4, size=500)
+    out = sampler.sample(current, rng)
+    assert out.shape == current.shape
+    assert out.min() >= 0 and out.max() < 4

@@ -1,0 +1,86 @@
+"""Unit and property tests for graph construction / normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.graph.build import column_stochastic, graph_from_edges, induced_subgraph
+
+
+def test_column_stochastic_normalizes():
+    raw = sparse.csr_matrix(np.array([[0.0, 2.0], [3.0, 2.0]]))
+    out = column_stochastic(raw).toarray()
+    np.testing.assert_allclose(out.sum(axis=0), [1.0, 1.0])
+    np.testing.assert_allclose(out[:, 1], [0.5, 0.5])
+
+
+def test_column_stochastic_adds_self_loop_for_isolated():
+    raw = sparse.csr_matrix((3, 3))
+    out = column_stochastic(raw).toarray()
+    np.testing.assert_allclose(out, np.eye(3))
+
+
+def test_column_stochastic_can_reject_isolated():
+    raw = sparse.csr_matrix((2, 2))
+    with pytest.raises(ValueError, match="zero in-weight"):
+        column_stochastic(raw, self_loop_isolated=False)
+
+
+def test_column_stochastic_rejects_negative():
+    raw = sparse.csr_matrix(np.array([[0.0, -1.0], [1.0, 0.0]]))
+    with pytest.raises(ValueError, match="non-negative"):
+        column_stochastic(raw)
+
+
+def test_column_stochastic_rejects_non_square():
+    with pytest.raises(ValueError, match="square"):
+        column_stochastic(sparse.csr_matrix(np.ones((2, 3))))
+
+
+def test_graph_from_edges_sums_duplicates():
+    g = graph_from_edges(3, [0, 0], [1, 1], weight=np.array([1.0, 3.0]))
+    sources, weights = g.in_neighbors(1)
+    assert sources.tolist() == [0]
+    np.testing.assert_allclose(weights, [1.0])  # normalized
+
+
+def test_graph_from_edges_validates_bounds():
+    with pytest.raises(ValueError, match="endpoints"):
+        graph_from_edges(3, [0], [5])
+    with pytest.raises(ValueError, match="same shape"):
+        graph_from_edges(3, [0, 1], [2])
+    with pytest.raises(ValueError, match="weight"):
+        graph_from_edges(3, [0], [1], weight=np.array([1.0, 2.0]))
+
+
+def test_induced_subgraph_renormalizes():
+    g = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    sub, nodes = induced_subgraph(g, np.array([0, 2, 3]))
+    assert sub.n == 3
+    sums = np.asarray(sub.csr.sum(axis=0)).ravel()
+    np.testing.assert_allclose(sums, 1.0)
+
+
+def test_induced_subgraph_rejects_bad_nodes():
+    g = graph_from_edges(3, [0], [1])
+    with pytest.raises(ValueError):
+        induced_subgraph(g, np.array([0, 7]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 15),
+    seed=st.integers(0, 10_000),
+    density=st.floats(0.0, 0.6),
+)
+def test_property_columns_always_sum_to_one(n, seed, density):
+    """Any non-negative raw matrix normalizes to an exactly stochastic one."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < density
+    src, dst = np.where(mask)
+    weights = rng.uniform(0.0, 5.0, size=src.size)
+    g = graph_from_edges(n, src, dst, weights)
+    sums = np.asarray(g.csr.sum(axis=0)).ravel()
+    np.testing.assert_allclose(sums, 1.0, atol=1e-9)

@@ -1,0 +1,84 @@
+"""Unit tests for the InfluenceGraph substrate."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.graph.build import graph_from_edges
+from repro.graph.digraph import InfluenceGraph
+
+
+def test_basic_properties():
+    g = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    assert g.n == 4
+    # 3 social edges + self-loops for in-degree-0 nodes 0 and 1.
+    assert g.m == 5
+
+
+def test_rejects_non_square():
+    mat = sparse.csr_matrix(np.ones((2, 3)))
+    with pytest.raises(ValueError, match="square"):
+        InfluenceGraph(mat)
+
+
+def test_rejects_non_stochastic():
+    mat = sparse.eye(3, format="csr") * 0.5
+    with pytest.raises(ValueError, match="column-stochastic"):
+        InfluenceGraph(mat)
+
+
+def test_rejects_negative_weights():
+    mat = sparse.csr_matrix(np.array([[0.0, 1.0], [1.0, -1.0]]) + np.eye(2))
+    with pytest.raises(ValueError):
+        InfluenceGraph(mat)
+
+
+def test_validate_flag_skips_checks():
+    mat = sparse.eye(3, format="csr") * 0.5
+    g = InfluenceGraph(mat, validate=False)
+    assert g.n == 3
+
+
+def test_in_neighbors_are_transition_distribution():
+    g = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    sources, weights = g.in_neighbors(2)
+    assert sorted(sources.tolist()) == [0, 1]
+    np.testing.assert_allclose(sorted(weights.tolist()), [0.5, 0.5])
+    sources, weights = g.in_neighbors(3)
+    assert sources.tolist() == [2]
+    np.testing.assert_allclose(weights, [1.0])
+
+
+def test_out_neighbors():
+    g = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    targets, weights = g.out_neighbors(2)
+    assert 3 in targets.tolist()
+
+
+def test_degrees_and_edges_roundtrip():
+    g = graph_from_edges(5, [0, 0, 1, 2], [1, 2, 2, 3])
+    assert g.in_degrees().sum() == g.m
+    assert g.out_degrees().sum() == g.m
+    src, dst, w = g.edges()
+    assert src.size == g.m
+    rebuilt = InfluenceGraph(
+        sparse.coo_matrix((w, (src, dst)), shape=(5, 5)).tocsr()
+    )
+    assert rebuilt.m == g.m
+
+
+def test_weighted_out_degrees():
+    g = graph_from_edges(3, [0, 0], [1, 2])
+    wd = g.weighted_out_degrees()
+    # Node 0 influences nodes 1 and 2 with full weight each.
+    assert wd[0] == pytest.approx(2.0)
+
+
+def test_column_sums_exactly_one():
+    rng = np.random.default_rng(3)
+    n = 20
+    mask = rng.random((n, n)) < 0.2
+    src, dst = np.where(mask)
+    g = graph_from_edges(n, src, dst, rng.uniform(0.1, 2.0, src.size))
+    sums = np.asarray(g.csr.sum(axis=0)).ravel()
+    np.testing.assert_allclose(sums, 1.0, atol=1e-12)

@@ -1,0 +1,107 @@
+"""Tests for the from-scratch graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import (
+    erdos_renyi_edges,
+    planted_partition_edges,
+    power_law_edges,
+    preferential_attachment_edges,
+    ring_lattice_edges,
+    watts_strogatz_edges,
+)
+
+
+def _assert_simple(n, src, dst):
+    assert src.shape == dst.shape
+    assert np.all(src != dst), "self loops present"
+    keys = src * n + dst
+    assert np.unique(keys).size == keys.size, "duplicate edges present"
+    if src.size:
+        assert src.min() >= 0 and src.max() < n
+        assert dst.min() >= 0 and dst.max() < n
+
+
+def test_erdos_renyi_simple_and_sized():
+    src, dst = erdos_renyi_edges(50, 0.1, rng=0)
+    _assert_simple(50, src, dst)
+    # Expected edge count 50*49*0.1 = 245; very loose band.
+    assert 150 < src.size < 350
+
+
+def test_erdos_renyi_extremes():
+    src, dst = erdos_renyi_edges(10, 0.0, rng=1)
+    assert src.size == 0
+    src, dst = erdos_renyi_edges(5, 1.0, rng=1)
+    assert src.size == 20  # complete digraph without self-loops
+
+
+def test_erdos_renyi_validation():
+    with pytest.raises(ValueError):
+        erdos_renyi_edges(5, 1.5)
+    with pytest.raises(ValueError):
+        erdos_renyi_edges(-1, 0.5)
+
+
+def test_preferential_attachment_bidirectional_and_skewed():
+    src, dst = preferential_attachment_edges(300, 3, rng=2)
+    _assert_simple(300, src, dst)
+    pairs = set(zip(src.tolist(), dst.tolist()))
+    assert all((b, a) in pairs for a, b in pairs), "not symmetric"
+    degrees = np.bincount(src, minlength=300)
+    assert degrees.max() > 4 * max(np.median(degrees), 1), "no hubs"
+
+
+def test_preferential_attachment_validation():
+    with pytest.raises(ValueError):
+        preferential_attachment_edges(5, 0)
+    with pytest.raises(ValueError):
+        preferential_attachment_edges(3, 3)
+
+
+def test_ring_lattice():
+    src, dst = ring_lattice_edges(6, 2)
+    _assert_simple(6, src, dst)
+    assert src.size == 12
+    pairs = set(zip(src.tolist(), dst.tolist()))
+    assert (0, 1) in pairs and (0, 2) in pairs and (5, 0) in pairs
+
+
+def test_watts_strogatz_rewiring():
+    src, dst = watts_strogatz_edges(100, 2, 0.0, rng=3)
+    base_size = src.size
+    src2, dst2 = watts_strogatz_edges(100, 2, 0.5, rng=3)
+    _assert_simple(100, src2, dst2)
+    assert src2.size >= base_size * 0.8
+
+
+def test_planted_partition_community_bias():
+    src, dst, member = planted_partition_edges(200, 4, 0.3, 0.01, rng=4)
+    _assert_simple(200, src, dst)
+    assert member.shape == (200,)
+    same = member[src] == member[dst]
+    assert same.mean() > 0.5, "no community structure"
+
+
+def test_power_law_heavy_tail():
+    src, dst = power_law_edges(500, exponent=2.2, min_degree=1, rng=5)
+    _assert_simple(500, src, dst)
+    out_deg = np.bincount(src, minlength=500)
+    assert out_deg.max() >= 5 * max(np.median(out_deg), 1)
+
+
+def test_power_law_validation():
+    with pytest.raises(ValueError):
+        power_law_edges(10, exponent=1.0)
+    with pytest.raises(ValueError):
+        power_law_edges(10, min_degree=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 40), p=st.floats(0, 0.5), seed=st.integers(0, 1000))
+def test_property_er_edges_always_simple(n, p, seed):
+    src, dst = erdos_renyi_edges(n, p, rng=seed)
+    _assert_simple(n, src, dst)

@@ -1,0 +1,76 @@
+"""Tests for convergence diagnostics (oblivious nodes, Fig. 18 statistic)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import graph_from_edges
+from repro.opinion.convergence import (
+    fraction_changing,
+    oblivious_nodes,
+    time_to_convergence,
+)
+
+
+def test_oblivious_nodes_cycle_without_stubborn():
+    # 0 <-> 1 cycle, no stubbornness anywhere: both oblivious.
+    g = graph_from_edges(2, [0, 1], [1, 0])
+    assert oblivious_nodes(g, np.zeros(2)).tolist() == [0, 1]
+
+
+def test_oblivious_nodes_reached_by_stubborn():
+    # stubborn 0 -> 1 -> 2: nothing oblivious.
+    g = graph_from_edges(3, [0, 1], [1, 2])
+    d = np.array([0.5, 0.0, 0.0])
+    assert oblivious_nodes(g, d).size == 0
+
+
+def test_oblivious_nodes_unreachable_component():
+    # Component {2, 3} is a cycle with no stubborn node; {0, 1} has one.
+    g = graph_from_edges(4, [0, 2, 3], [1, 3, 2])
+    d = np.array([0.5, 0.0, 0.0, 0.0])
+    assert oblivious_nodes(g, d).tolist() == [2, 3]
+
+
+def test_oblivious_nodes_shape_check():
+    g = graph_from_edges(2, [0], [1])
+    with pytest.raises(ValueError):
+        oblivious_nodes(g, np.zeros(3))
+
+
+def test_fraction_changing_decreases_toward_convergence():
+    g = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    b0 = np.array([0.4, 0.8, 0.2, 0.9])
+    d = np.full(4, 0.5)
+    fractions = fraction_changing(b0, d, g, horizon=25, tolerance_pct=1.0)
+    assert fractions.shape == (25,)
+    assert fractions[0] >= fractions[-1]
+    assert fractions[-1] == 0.0  # converged well before t=25
+
+
+def test_fraction_changing_tolerance_monotone():
+    g = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    b0 = np.array([0.4, 0.8, 0.2, 0.9])
+    d = np.full(4, 0.5)
+    strict = fraction_changing(b0, d, g, 10, tolerance_pct=0.0)
+    loose = fraction_changing(b0, d, g, 10, tolerance_pct=10.0)
+    assert np.all(strict >= loose)
+
+
+def test_fraction_changing_rejects_negative_tolerance():
+    g = graph_from_edges(2, [0], [1])
+    with pytest.raises(ValueError):
+        fraction_changing(np.zeros(2), np.zeros(2), g, 5, -1.0)
+
+
+def test_time_to_convergence():
+    g = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    b0 = np.array([0.4, 0.8, 0.2, 0.9])
+    d = np.full(4, 0.5)
+    t = time_to_convergence(b0, d, g, tol=1e-8)
+    assert t is not None and 1 <= t <= 100
+
+
+def test_time_to_convergence_none_for_oscillation():
+    g = graph_from_edges(2, [0, 1], [1, 0])
+    b0 = np.array([0.0, 1.0])
+    assert time_to_convergence(b0, np.zeros(2), g, max_t=30) is None

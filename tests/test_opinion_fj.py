@@ -1,0 +1,160 @@
+"""Tests for the FJ / DeGroot diffusion models, including dense cross-checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import graph_from_edges
+from repro.opinion.degroot import degroot_evolve
+from repro.opinion.fj import (
+    apply_seeds,
+    fj_equilibrium,
+    fj_evolve,
+    fj_step,
+    fj_trajectory,
+    horizon_opinions,
+)
+from tests.conftest import random_instance
+
+
+def _example():
+    g = graph_from_edges(4, [0, 1, 2], [2, 2, 3])
+    b0 = np.array([0.4, 0.8, 0.6, 0.9])
+    d = np.full(4, 0.5)
+    return g, b0, d
+
+
+def test_fj_step_matches_hand_computation():
+    g, b0, d = _example()
+    b1 = fj_step(b0, b0, d, g)
+    # Example 1: users 1,2 retain; user 3 averages in-neighbors then self;
+    # user 4 averages user 3 and self.
+    np.testing.assert_allclose(b1, [0.4, 0.8, 0.6, 0.75])
+    b2 = fj_step(b1, b0, d, g)
+    np.testing.assert_allclose(b2[2], 0.5 * (0.5 * (0.4 + 0.8)) + 0.5 * 0.6)
+
+
+def test_fj_evolve_matches_dense_iteration():
+    state = random_instance(n=15, r=2, seed=9)
+    g = state.graph(0)
+    b0 = state.initial_opinions[0]
+    d = state.stubbornness[0]
+    dense_w = g.csr.toarray()
+    expected = b0.copy()
+    for _ in range(7):
+        expected = (expected @ dense_w) * (1 - d) + b0 * d
+    np.testing.assert_allclose(fj_evolve(b0, d, g, 7), expected, atol=1e-12)
+
+
+def test_degroot_is_matrix_power():
+    state = random_instance(n=10, r=1, seed=4)
+    g = state.graph(0)
+    b0 = state.initial_opinions[0]
+    dense_w = np.linalg.matrix_power(g.csr.toarray(), 5)
+    np.testing.assert_allclose(degroot_evolve(b0, g, 5), b0 @ dense_w, atol=1e-12)
+
+
+def test_horizon_zero_returns_initial():
+    g, b0, d = _example()
+    np.testing.assert_allclose(fj_evolve(b0, d, g, 0), b0)
+
+
+def test_negative_horizon_rejected():
+    g, b0, d = _example()
+    with pytest.raises(ValueError):
+        fj_evolve(b0, d, g, -1)
+
+
+def test_fully_stubborn_users_never_move():
+    g, b0, _ = _example()
+    d = np.ones(4)
+    np.testing.assert_allclose(fj_evolve(b0, d, g, 13), b0)
+
+
+def test_users_without_in_neighbors_retain_initial_opinion():
+    g, b0, d = _example()
+    out = fj_evolve(b0, np.zeros(4), g, 9)
+    assert out[0] == pytest.approx(b0[0])
+    assert out[1] == pytest.approx(b0[1])
+
+
+def test_trajectory_length_and_consistency():
+    g, b0, d = _example()
+    traj = list(fj_trajectory(b0, d, g, 5))
+    assert len(traj) == 6
+    np.testing.assert_allclose(traj[0], b0)
+    np.testing.assert_allclose(traj[5], fj_evolve(b0, d, g, 5))
+
+
+def test_apply_seeds():
+    b0 = np.array([0.1, 0.2, 0.3])
+    d = np.array([0.0, 0.5, 1.0])
+    b0s, ds = apply_seeds(b0, d, np.array([0]))
+    assert b0s[0] == 1.0 and ds[0] == 1.0
+    assert b0[0] == 0.1  # untouched
+
+
+def test_seeded_node_stays_at_one_forever():
+    g, b0, d = _example()
+    b0s, ds = apply_seeds(b0, d, np.array([2]))
+    out = fj_evolve(b0s, ds, g, 25)
+    assert out[2] == pytest.approx(1.0)
+
+
+def test_horizon_opinions_only_changes_target_row(random_state):
+    seeds = np.array([0, 3])
+    base = horizon_opinions(random_state, 6)
+    seeded = horizon_opinions(random_state, 6, target=1, seeds=seeds)
+    np.testing.assert_allclose(seeded[0], base[0])
+    np.testing.assert_allclose(seeded[2], base[2])
+    assert np.all(seeded[1] >= base[1] - 1e-12)
+
+
+def test_fj_equilibrium_converges_with_stubbornness():
+    state = random_instance(n=12, r=1, seed=11)
+    g = state.graph(0)
+    b0 = state.initial_opinions[0]
+    d = np.clip(state.stubbornness[0], 0.1, 1.0)  # everyone somewhat stubborn
+    eq, iters = fj_equilibrium(b0, d, g)
+    np.testing.assert_allclose(fj_step(eq, b0, d, g), eq, atol=1e-8)
+    assert iters >= 1
+
+
+def test_fj_equilibrium_raises_on_oscillation():
+    # Two oblivious nodes exchanging opinions forever (period-2 cycle).
+    g = graph_from_edges(2, [0, 1], [1, 0])
+    b0 = np.array([0.0, 1.0])
+    d = np.zeros(2)
+    with pytest.raises(RuntimeError, match="did not converge"):
+        fj_equilibrium(b0, d, g, max_iter=50)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 20),
+    t=st.integers(0, 12),
+)
+def test_property_opinions_stay_in_unit_interval(seed, n, t):
+    """FJ iterates remain in [0,1] for any stochastic W, b0, d (paper §II-A)."""
+    state = random_instance(n=n, r=1, seed=seed)
+    out = fj_evolve(
+        state.initial_opinions[0], state.stubbornness[0], state.graph(0), t
+    )
+    assert out.min() >= -1e-12
+    assert out.max() <= 1 + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), t=st.integers(0, 8))
+def test_property_seeding_never_decreases_target_opinions(seed, t):
+    """Opinion values are non-decreasing in the seed set (§III-B)."""
+    state = random_instance(n=10, r=2, seed=seed)
+    rng = np.random.default_rng(seed)
+    seeds = rng.choice(10, size=3, replace=False)
+    b0, d = state.initial_opinions[0], state.stubbornness[0]
+    base = fj_evolve(b0, d, state.graph(0), t)
+    b0s, ds = apply_seeds(b0, d, seeds)
+    seeded = fj_evolve(b0s, ds, state.graph(0), t)
+    assert np.all(seeded >= base - 1e-12)

@@ -1,0 +1,101 @@
+"""Tests for CampaignState validation and seeding semantics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import graph_from_edges
+from repro.opinion.state import CampaignState
+
+
+def _graph(n=4):
+    return graph_from_edges(n, [0, 1, 2], [2, 2, 3])
+
+
+def test_defaults_and_properties():
+    g = _graph()
+    state = CampaignState(
+        graphs=(g, g),
+        initial_opinions=np.full((2, 4), 0.5),
+        stubbornness=np.zeros((2, 4)),
+    )
+    assert state.r == 2
+    assert state.n == 4
+    assert state.candidates == ("c1", "c2")
+    assert state.graph(1) is g
+
+
+def test_candidate_index():
+    g = _graph()
+    state = CampaignState(
+        graphs=(g, g),
+        initial_opinions=np.full((2, 4), 0.5),
+        stubbornness=np.zeros((2, 4)),
+        candidates=("left", "right"),
+    )
+    assert state.candidate_index("right") == 1
+    with pytest.raises(KeyError):
+        state.candidate_index("center")
+
+
+def test_seeded_sets_opinion_and_stubbornness_to_one():
+    g = _graph()
+    state = CampaignState(
+        graphs=(g, g),
+        initial_opinions=np.full((2, 4), 0.3),
+        stubbornness=np.full((2, 4), 0.2),
+    )
+    b0, d = state.seeded(0, np.array([1, 3]))
+    np.testing.assert_allclose(b0, [0.3, 1.0, 0.3, 1.0])
+    np.testing.assert_allclose(d, [0.2, 1.0, 0.2, 1.0])
+    # Original arrays untouched.
+    assert state.initial_opinions[0, 1] == 0.3
+    assert state.stubbornness[0, 3] == 0.2
+
+
+def test_seeded_rejects_out_of_range():
+    g = _graph()
+    state = CampaignState(
+        graphs=(g, g),
+        initial_opinions=np.full((2, 4), 0.3),
+        stubbornness=np.zeros((2, 4)),
+    )
+    with pytest.raises(ValueError):
+        state.seeded(0, np.array([10]))
+
+
+def test_shape_validation():
+    g = _graph()
+    with pytest.raises(ValueError, match="initial_opinions"):
+        CampaignState((g, g), np.zeros((3, 4)), np.zeros((2, 4)))
+    with pytest.raises(ValueError, match="stubbornness"):
+        CampaignState((g, g), np.zeros((2, 4)), np.zeros((2, 5)))
+    with pytest.raises(ValueError, match="candidate names"):
+        CampaignState((g, g), np.zeros((2, 4)), np.zeros((2, 4)), candidates=("a",))
+    with pytest.raises(ValueError, match="at least one"):
+        CampaignState((), np.zeros((0, 4)), np.zeros((0, 4)))
+
+
+def test_range_validation():
+    g = _graph()
+    with pytest.raises(ValueError):
+        CampaignState((g, g), np.full((2, 4), 1.5), np.zeros((2, 4)))
+    with pytest.raises(ValueError):
+        CampaignState((g, g), np.zeros((2, 4)), np.full((2, 4), -0.1))
+
+
+def test_mismatched_graph_sizes():
+    g4 = _graph(4)
+    g5 = graph_from_edges(5, [0], [1])
+    with pytest.raises(ValueError, match="same node count"):
+        CampaignState((g4, g5), np.zeros((2, 4)), np.zeros((2, 4)))
+
+
+def test_matrices_are_immutable():
+    g = _graph()
+    state = CampaignState(
+        graphs=(g, g),
+        initial_opinions=np.full((2, 4), 0.5),
+        stubbornness=np.zeros((2, 4)),
+    )
+    with pytest.raises(ValueError):
+        state.initial_opinions[0, 0] = 0.9

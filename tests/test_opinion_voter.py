@@ -1,0 +1,89 @@
+"""Tests for the voter-model substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import graph_from_edges
+from repro.opinion.voter import (
+    initial_states_from_opinions,
+    simulate_voter,
+    voter_expected_shares,
+)
+
+
+def _path_graph(n=5):
+    return graph_from_edges(n, list(range(n - 1)), list(range(1, n)))
+
+
+def test_initial_states_from_opinions():
+    opinions = np.array([[0.9, 0.1, 0.5], [0.1, 0.9, 0.5]])
+    np.testing.assert_array_equal(
+        initial_states_from_opinions(opinions), [0, 1, 0]
+    )
+    with pytest.raises(ValueError):
+        initial_states_from_opinions(np.zeros(3))
+
+
+def test_voter_deterministic_chain_converges_to_source():
+    # Each node's only in-neighbor is its predecessor: after n steps
+    # everyone holds node 0's state.
+    g = _path_graph()
+    states = np.array([1, 0, 0, 0, 0])
+    final = simulate_voter(g, states, horizon=5, rng=0)
+    np.testing.assert_array_equal(final, np.ones(5, dtype=np.int64))
+
+
+def test_voter_zealots_never_change():
+    g = _path_graph()
+    states = np.zeros(5, dtype=np.int64)
+    final = simulate_voter(
+        g, states, horizon=4, zealots=np.array([2]), zealot_state=1, rng=1
+    )
+    assert final[2] == 1
+    assert final[3] == 1  # downstream of the zealot on the chain
+    assert final[4] == 1
+
+
+def test_voter_isolated_node_keeps_state():
+    # Node 0 has only its normalization self-loop.
+    g = _path_graph()
+    states = np.array([3, 0, 0, 0, 0])
+    final = simulate_voter(g, states, horizon=3, rng=2)
+    assert final[0] == 3
+
+
+def test_voter_shape_validation():
+    g = _path_graph()
+    with pytest.raises(ValueError):
+        simulate_voter(g, np.zeros(3, dtype=np.int64), 2)
+    with pytest.raises(ValueError):
+        simulate_voter(g, np.zeros(5, dtype=np.int64), -1)
+
+
+def test_voter_expected_shares_sum_to_one():
+    rng = np.random.default_rng(3)
+    g = graph_from_edges(12, rng.integers(0, 12, 40), rng.integers(0, 12, 40))
+    states = rng.integers(0, 3, size=12)
+    shares = voter_expected_shares(g, states, horizon=4, r=3, mc_runs=40, rng=4)
+    assert shares.shape == (3,)
+    assert shares.sum() == pytest.approx(1.0)
+
+
+def test_voter_zealots_raise_target_share():
+    rng = np.random.default_rng(5)
+    g = graph_from_edges(15, rng.integers(0, 15, 60), rng.integers(0, 15, 60))
+    states = np.ones(15, dtype=np.int64)  # everyone starts with candidate 1
+    base = voter_expected_shares(g, states, 5, r=2, mc_runs=60, rng=6)
+    seeded = voter_expected_shares(
+        g, states, 5, r=2, zealots=np.array([0, 1, 2]), zealot_state=0,
+        mc_runs=60, rng=6,
+    )
+    assert seeded[0] > base[0]
+
+
+def test_voter_expected_shares_validation():
+    g = _path_graph()
+    with pytest.raises(ValueError):
+        voter_expected_shares(g, np.zeros(5, dtype=np.int64), 2, r=2, mc_runs=0)
+    with pytest.raises(ValueError):
+        voter_expected_shares(g, np.zeros(5, dtype=np.int64), 2, r=0)

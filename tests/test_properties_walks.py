@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for walk truncation invariants.
+
+After *any* sequence of seed additions, a :class:`TruncatedWalks` collection
+must satisfy:
+
+* ``end_pos[i]`` points at the first occurrence of the earliest-seeded node
+  in walk ``i`` (or the original end if no seed occurs);
+* ``values[i]`` equals the (seeded) initial opinion of the end node;
+* truncation pointers never move backwards;
+* the estimated score of a :class:`WalkGreedyOptimizer` equals the direct
+  formula over its group estimates.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.random_walk import TruncatedWalks, WalkGreedyOptimizer
+from repro.voting.scores import CumulativeScore, PluralityScore
+from repro.core.problem import FJVoteProblem
+from tests.conftest import random_instance
+
+
+def _make_walks(seed: int, n: int = 8, lam: int = 4, t: int = 4) -> TruncatedWalks:
+    state = random_instance(n=n, r=2, seed=seed)
+    starts = np.repeat(np.arange(n, dtype=np.int64), lam)
+    return TruncatedWalks.generate(
+        state.graph(0),
+        state.stubbornness[0],
+        state.initial_opinions[0],
+        t,
+        starts,
+        rng=seed,
+    )
+
+
+def _check_invariants(walks: TruncatedWalks) -> None:
+    seeds = set(walks.seeds)
+    for i in range(walks.num_walks):
+        row = walks.walks[i]
+        end = int(walks.end_pos[i])
+        length = int(walks.lengths[i])
+        assert 0 <= end <= length
+        # Expected truncation point: first position holding any seed.
+        expected = length
+        for pos in range(length + 1):
+            if int(row[pos]) in seeds:
+                expected = pos
+                break
+        assert end == expected
+        end_node = int(row[end])
+        expected_value = 1.0 if end_node in seeds else walks._b0[end_node]
+        assert walks.values[i] == expected_value
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2000),
+    additions=st.lists(st.integers(0, 7), min_size=0, max_size=6),
+)
+def test_property_truncation_invariants_after_any_seed_sequence(seed, additions):
+    walks = _make_walks(seed)
+    prev_end = walks.end_pos.copy()
+    for node in additions:
+        walks.add_seed(int(node))
+        assert np.all(walks.end_pos <= prev_end), "truncation moved backwards"
+        prev_end = walks.end_pos.copy()
+    _check_invariants(walks)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2000))
+def test_property_estimated_score_consistent(seed):
+    state = random_instance(n=8, r=2, seed=seed)
+    problem = FJVoteProblem(state, 0, 3, PluralityScore())
+    starts = np.repeat(np.arange(8, dtype=np.int64), 3)
+    walks = TruncatedWalks.generate(
+        state.graph(0), state.stubbornness[0], state.initial_opinions[0],
+        3, starts, rng=seed,
+    )
+    optimizer = WalkGreedyOptimizer(
+        walks, PluralityScore(), problem.others_by_user(), grouping="start"
+    )
+    b_hat = optimizer.group_estimates()
+    others = problem.others_by_user()[optimizer.group_user]
+    direct = float(
+        np.dot(
+            optimizer.group_weight,
+            PluralityScore().contributions(b_hat, others),
+        )
+    )
+    assert optimizer.estimated_score() == direct
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2000), theta=st.integers(5, 40))
+def test_property_sketch_weights_scale_with_n_over_theta(seed, theta):
+    state = random_instance(n=9, r=2, seed=seed)
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, 9, size=theta)
+    walks = TruncatedWalks.generate(
+        state.graph(0), state.stubbornness[0], state.initial_opinions[0],
+        2, starts, rng=seed,
+    )
+    optimizer = WalkGreedyOptimizer(walks, CumulativeScore(), None, grouping="walk")
+    # Estimated cumulative score = (n/θ) Σ values (Eq. 35).
+    expected = 9.0 / theta * walks.values.sum()
+    assert abs(optimizer.estimated_score() - expected) < 1e-9

@@ -1,0 +1,51 @@
+"""The public API surface: every ``__all__`` name must resolve and be documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.graph",
+    "repro.opinion",
+    "repro.voting",
+    "repro.core",
+    "repro.baselines",
+    "repro.datasets",
+    "repro.eval",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    for attr in getattr(module, "__all__", []):
+        assert hasattr(module, attr), f"{name}.__all__ lists missing {attr!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_callables_are_documented(name):
+    module = importlib.import_module(name)
+    for attr in getattr(module, "__all__", []):
+        obj = getattr(module, attr)
+        if callable(obj):
+            assert obj.__doc__, f"{name}.{attr} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_extension_modules_importable():
+    for name in (
+        "repro.voting.extensions",
+        "repro.opinion.bounded_confidence",
+        "repro.opinion.voter",
+        "repro.eval.charts",
+        "repro.cli",
+    ):
+        module = importlib.import_module(name)
+        assert module.__doc__

@@ -1,0 +1,86 @@
+"""Tests for shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_opinions,
+    check_probability,
+    check_seed_budget,
+    check_stubbornness,
+    check_time_horizon,
+)
+
+
+def test_ensure_rng_accepts_all_forms():
+    g = np.random.default_rng(0)
+    assert ensure_rng(g) is g
+    assert isinstance(ensure_rng(7), np.random.Generator)
+    assert isinstance(ensure_rng(None), np.random.Generator)
+    with pytest.raises(TypeError):
+        ensure_rng("seed")
+
+
+def test_ensure_rng_reproducible():
+    a = ensure_rng(5).random(3)
+    b = ensure_rng(5).random(3)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_spawn_rngs_independent_and_reproducible():
+    children = spawn_rngs(3, 4)
+    assert len(children) == 4
+    again = spawn_rngs(3, 4)
+    for c1, c2 in zip(children, again):
+        np.testing.assert_array_equal(c1.random(2), c2.random(2))
+    draws = [c.random() for c in children]
+    assert len(set(draws)) == 4
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_check_probability():
+    assert check_probability(0.5, "p") == 0.5
+    assert check_probability(0.0, "p") == 0.0
+    with pytest.raises(ValueError):
+        check_probability(-0.1, "p")
+    with pytest.raises(ValueError):
+        check_probability(1.1, "p")
+    with pytest.raises(ValueError):
+        check_probability(0.0, "p", inclusive_low=False)
+
+
+def test_check_opinions_clips_float_noise():
+    out = check_opinions(np.array([0.0, 1.0 + 1e-14]))
+    assert out.max() <= 1.0
+    with pytest.raises(ValueError):
+        check_opinions(np.array([1.5]))
+    with pytest.raises(ValueError):
+        check_opinions(np.array([np.nan]))
+
+
+def test_check_stubbornness_shape():
+    with pytest.raises(ValueError):
+        check_stubbornness(np.zeros(3), 4)
+
+
+def test_check_seed_budget():
+    assert check_seed_budget(3, 10) == 3
+    with pytest.raises(ValueError):
+        check_seed_budget(-1, 10)
+    with pytest.raises(ValueError):
+        check_seed_budget(11, 10)
+
+
+def test_check_time_horizon():
+    assert check_time_horizon(5) == 5
+    with pytest.raises(ValueError):
+        check_time_horizon(-1)
+
+
+def test_timer_measures():
+    with Timer() as t:
+        sum(range(10_000))
+    assert t.elapsed >= 0.0

@@ -1,0 +1,67 @@
+"""Tests for the preference rank β (Eq. 4 semantics, ties count against)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.voting.rank import rank_against, ranks
+
+
+def test_ranks_basic():
+    opinions = np.array(
+        [
+            [0.9, 0.1, 0.5],
+            [0.5, 0.5, 0.5],
+            [0.1, 0.9, 0.5],
+        ]
+    )
+    np.testing.assert_array_equal(ranks(opinions, 0), [1, 3, 3])
+    np.testing.assert_array_equal(ranks(opinions, 2), [3, 1, 3])
+
+
+def test_ranks_tie_counts_against_target():
+    opinions = np.array([[0.5, 0.7], [0.5, 0.7]])
+    # Equal opinions: both candidates get rank 2 (β counts >=).
+    np.testing.assert_array_equal(ranks(opinions, 0), [2, 2])
+    np.testing.assert_array_equal(ranks(opinions, 1), [2, 2])
+
+
+def test_ranks_single_candidate():
+    opinions = np.array([[0.3, 0.9]])
+    np.testing.assert_array_equal(ranks(opinions, 0), [1, 1])
+
+
+def test_ranks_validation():
+    opinions = np.array([[0.3, 0.9]])
+    with pytest.raises(ValueError):
+        ranks(opinions, 5)
+    with pytest.raises(ValueError):
+        ranks(np.zeros(3), 0)
+
+
+def test_rank_against_matches_ranks():
+    rng = np.random.default_rng(1)
+    opinions = rng.random((4, 30))
+    q = 2
+    others = np.delete(opinions, q, axis=0).T
+    np.testing.assert_array_equal(
+        rank_against(opinions[q], others), ranks(opinions, q)
+    )
+
+
+def test_rank_against_shape_validation():
+    with pytest.raises(ValueError):
+        rank_against(np.zeros(3), np.zeros((2, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 5000), r=st.integers(1, 6), n=st.integers(1, 20))
+def test_property_rank_bounds(seed, r, n):
+    """1 <= β <= r for every user and candidate."""
+    rng = np.random.default_rng(seed)
+    opinions = rng.random((r, n))
+    for q in range(r):
+        beta = ranks(opinions, q)
+        assert beta.min() >= 1
+        assert beta.max() <= r

@@ -1,0 +1,91 @@
+"""Tests for winner determination, Condorcet, and margin diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.voting.rules import (
+    condorcet_winner,
+    copeland_margin,
+    gamma_values,
+    is_strict_winner,
+    pairwise_tally,
+    score_all_candidates,
+    winner,
+)
+from repro.voting.scores import CumulativeScore, PluralityScore
+
+
+def test_winner_and_scores():
+    opinions = np.array([[0.9, 0.8], [0.1, 0.2]])
+    assert winner(opinions, CumulativeScore()) == 0
+    np.testing.assert_allclose(
+        score_all_candidates(opinions, CumulativeScore()), [1.7, 0.3]
+    )
+
+
+def test_is_strict_winner_requires_strictness():
+    opinions = np.array([[0.5, 0.5], [0.5, 0.5]])
+    assert not is_strict_winner(opinions, CumulativeScore(), 0)
+    opinions = np.array([[0.6, 0.5], [0.5, 0.5]])
+    assert is_strict_winner(opinions, CumulativeScore(), 0)
+
+
+def test_pairwise_tally():
+    opinions = np.array([[0.9, 0.2, 0.5], [0.1, 0.8, 0.5]])
+    wins, losses = pairwise_tally(opinions, 0, 1)
+    assert (wins, losses) == (1, 1)  # third user ties
+
+
+def test_condorcet_winner_exists():
+    opinions = np.array(
+        [
+            [0.9, 0.9, 0.1],
+            [0.5, 0.1, 0.9],
+            [0.1, 0.5, 0.5],
+        ]
+    )
+    assert condorcet_winner(opinions) == 0
+
+
+def test_condorcet_winner_can_be_absent():
+    # A rock-paper-scissors cycle over 3 users.
+    opinions = np.array(
+        [
+            [0.9, 0.1, 0.5],
+            [0.5, 0.9, 0.1],
+            [0.1, 0.5, 0.9],
+        ]
+    )
+    assert condorcet_winner(opinions) is None
+
+
+def test_gamma_values():
+    opinions = np.array([[0.5, 0.2], [0.7, 0.1], [0.4, 0.9]])
+    np.testing.assert_allclose(gamma_values(opinions, 0), [0.1, 0.1])
+
+
+def test_gamma_values_single_candidate_infinite():
+    opinions = np.array([[0.5, 0.2]])
+    assert np.all(np.isinf(gamma_values(opinions, 0)))
+
+
+def test_copeland_margin():
+    opinions = np.array([[0.9, 0.9, 0.1], [0.1, 0.1, 0.9]])
+    # Target wins 2, loses 1: margin |2-1|/3.
+    assert copeland_margin(opinions, 0) == pytest.approx(1 / 3)
+
+
+def test_copeland_margin_single_candidate():
+    assert copeland_margin(np.array([[0.5, 0.5]]), 0) == float("inf")
+
+
+def test_plurality_winner_on_example():
+    opinions = np.array(
+        [
+            [0.40, 0.80, 0.60, 0.75],
+            [0.35, 0.75, 0.78, 0.90],
+        ]
+    )
+    # Both have plurality 2: tie broken toward index 0, but not a strict win.
+    assert winner(opinions, PluralityScore()) == 0
+    assert not is_strict_winner(opinions, PluralityScore(), 0)
