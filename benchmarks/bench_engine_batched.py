@@ -1,0 +1,85 @@
+"""Engine benchmark: per-set vs batched DM evaluation of a greedy round.
+
+One exhaustive greedy round (all ``n`` single-seed candidate extensions of
+the empty set, plurality score) evaluated through :class:`DMEngine` (the
+legacy per-set path: one full FJ evolution per candidate) and through
+:class:`BatchedDMEngine` (one chunked delta evolution for the whole round)
+on the Fig.-17 synthetic graphs.  Emits per-size wall times and speedups so
+future BENCH_*.json files track the trajectory, and asserts the engine's
+contract: identical gains to 1e-10 and >= 5x speedup at n >= 2000.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_engine_batched.py``.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.core.engine import BatchedDMEngine, DMEngine
+from repro.datasets.twitter import twitter_social_distancing
+from repro.eval.reporting import format_series
+from repro.utils.timing import Timer
+from repro.voting.scores import PluralityScore
+
+SIZES = [500, 2000, 8000]
+#: The CLI's default horizon; longer horizons amortize the per-candidate
+#: fixed costs of the per-set path, so the ratio grows with t.
+HORIZON = 20
+#: Acceptance floor at the sizes where batching must pay off; measured
+#: headroom is ~19x (n=500), ~7x (n=2000) and ~5.7x (n=8000) on one core.
+MIN_SPEEDUP_AT_SCALE = 5.0
+
+
+def _best_of(fn, reps: int = 2) -> tuple[float, np.ndarray]:
+    """Best-of-``reps`` wall time (shields the ratio from scheduler noise
+    and first-touch page faults)."""
+    best, out = np.inf, None
+    for _ in range(reps):
+        with Timer() as timer:
+            out = fn()
+        best = min(best, timer.elapsed)
+    return best, out
+
+
+def _one_round(n: int) -> dict[str, float]:
+    dataset = twitter_social_distancing(n=n, rng=BENCH_SEED, horizon=HORIZON)
+    problem = dataset.problem(PluralityScore())
+    problem.others_by_user()  # shared input, warmed outside the timers
+    problem.target_trajectory()
+    candidates = np.arange(n)
+    per_engine = DMEngine(problem)
+    batch_engine = BatchedDMEngine(problem)
+    per_set_time, per_set = _best_of(
+        lambda: per_engine.marginal_gains((), candidates)
+    )
+    # An extra rep for the short batched runs: transient scheduler noise
+    # costs them relatively more than the ~20s per-set runs.
+    batched_time, batched = _best_of(
+        lambda: batch_engine.marginal_gains((), candidates), reps=3
+    )
+    np.testing.assert_allclose(batched, per_set, atol=1e-10, rtol=0)
+    return {
+        "per_set": per_set_time,
+        "batched": batched_time,
+        "speedup": per_set_time / batched_time,
+    }
+
+
+def test_engine_batched_speedup(benchmark, save_result):
+    rounds = run_once(benchmark, lambda: [_one_round(n) for n in SIZES])
+    series = {
+        "per-set (s)": [r["per_set"] for r in rounds],
+        "batched (s)": [r["batched"] for r in rounds],
+        "speedup (x)": [r["speedup"] for r in rounds],
+    }
+    save_result(
+        "engine_batched",
+        "exhaustive greedy round, plurality, t=%d:\n%s"
+        % (HORIZON, format_series("n", SIZES, series)),
+    )
+    for n, r in zip(SIZES, rounds):
+        assert r["batched"] < r["per_set"], f"no speedup at n={n}"
+        if n >= 2000:
+            assert r["speedup"] >= MIN_SPEEDUP_AT_SCALE, (
+                f"batched engine only {r['speedup']:.1f}x at n={n}"
+            )

@@ -58,14 +58,22 @@ def test_fig2_copeland_yelp(benchmark, yelp_ds, save_result):
 
 
 def test_fig2_bound_runtime_share(benchmark, distancing_ds, save_result):
-    """§IV-D: computing S_U / S_L costs a small fraction of computing S_F."""
+    """§IV-D: computing S_U / S_L costs a small fraction of computing S_F.
+
+    The paper's claim is relative to the *per-set* DM greedy (its S_F
+    path), so that is what we time here via ``engine="dm"``.  The batched
+    engine inverts these economics — its S_F round costs less than the
+    coverage index — which the result text reports for contrast.
+    """
     problem = distancing_ds.problem(PluralityScore())
     problem.others_by_user()
     k = 20
 
     def run():
         with Timer() as t_all:
-            result = sandwich_select(problem, k, method="dm")
+            result = sandwich_select(problem, k, method="dm", engine="dm")
+        with Timer() as t_batched:
+            sandwich_select(problem, k, method="dm", engine="dm-batched")
         # Time the bound solutions in isolation.
         from repro.core.reachability import ReachabilityIndex, coverage_greedy
 
@@ -76,14 +84,15 @@ def test_fig2_bound_runtime_share(benchmark, distancing_ds, save_result):
             coverage_greedy(index, favorable_users(problem), k)
         with Timer() as t_lb:
             lower_bound_greedy(problem, k, favorable_users(problem))
-        return result, t_all.elapsed, t_ub.elapsed, t_lb.elapsed
+        return result, t_all.elapsed, t_batched.elapsed, t_ub.elapsed, t_lb.elapsed
 
-    result, total, t_ub, t_lb = run_once(benchmark, run)
+    result, total, total_batched, t_ub, t_lb = run_once(benchmark, run)
     save_result(
         "fig2_bound_runtime",
-        f"sandwich total {total:.2f}s; S_U {t_ub:.2f}s "
+        f"sandwich total {total:.2f}s (per-set S_F); S_U {t_ub:.2f}s "
         f"({100 * t_ub / total:.1f}%), S_L {t_lb:.2f}s ({100 * t_lb / total:.1f}%)"
-        f"; chosen={result.chosen}, ratio={result.sandwich_ratio:.2f}",
+        f"; chosen={result.chosen}, ratio={result.sandwich_ratio:.2f}"
+        f"; batched-engine total {total_batched:.2f}s",
     )
     # The bounds must be much cheaper than the full sandwich run (paper: ~2%/~5%).
     assert t_ub < 0.5 * total

@@ -22,7 +22,14 @@ Quickstart
 array([2])
 """
 
-from repro.core.greedy import GreedyResult, greedy_dm, greedy_select
+from repro.core.engine import (
+    BatchedDMEngine,
+    DMEngine,
+    ObjectiveEngine,
+    WalkEngine,
+    make_engine,
+)
+from repro.core.greedy import GreedyResult, greedy_dm, greedy_engine, greedy_select
 from repro.core.problem import FJVoteProblem
 from repro.core.random_walk import TruncatedWalks, random_walk_select
 from repro.core.sandwich import SandwichResult, sandwich_select
@@ -47,12 +54,16 @@ from repro.voting.scores import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchedDMEngine",
     "CampaignState",
     "CopelandScore",
     "CumulativeScore",
+    "DMEngine",
     "FJVoteProblem",
     "GreedyResult",
     "InfluenceGraph",
+    "ObjectiveEngine",
+    "WalkEngine",
     "PApprovalScore",
     "PluralityScore",
     "PositionalPApprovalScore",
@@ -67,8 +78,10 @@ __all__ = [
     "fj_evolve",
     "graph_from_edges",
     "greedy_dm",
+    "greedy_engine",
     "greedy_select",
     "horizon_opinions",
+    "make_engine",
     "make_score",
     "min_seeds_to_win",
     "random_walk_select",

@@ -17,15 +17,27 @@ from repro.core.problem import FJVoteProblem
 from repro.voting.scores import CumulativeScore
 
 
-def gedt_select(problem: FJVoteProblem, k: int) -> np.ndarray:
+def gedt_select(
+    problem: FJVoteProblem,
+    k: int,
+    *,
+    engine: object = None,
+    rng: object = None,
+) -> np.ndarray:
     """Seeds of the finite-horizon Gionis et al. greedy (cumulative objective).
 
     The returned seed set is then *evaluated* under whichever score the
     surrounding experiment uses, exactly like the paper's baseline protocol
-    ("all baselines differ only in the seed selection methods").
+    ("all baselines differ only in the seed selection methods").  ``engine``
+    picks the evaluation backend for the inner greedy (see
+    :func:`repro.core.engine.make_engine`); note an engine instance is
+    bound to *its* problem's score, so only spec names are accepted here.
+    ``rng`` seeds the stochastic engine specs.
     """
+    if engine is not None and not isinstance(engine, str):
+        raise TypeError("gedt_select accepts only engine spec names, not instances")
     cumulative = problem.with_score(CumulativeScore())
-    return greedy_dm(cumulative, k).seeds
+    return greedy_dm(cumulative, k, engine=engine, rng=rng).seeds
 
 
 def ged_equilibrium_select(problem: FJVoteProblem, k: int) -> np.ndarray:

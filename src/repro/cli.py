@@ -17,6 +17,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.engine import ENGINE_NAMES
 from repro.core.winmin import min_seeds_to_win
 from repro.datasets.dblp import dblp_like
 from repro.datasets.synth import Dataset
@@ -64,6 +65,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--p", type=int, default=2, help="p for p-approval")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="dm-batched",
+        help="objective-evaluation backend for the greedy-based methods "
+        "(dm-batched: vectorized exact DM; dm: legacy per-set; rw/sketch: "
+        "walk estimators)",
+    )
 
 
 def _make_score(args: argparse.Namespace):
@@ -78,7 +87,9 @@ def cmd_select(args: argparse.Namespace) -> int:
     problem.others_by_user()
     kwargs = _FAST_KWARGS.get(args.method, {})
     with Timer() as timer:
-        seeds = select_seeds(args.method, problem, args.k, rng=args.seed, **kwargs)
+        seeds = select_seeds(
+            args.method, problem, args.k, rng=args.seed, engine=args.engine, **kwargs
+        )
     before = problem.objective(())
     after = problem.objective(seeds)
     print(
@@ -96,7 +107,9 @@ def cmd_winmin(args: argparse.Namespace) -> int:
     problem = dataset.problem(_make_score(args))
     kwargs = _FAST_KWARGS.get(args.method, {})
     if args.method == "dm":
-        result = min_seeds_to_win(problem, k_max=args.kmax)
+        result = min_seeds_to_win(
+            problem, k_max=args.kmax, engine=args.engine, rng=args.seed
+        )
     else:
         result = min_seeds_to_win(
             problem,
@@ -116,6 +129,7 @@ def cmd_case_study(args: argparse.Namespace) -> int:
     dataset = dblp_like(n=args.users, rng=args.seed, horizon=args.horizon)
     result = acm_election_case_study(
         dataset, k=args.k, method=args.method, rng=args.seed + 1,
+        engine=args.engine,
         **_FAST_KWARGS.get(args.method, {}),
     )
     print(
@@ -166,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--seed", type=int, default=0)
     p_case.add_argument("-k", type=int, default=100)
     p_case.add_argument("--method", choices=METHOD_NAMES, default="rw")
+    p_case.add_argument("--engine", choices=ENGINE_NAMES, default="dm-batched")
     p_case.set_defaults(func=cmd_case_study)
 
     sub.add_parser("datasets", help="list datasets").set_defaults(func=cmd_datasets)

@@ -6,8 +6,16 @@ from repro.core.bounds import (
     lambda_rank,
     theta_cumulative,
 )
+from repro.core.engine import (
+    ENGINE_NAMES,
+    BatchedDMEngine,
+    DMEngine,
+    ObjectiveEngine,
+    WalkEngine,
+    make_engine,
+)
 from repro.core.exact import brute_force_optimum, submodularity_violations
-from repro.core.greedy import GreedyResult, greedy_dm, greedy_select
+from repro.core.greedy import GreedyResult, greedy_dm, greedy_engine, greedy_select
 from repro.core.problem import FJVoteProblem
 from repro.core.random_walk import TruncatedWalks, random_walk_select
 from repro.core.reachability import ReachabilityIndex, coverage_greedy
@@ -16,16 +24,23 @@ from repro.core.sketch import sketch_select
 from repro.core.winmin import WinMinResult, min_seeds_to_win
 
 __all__ = [
+    "BatchedDMEngine",
+    "DMEngine",
+    "ENGINE_NAMES",
     "FJVoteProblem",
     "GreedyResult",
+    "ObjectiveEngine",
     "ReachabilityIndex",
     "SandwichResult",
     "TruncatedWalks",
+    "WalkEngine",
     "WinMinResult",
     "brute_force_optimum",
     "coverage_greedy",
     "greedy_dm",
+    "greedy_engine",
     "greedy_select",
+    "make_engine",
     "lambda_copeland",
     "lambda_cumulative",
     "lambda_rank",

@@ -1,24 +1,38 @@
 """Greedy seed selection (paper Algorithm 1) with optional CELF laziness.
 
 ``greedy_select`` is a generic engine over a black-box set objective;
-``greedy_dm`` instantiates it with exact opinion computation via direct
-matrix multiplication (the DM method of §VIII-A).  CELF lazy evaluation
-[Leskovec et al. 2007] is valid when the objective is submodular — in this
-library: the cumulative score, the sandwich bound functions, and coverage —
-and is applied automatically for those.
+``greedy_engine`` drives the same loop through an
+:class:`~repro.core.engine.ObjectiveEngine`, collapsing each exhaustive
+round into *one* batched evaluation; ``greedy_dm`` instantiates it with
+exact opinion computation via direct matrix multiplication (the DM method
+of §VIII-A, batched by default).  CELF lazy evaluation [Leskovec et al.
+2007] is valid when the objective is submodular — in this library: the
+cumulative score, the sandwich bound functions, and coverage — and is
+applied automatically for those.
+
+Tie-breaking contract
+---------------------
+Both loops are deterministic.  The exhaustive path scans candidates in
+ascending node order and keeps the *first* maximum, so equal-gain ties
+resolve to the smallest node id.  The CELF heap stores ``(-gain, node,
+stamp)`` tuples, so equal ``-gain`` entries compare on ``node`` next:
+ties again pop the smallest node id first.  Tests pin this contract.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from repro.core.problem import FJVoteProblem
 from repro.utils.validation import check_seed_budget
 from repro.voting.scores import CumulativeScore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> greedy)
+    from repro.core.engine import ObjectiveEngine
 
 
 @dataclass
@@ -34,7 +48,9 @@ class GreedyResult:
     gains:
         Marginal gain recorded at each pick.
     evaluations:
-        Number of objective evaluations performed (CELF effectiveness metric).
+        Number of candidate-objective evaluations performed (CELF
+        effectiveness metric; a batched round of ``C`` candidates counts
+        as ``C`` evaluations).
     """
 
     seeds: np.ndarray
@@ -66,6 +82,9 @@ def greedy_select(
         Use CELF lazy evaluation.  Only sound for submodular objectives.
     candidates:
         Optional restriction of the ground set.
+
+    Equal-gain ties resolve to the smallest node id on both paths (see the
+    module docstring), so results are reproducible across runs.
     """
     k = check_seed_budget(k, n)
     pool = np.arange(n) if candidates is None else np.asarray(sorted(set(candidates)))
@@ -80,6 +99,7 @@ def greedy_select(
         # the size of the selected set when the gain was computed.  A cached
         # gain is exact iff stamp == len(selected); by submodularity stale
         # gains only over-estimate, so popping a fresh maximum is safe.
+        # Tuple comparison breaks equal -gain ties by ascending node id.
         heap: list[tuple[float, int, int]] = []
         for v in pool:
             gain = value_fn((int(v),)) - current
@@ -99,7 +119,10 @@ def greedy_select(
             gains.append(best_gain)
             current += best_gain
     else:
-        remaining = set(int(v) for v in pool)
+        # Scan in ascending node order with a strict ">" so the smallest
+        # node id wins equal-gain ties (a Python set here would make the
+        # pick depend on hash order).
+        remaining = [int(v) for v in pool]
         for _ in range(k):
             best, best_gain = -1, -np.inf
             base = tuple(selected)
@@ -111,11 +134,85 @@ def greedy_select(
             selected.append(best)
             gains.append(best_gain)
             current += best_gain
-            remaining.discard(best)
+            remaining.remove(best)
     return GreedyResult(
         seeds=np.array(selected, dtype=np.int64),
         objective=current,
         gains=np.array(gains, dtype=np.float64),
+        evaluations=evaluations,
+    )
+
+
+def greedy_engine(
+    engine: "ObjectiveEngine",
+    k: int,
+    *,
+    lazy: bool = False,
+    candidates: Sequence[int] | None = None,
+) -> GreedyResult:
+    """Greedy selection driven by an :class:`ObjectiveEngine`.
+
+    The exhaustive path performs *one* ``engine.marginal_gains`` call per
+    round — with a batched backend, a whole round of ``C`` candidate
+    evaluations collapses into a single vectorized evolution.  The CELF
+    path batches the first round (all initial gains at once) and then
+    re-evaluates individual stale entries on demand.
+
+    Tie-breaking matches :func:`greedy_select`: candidates are scanned in
+    ascending node order and ``np.argmax`` keeps the first maximum, so
+    equal-gain ties resolve to the smallest node id.
+    """
+    n = engine.problem.n
+    k = check_seed_budget(k, n)
+    pool = np.arange(n) if candidates is None else np.asarray(sorted(set(candidates)))
+    if k > pool.size:
+        raise ValueError(f"budget k={k} exceeds candidate pool size {pool.size}")
+    selected: list[int] = []
+    gains_trace: list[float] = []
+    evaluations = 0
+    # The accumulated objective doubles as the base value of every round's
+    # gain computation, so the engine never re-evaluates the base set.
+    current = engine.evaluate_one(())
+    if lazy:
+        initial = engine.marginal_gains((), pool, base_objective=current)
+        evaluations += pool.size
+        heap: list[tuple[float, int, int]] = [
+            (-float(g), int(v), 0) for g, v in zip(initial, pool)
+        ]
+        heapq.heapify(heap)
+        for _ in range(k):
+            while True:
+                neg_gain, v, stamp = heapq.heappop(heap)
+                if stamp == len(selected):
+                    best, best_gain = v, -neg_gain
+                    break
+                gain = float(
+                    engine.marginal_gains(
+                        tuple(selected), [v], base_objective=current
+                    )[0]
+                )
+                evaluations += 1
+                heapq.heappush(heap, (-gain, v, len(selected)))
+            selected.append(best)
+            gains_trace.append(best_gain)
+            current += best_gain
+    else:
+        remaining = pool.copy()
+        for _ in range(k):
+            gains = engine.marginal_gains(
+                tuple(selected), remaining, base_objective=current
+            )
+            evaluations += remaining.size
+            idx = int(np.argmax(gains))
+            best, best_gain = int(remaining[idx]), float(gains[idx])
+            selected.append(best)
+            gains_trace.append(best_gain)
+            current += best_gain
+            remaining = np.delete(remaining, idx)
+    return GreedyResult(
+        seeds=np.array(selected, dtype=np.int64),
+        objective=current,
+        gains=np.array(gains_trace, dtype=np.float64),
         evaluations=evaluations,
     )
 
@@ -126,18 +223,29 @@ def greedy_dm(
     *,
     lazy: bool | str = "auto",
     candidates: Sequence[int] | None = None,
+    engine: "ObjectiveEngine | str | None" = None,
+    rng: "int | np.random.Generator | None" = None,
 ) -> GreedyResult:
     """Algorithm 1 with exact (direct matrix multiplication) opinions.
 
     ``lazy="auto"`` enables CELF exactly when the score is cumulative (the
     submodular case, Theorem 3); other scores use exhaustive re-evaluation
     each round as in the paper.
+
+    ``engine`` selects the evaluation backend: an
+    :class:`~repro.core.engine.ObjectiveEngine` instance, a spec name from
+    :data:`~repro.core.engine.ENGINE_NAMES`, or ``None`` for the default
+    batched DM engine (exact, identical objectives, one vectorized
+    evolution per round instead of ~n).  ``rng`` seeds the stochastic
+    (walk/sketch) engine specs for reproducible selections; exact engines
+    ignore it.
     """
+    from repro.core.engine import make_engine
+
     if lazy == "auto":
         lazy = isinstance(problem.score, CumulativeScore)
-    return greedy_select(
-        lambda seeds: problem.objective(np.array(seeds, dtype=np.int64)),
-        problem.n,
+    return greedy_engine(
+        make_engine(engine, problem, rng=rng),
         k,
         lazy=bool(lazy),
         candidates=candidates,

@@ -64,6 +64,7 @@ class FJVoteProblem:
         self._competitors: np.ndarray | None = None
         self._others_by_user: np.ndarray | None = None
         self._base_target: np.ndarray | None = None
+        self._base_trajectory: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -122,6 +123,28 @@ class FJVoteProblem:
         b0, d = self.state.seeded(self.target, seeds)
         return fj_evolve(b0, d, self.state.graph(self.target), self.horizon)
 
+    def target_trajectory(self) -> np.ndarray:
+        """``(horizon+1, n)`` unseeded target opinions at every step (cached).
+
+        Row ``s`` is ``b_q(s)`` with no seeds applied.  This is the shared
+        base trajectory the batched engine perturbs: seeding only *pins*
+        coordinates, so every seeded evolution is this trajectory plus a
+        homogeneous delta (see :mod:`repro.core.engine`).
+        """
+        if self._base_trajectory is None:
+            from repro.opinion.fj import fj_trajectory
+
+            steps = fj_trajectory(
+                self.state.initial_opinions[self.target],
+                self.state.stubbornness[self.target],
+                self.state.graph(self.target),
+                self.horizon,
+            )
+            self._base_trajectory = np.vstack([b[None, :] for b in steps])
+            if self._base_target is None:
+                self._base_target = self._base_trajectory[-1]
+        return self._base_trajectory
+
     def full_opinions(self, seeds: np.ndarray | tuple = ()) -> np.ndarray:
         """Full ``(r, n)`` horizon opinion matrix with ``seeds`` for the target."""
         competitors = self.competitor_opinions()
@@ -166,6 +189,7 @@ class FJVoteProblem:
         clone._competitors = self._competitors
         clone._others_by_user = self._others_by_user
         clone._base_target = self._base_target
+        clone._base_trajectory = self._base_trajectory
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -25,15 +25,19 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.greedy import GreedyResult, greedy_dm, greedy_select
+from repro.core.engine import BatchedDMEngine, ObjectiveEngine, make_engine
+from repro.core.greedy import GreedyResult, greedy_dm, greedy_engine
 from repro.core.problem import FJVoteProblem
 from repro.core.random_walk import random_walk_select
 from repro.core.reachability import ReachabilityIndex, coverage_greedy
 from repro.core.sketch import sketch_select
-from repro.opinion.fj import fj_evolve
 from repro.utils.validation import check_seed_budget
 from repro.voting.rank import ranks
-from repro.voting.scores import CopelandScore, PositionalPApprovalScore
+from repro.voting.scores import (
+    CopelandScore,
+    CumulativeScore,
+    PositionalPApprovalScore,
+)
 
 
 def favorable_users(problem: FJVoteProblem) -> np.ndarray:
@@ -71,22 +75,22 @@ def lower_bound_greedy(
 
     Returns the greedy result and the weight ``ω[p]`` so callers can report
     the bound value.  The objective is the sum of seeded horizon opinions
-    over ``favorable`` — submodular by Theorem 3, hence CELF-safe.
+    over ``favorable`` — submodular by Theorem 3, hence CELF-safe.  The
+    weighted restriction is expressed as a batched DM engine over the
+    cumulative score with per-user weights ``ω[p]·1[v ∈ favorable]``, so
+    the CELF initialization round is a single vectorized evolution.
     """
     score = problem.score
     if not isinstance(score, PositionalPApprovalScore):
         raise TypeError("the LB function applies to positional-p-approval scores")
     weight = score.weight_at(score.p)
-    state = problem.state
-    q = problem.target
     fav = np.asarray(favorable, dtype=np.int64)
-
-    def lb_value(seeds: tuple[int, ...]) -> float:
-        b0, d = state.seeded(q, np.array(seeds, dtype=np.int64))
-        horizon_vals = fj_evolve(b0, d, state.graph(q), problem.horizon)
-        return weight * float(horizon_vals[fav].sum())
-
-    result = greedy_select(lb_value, problem.n, k, lazy=True)
+    weights = np.zeros(problem.n, dtype=np.float64)
+    weights[fav] = weight
+    lb_engine = BatchedDMEngine(
+        problem.with_score(CumulativeScore()), user_weights=weights
+    )
+    result = greedy_engine(lb_engine, k, lazy=True)
     return result, weight
 
 
@@ -123,6 +127,7 @@ def sandwich_select(
     method: str = "dm",
     feasible_selector: Callable[[int], np.ndarray] | None = None,
     rng: int | np.random.Generator | None = None,
+    engine: ObjectiveEngine | str | None = None,
     **method_kwargs: object,
 ) -> SandwichResult:
     """Sandwich-approximation seed selection (Algorithm 3).
@@ -135,6 +140,11 @@ def sandwich_select(
     feasible_selector:
         Optional override returning ``S_F`` for a budget (ignores
         ``method``).
+    engine:
+        Evaluation backend for the ``"dm"`` feasible greedy (see
+        :func:`repro.core.engine.make_engine`).  The final arg-max over
+        {S_F, S_U, S_L} is always scored exactly; when the engine is an
+        exact batch engine, all finalists are scored in one batched call.
     method_kwargs:
         Forwarded to the RW/RS selector.
     """
@@ -151,7 +161,7 @@ def sandwich_select(
     if feasible_selector is not None:
         seeds_f = np.asarray(feasible_selector(k), dtype=np.int64)
     elif method == "dm":
-        seeds_f = greedy_dm(problem, k).seeds
+        seeds_f = greedy_dm(problem, k, engine=engine, rng=rng).seeds
     elif method == "rw":
         seeds_f = random_walk_select(problem, k, rng=rng, **method_kwargs).seeds
     elif method == "rs":
@@ -175,11 +185,25 @@ def sandwich_select(
     if is_positional:
         lb_result, _ = lower_bound_greedy(problem, k, base)
         seeds_l = lb_result.seeds
-    # --- Final: arg max of F over the candidates (Alg. 3 line 4).
+    # --- Final: arg max of F over the candidates (Alg. 3 line 4), scored
+    # exactly — batched when the caller's engine is exact, otherwise via a
+    # fresh batched DM engine (estimate engines must not decide the winner).
     candidates = {"F": seeds_f, "UB": seeds_u}
     if seeds_l is not None:
         candidates["LB"] = seeds_l
-    values = {name: problem.objective(s) for name, s in candidates.items()}
+    if (
+        isinstance(engine, ObjectiveEngine)
+        and not engine.is_estimate
+        and engine.problem is problem
+        and getattr(engine, "user_weights", None) is None
+    ):
+        exact = engine
+    elif engine in (None, "dm", "dm-batched"):
+        exact = make_engine(engine, problem)
+    else:
+        exact = BatchedDMEngine(problem)
+    finals = exact.evaluate(list(candidates.values()))
+    values = dict(zip(candidates, (float(v) for v in finals)))
     chosen = max(values, key=lambda name: values[name])
     return SandwichResult(
         seeds=candidates[chosen],

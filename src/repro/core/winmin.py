@@ -14,6 +14,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.engine import ObjectiveEngine
 from repro.core.greedy import greedy_dm
 from repro.core.problem import FJVoteProblem
 
@@ -38,6 +39,8 @@ def min_seeds_to_win(
     *,
     k_max: int | None = None,
     selector: Callable[[int], np.ndarray] | None = None,
+    engine: ObjectiveEngine | str | None = None,
+    rng: int | np.random.Generator | None = None,
 ) -> WinMinResult:
     """Find the smallest budget whose selected seed set makes the target win.
 
@@ -51,6 +54,14 @@ def min_seeds_to_win(
         :func:`repro.core.random_walk.random_walk_select`).  Defaults to the
         exact greedy ranking, evaluated as prefixes so Algorithm 1 runs only
         once.
+    engine:
+        Evaluation backend for the default greedy ranking (see
+        :func:`repro.core.engine.make_engine`); ignored when ``selector``
+        is given.  The winning criterion itself is always checked exactly
+        via :meth:`FJVoteProblem.target_wins`.
+    rng:
+        Seeds the stochastic (walk/sketch) engine specs so the default
+        ranking stays reproducible; exact engines ignore it.
     """
     n = problem.n
     upper = n if k_max is None else int(k_max)
@@ -60,7 +71,7 @@ def min_seeds_to_win(
     if problem.target_wins(()):
         return WinMinResult(seeds=np.empty(0, dtype=np.int64), k=0, found=True, probes=probes)
     if selector is None:
-        ranking = greedy_dm(problem, upper).seeds
+        ranking = greedy_dm(problem, upper, engine=engine, rng=rng).seeds
 
         def get(k: int) -> np.ndarray:
             return ranking[:k]

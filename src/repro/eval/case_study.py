@@ -74,6 +74,7 @@ def acm_election_case_study(
     top_seeds: int = 10,
     neutral_margin: float = 0.1,
     rng: int | np.random.Generator | None = None,
+    engine: str | None = None,
     **method_kwargs: object,
 ) -> CaseStudyResult:
     """Run the case study on a DBLP-like dataset (needs domain metadata).
@@ -82,6 +83,8 @@ def acm_election_case_study(
     opinions on the two candidates differ by less than this margin
     (standing in for the paper's "equidistant from both candidates" hop
     analysis, which needs author-candidate distances we do not model).
+    ``engine`` selects the objective-evaluation backend for the
+    greedy-based methods; ``method_kwargs`` are forwarded to the selector.
     """
     member = dataset.meta.get("membership")
     domains = dataset.meta.get("domains")
@@ -89,7 +92,7 @@ def acm_election_case_study(
         raise ValueError("dataset must carry 'membership' and 'domains' metadata")
     rng = ensure_rng(rng)
     problem = dataset.problem(PluralityScore())
-    seeds = select_seeds(method, problem, k, rng, **method_kwargs)
+    seeds = select_seeds(method, problem, k, rng, engine=engine, **method_kwargs)
     beta_before = ranks(problem.full_opinions(()), problem.target)
     beta_after = ranks(problem.full_opinions(seeds), problem.target)
     votes_before_mask = beta_before == 1

@@ -63,10 +63,13 @@ def effectiveness_experiment(
     horizon: int | None = None,
     rng: int | np.random.Generator | None = None,
     method_kwargs: dict[str, dict[str, object]] | None = None,
+    engine: str | None = None,
 ) -> EffectivenessResult:
     """Score and seed-selection time vs k for each method (Figs. 6-8)."""
     problem = dataset.problem(score, horizon=horizon)
-    runs = run_methods(problem, ks, methods, rng, method_kwargs=method_kwargs)
+    runs = run_methods(
+        problem, ks, methods, rng, method_kwargs=method_kwargs, engine=engine
+    )
     scores: dict[str, list[float]] = {m: [] for m in methods}
     times: dict[str, list[float]] = {m: [] for m in methods}
     for run in runs:
@@ -191,6 +194,7 @@ def min_seeds_experiment(
     score: VotingScore | None = None,
     rng: int | np.random.Generator | None = None,
     method_kwargs: dict[str, dict[str, object]] | None = None,
+    engine: str | None = None,
 ) -> dict[str, int]:
     """Minimum winning budget per method, plurality score (Table VI)."""
     rng = ensure_rng(rng)
@@ -200,7 +204,7 @@ def min_seeds_experiment(
     for method in methods:
         kwargs = dict(method_kwargs.get(method, {}))
         if method == "dm":
-            result = min_seeds_to_win(problem, k_max=k_max)
+            result = min_seeds_to_win(problem, k_max=k_max, engine=engine, rng=rng)
         else:
             result = min_seeds_to_win(
                 problem,
@@ -397,12 +401,14 @@ def scalability_experiment(
     methods: Sequence[str] = ("dm", "rw", "rs"),
     rng: int | np.random.Generator | None = None,
     method_kwargs: dict[str, dict[str, object]] | None = None,
+    engine: str | None = None,
 ) -> dict[str, dict[str, list[float]]]:
     """Seed-finding time and memory vs node count (Fig. 17).
 
     Subsamples node sets of increasing size (as the paper does with
     Twitter_Social_Distancing) and runs each method on the induced
-    subgraph with the cumulative score.
+    subgraph with the cumulative score.  ``engine`` selects the DM
+    evaluation backend (default: batched).
     """
     rng = ensure_rng(rng)
     method_kwargs = method_kwargs or {}
@@ -439,7 +445,7 @@ def scalability_experiment(
                     result = sketch_select(problem, k, rng=rng, **kwargs)
                     mem = dm_memory + result.memory_bytes
                 else:
-                    greedy_dm(problem, k)
+                    greedy_dm(problem, k, engine=engine, rng=rng)
                     mem = dm_memory
             times[method].append(timer.elapsed)
             memory[method].append(mem)

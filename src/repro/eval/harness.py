@@ -31,22 +31,27 @@ def select_seeds(
     problem: FJVoteProblem,
     k: int,
     rng: int | np.random.Generator | None = None,
+    *,
+    engine: str | None = None,
     **kwargs: object,
 ) -> np.ndarray:
     """Select ``k`` seeds with the named method.
 
     ``kwargs`` are forwarded to the underlying selector (e.g. ``lambda_cap``
-    for RW, ``theta`` for RS, ``epsilon`` for IMM).
+    for RW, ``theta`` for RS, ``epsilon`` for IMM).  ``engine`` picks the
+    objective-evaluation backend for the greedy-based methods (``dm`` and
+    ``gedt``; see :data:`repro.core.engine.ENGINE_NAMES`) and is ignored by
+    the others, which carry their own estimators.
     """
     rng = ensure_rng(rng)
     if method == "dm":
-        return greedy_dm(problem, k).seeds
+        return greedy_dm(problem, k, engine=engine, rng=rng).seeds
     if method == "rw":
         return random_walk_select(problem, k, rng=rng, **kwargs).seeds
     if method == "rs":
         return sketch_select(problem, k, rng=rng, **kwargs).seeds
     if method == "gedt":
-        return gedt_select(problem, k)
+        return gedt_select(problem, k, engine=engine, rng=rng)
     if method in ("ic", "lt"):
         graph = problem.state.graph(problem.target)
         return imm(graph, k, model=method, rng=rng, **kwargs).seeds
@@ -79,11 +84,13 @@ def run_methods(
     rng: int | np.random.Generator | None = None,
     *,
     method_kwargs: dict[str, dict[str, object]] | None = None,
+    engine: str | None = None,
 ) -> list[MethodRun]:
     """Run every (method, k) combination; timing covers seed selection only.
 
     Competitor opinions are pre-computed before timing starts: they are a
-    shared input to all methods, as in the paper's setup.
+    shared input to all methods, as in the paper's setup.  ``engine``
+    selects the evaluation backend for the greedy-based methods.
     """
     rng = ensure_rng(rng)
     method_kwargs = method_kwargs or {}
@@ -93,7 +100,7 @@ def run_methods(
         kwargs = dict(method_kwargs.get(method, {}))
         for k in ks:
             with Timer() as timer:
-                seeds = select_seeds(method, problem, k, rng, **kwargs)
+                seeds = select_seeds(method, problem, k, rng, engine=engine, **kwargs)
             runs.append(
                 MethodRun(
                     method=method,

@@ -14,7 +14,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.voting.rank import rank_against
+from repro.voting.rank import rank_against, rank_against_batch
 
 
 class VotingScore(ABC):
@@ -31,6 +31,45 @@ class VotingScore(ABC):
         """Score of every candidate (used for winner determination)."""
         r = np.asarray(opinions).shape[0]
         return np.array([self.evaluate(opinions, q) for q in range(r)])
+
+    def score_targets(
+        self, values: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        """Target score for ``C`` hypothetical target-opinion rows at once.
+
+        Parameters
+        ----------
+        values:
+            ``(C, n)`` target opinions — one row per hypothesis (e.g. per
+            candidate seed set in a batched greedy round).
+        others_by_user:
+            ``(n, r-1)`` fixed competitor opinions shared by all rows.
+
+        The base implementation reassembles a full opinion matrix per row
+        and calls :meth:`evaluate`; subclasses override with vectorized
+        paths (this is the batch seam used by
+        :class:`repro.core.engine.BatchedDMEngine`).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        others = np.asarray(others_by_user, dtype=np.float64).T  # (r-1, n)
+        out = np.empty(values.shape[0], dtype=np.float64)
+        for i, row in enumerate(values):
+            opinions = np.vstack([row[None, :], others])
+            out[i] = self.evaluate(opinions, 0)
+        return out
+
+    def score_targets_T(
+        self, values_T: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        """Transposed :meth:`score_targets`: values come as ``(n, C)``.
+
+        The users-by-sets orientation is the batched DM engine's native
+        memory layout; overriding this avoids a strided transpose on the
+        hot path.  The base implementation falls back to the row layout.
+        """
+        return self.score_targets(
+            np.ascontiguousarray(np.asarray(values_T).T), others_by_user
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -51,10 +90,47 @@ class SeparableScore(VotingScore):
             ``(m, r-1)`` competitor opinions of the same users.
         """
 
+    def contributions_batch(
+        self, values: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        """Per-user contributions for ``C`` target rows at once: ``(C, m)``.
+
+        The base implementation loops :meth:`contributions` per row;
+        subclasses provide vectorized overrides.  The dtype may be boolean
+        for indicator-style scores (p-approval); consumers must treat the
+        result numerically (sums / dot products promote correctly).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        return np.stack(
+            [self.contributions(row, others_by_user) for row in values]
+        ) if values.shape[0] else np.empty((0, values.shape[1]), dtype=np.float64)
+
     def evaluate(self, opinions: np.ndarray, q: int) -> float:
         opinions = np.asarray(opinions, dtype=np.float64)
         others = np.delete(opinions, q, axis=0).T  # (n, r-1)
         return float(self.contributions(opinions[q], others).sum())
+
+    def contributions_batch_T(
+        self, values_T: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        """Transposed :meth:`contributions_batch`: ``(m, C)`` in and out."""
+        return np.ascontiguousarray(
+            self.contributions_batch(
+                np.ascontiguousarray(np.asarray(values_T).T), others_by_user
+            ).T
+        )
+
+    def score_targets(
+        self, values: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        return self.contributions_batch(values, others_by_user).sum(axis=1)
+
+    def score_targets_T(
+        self, values_T: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        return self.contributions_batch_T(values_T, others_by_user).sum(
+            axis=0, dtype=np.float64
+        )
 
 
 class CumulativeScore(SeparableScore):
@@ -67,6 +143,16 @@ class CumulativeScore(SeparableScore):
 
     def contributions(self, values: np.ndarray, others_by_user: np.ndarray) -> np.ndarray:
         return np.asarray(values, dtype=np.float64)
+
+    def contributions_batch(
+        self, values: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64)
+
+    def contributions_batch_T(
+        self, values_T: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        return np.asarray(values_T, dtype=np.float64)
 
 
 class PositionalPApprovalScore(SeparableScore):
@@ -103,6 +189,25 @@ class PositionalPApprovalScore(SeparableScore):
 
     def contributions(self, values: np.ndarray, others_by_user: np.ndarray) -> np.ndarray:
         beta = rank_against(values, others_by_user)
+        return self._weights_of_ranks(beta)
+
+    def contributions_batch(
+        self, values: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        beta = rank_against_batch(values, others_by_user)
+        return self._weights_of_ranks(beta)
+
+    def contributions_batch_T(
+        self, values_T: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        values_T = np.asarray(values_T, dtype=np.float64)
+        others = np.asarray(others_by_user, dtype=np.float64)
+        beta = 1 + np.sum(
+            others[:, None, :] >= values_T[:, :, None], axis=2, dtype=np.int64
+        )
+        return self._weights_of_ranks(beta)
+
+    def _weights_of_ranks(self, beta: np.ndarray) -> np.ndarray:
         padded = np.concatenate([self.weights, np.zeros(1)])
         idx = np.minimum(beta - 1, padded.size - 1)
         return np.where(beta <= self.p, padded[idx], 0.0)
@@ -119,6 +224,49 @@ class PApprovalScore(PositionalPApprovalScore):
     def __init__(self, p: int, r: int | None = None) -> None:
         size = max(int(p), 1) if r is None else int(r)
         super().__init__(p, np.ones(size))
+
+    def contributions_batch(
+        self, values: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        # Uniform top-p weights: the contribution is the plain indicator
+        # ``rank <= p``, i.e. at most p-1 competitors at or above the value
+        # — no rank materialization or weight gather needed.  Competitor
+        # counts accumulate per-competitor in uint8 (r <= 256 always holds
+        # in practice) to avoid a (C, n, r-1) 3-D temporary.
+        values = np.asarray(values, dtype=np.float64)
+        others = np.asarray(others_by_user, dtype=np.float64)
+        n_comp = others.shape[1]
+        if n_comp <= self.p - 1:
+            # Fewer competitors than approval slots: everyone approves.
+            return np.ones(values.shape, dtype=np.float64)
+        if n_comp == 1:
+            # Head-to-head (r = 2, p = 1): approval iff strictly ahead.
+            return values > others[:, 0][None, :]
+        if n_comp >= 255:
+            beta = rank_against_batch(values, others)
+            return beta <= self.p
+        count_ge = np.zeros(values.shape, dtype=np.uint8)
+        for x in range(n_comp):
+            count_ge += others[:, x][None, :] >= values
+        return count_ge < self.p
+
+    def contributions_batch_T(
+        self, values_T: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        # Same fast paths as contributions_batch, in (m, C) orientation.
+        values_T = np.asarray(values_T, dtype=np.float64)
+        others = np.asarray(others_by_user, dtype=np.float64)
+        n_comp = others.shape[1]
+        if n_comp <= self.p - 1:
+            return np.ones(values_T.shape, dtype=np.float64)
+        if n_comp == 1:
+            return values_T > others[:, 0][:, None]
+        if n_comp >= 255:
+            return super().contributions_batch_T(values_T, others)
+        count_ge = np.zeros(values_T.shape, dtype=np.uint8)
+        for x in range(n_comp):
+            count_ge += others[:, x][:, None] >= values_T
+        return count_ge < self.p
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PApprovalScore(p={self.p})"
@@ -161,6 +309,38 @@ class CopelandScore(VotingScore):
             if wins > losses:
                 score += 1
         return float(score)
+
+    def score_targets(
+        self, values: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        """Copeland score of ``C`` target rows against fixed competitors.
+
+        Competitions among the competitors themselves never involve the
+        target's opinions, so only the ``r-1`` target-vs-x duels matter —
+        one ``(C, n)`` comparison pair per competitor.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        others = np.asarray(others_by_user, dtype=np.float64)
+        score = np.zeros(values.shape[0], dtype=np.float64)
+        for x in range(others.shape[1]):
+            col = others[:, x][None, :]
+            wins = np.sum(values > col, axis=1)
+            losses = np.sum(values < col, axis=1)
+            score += wins > losses
+        return score
+
+    def score_targets_T(
+        self, values_T: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
+        values_T = np.asarray(values_T, dtype=np.float64)
+        others = np.asarray(others_by_user, dtype=np.float64)
+        score = np.zeros(values_T.shape[1], dtype=np.float64)
+        for x in range(others.shape[1]):
+            col = others[:, x][:, None]
+            wins = np.sum(values_T > col, axis=0)
+            losses = np.sum(values_T < col, axis=0)
+            score += wins > losses
+        return score
 
 
 _SIMPLE_SCORES = {

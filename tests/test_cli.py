@@ -35,6 +35,54 @@ def test_select_runs_small(capsys):
     assert "->" in out
 
 
+@pytest.mark.parametrize("engine", ["dm", "dm-batched", "rw", "sketch"])
+def test_select_engine_choices(capsys, engine):
+    code = main(
+        [
+            "select",
+            "--dataset", "yelp",
+            "--users", "100",
+            "--horizon", "3",
+            "--method", "dm",
+            "--engine", engine,
+            "-k", "2",
+            "--seed", "1",
+        ]
+    )
+    assert code == 0
+    assert "seeds:" in capsys.readouterr().out
+
+
+def test_select_engine_dm_variants_agree(capsys):
+    """Exact engines must print identical seeds and scores."""
+    outs = []
+    for engine in ("dm", "dm-batched"):
+        assert main(
+            [
+                "select",
+                "--dataset", "twitter-mask",
+                "--users", "120",
+                "--horizon", "4",
+                "--method", "dm",
+                "--engine", engine,
+                "-k", "3",
+                "--seed", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        outs.append(
+            (out.splitlines()[-1], out.splitlines()[-2].split("(")[0])
+        )  # seeds line + score line sans timing
+    assert outs[0] == outs[1]
+
+
+def test_unknown_engine_rejected(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["select", "--method", "dm", "--engine", "warp-drive"]
+        )
+
+
 def test_select_p_approval(capsys):
     code = main(
         [

@@ -1,0 +1,266 @@
+"""Tests for the ObjectiveEngine backends (repro.core.engine).
+
+The central contract: :class:`BatchedDMEngine` is an *exact* reformulation
+of per-set DM evaluation — identical objectives to 1e-10 across scores,
+horizons, seed configurations and competitor seeds — verified both with
+hand-picked cases and a hypothesis property suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import (
+    ENGINE_NAMES,
+    BatchedDMEngine,
+    DMEngine,
+    ObjectiveEngine,
+    WalkEngine,
+    make_engine,
+)
+from repro.core.greedy import greedy_dm, greedy_engine
+from repro.core.problem import FJVoteProblem
+from repro.voting.scores import (
+    CopelandScore,
+    CumulativeScore,
+    PApprovalScore,
+    PluralityScore,
+    PositionalPApprovalScore,
+)
+from tests.conftest import random_instance
+
+SCORE_FACTORIES = {
+    "cumulative": CumulativeScore,
+    "plurality": PluralityScore,
+    "copeland": CopelandScore,
+    "p-approval": lambda: PApprovalScore(2, 3),
+    "positional": lambda: PositionalPApprovalScore(2, np.array([1.0, 0.5, 0.25])),
+}
+
+
+def make_problem(seed, score_name, horizon, *, n=13, r=3, with_competitor_seeds=False):
+    state = random_instance(n=n, r=r, seed=seed)
+    competitor_seeds = None
+    if with_competitor_seeds:
+        rng = np.random.default_rng(seed + 100)
+        competitor_seeds = {1: rng.choice(n, size=2, replace=False)}
+    return FJVoteProblem(
+        state,
+        0,
+        horizon,
+        SCORE_FACTORIES[score_name](),
+        competitor_seeds=competitor_seeds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Property-based parity: batched == per-set to 1e-10
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 50),
+    score_name=st.sampled_from(sorted(SCORE_FACTORIES)),
+    horizon=st.integers(0, 6),
+    with_competitor_seeds=st.booleans(),
+    data=st.data(),
+)
+def test_batched_matches_per_set_objectives(
+    seed, score_name, horizon, with_competitor_seeds, data
+):
+    problem = make_problem(
+        seed, score_name, horizon, with_competitor_seeds=with_competitor_seeds
+    )
+    n = problem.n
+    num_sets = data.draw(st.integers(1, 5))
+    seed_sets = [
+        data.draw(
+            st.lists(st.integers(0, n - 1), min_size=0, max_size=4), label="seeds"
+        )
+        for _ in range(num_sets)
+    ]
+    per_set = DMEngine(problem).evaluate(seed_sets)
+    batched = BatchedDMEngine(
+        problem,
+        batch_rows=data.draw(st.sampled_from([1, 2, 512])),
+        densify_threshold=data.draw(st.sampled_from([0.0, 0.15, 1.0])),
+    ).evaluate(seed_sets)
+    np.testing.assert_allclose(batched, per_set, atol=1e-10, rtol=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 30),
+    score_name=st.sampled_from(sorted(SCORE_FACTORIES)),
+    horizon=st.integers(0, 5),
+)
+def test_batched_greedy_selects_identical_seeds(seed, score_name, horizon):
+    """Batched greedy must pick the same seeds as per-set greedy."""
+    problem = make_problem(seed, score_name, horizon, n=11)
+    per_set = greedy_dm(problem, 3, engine="dm")
+    batched = greedy_dm(problem, 3, engine="dm-batched")
+    assert per_set.seeds.tolist() == batched.seeds.tolist()
+    assert batched.objective == pytest.approx(per_set.objective, abs=1e-10)
+    np.testing.assert_allclose(batched.gains, per_set.gains, atol=1e-10)
+    assert batched.evaluations == per_set.evaluations
+
+
+# ----------------------------------------------------------------------
+# Targeted engine behaviour
+# ----------------------------------------------------------------------
+def test_capability_flags():
+    problem = make_problem(0, "plurality", 3)
+    assert DMEngine(problem).supports_batch is False
+    assert DMEngine(problem).is_estimate is False
+    assert BatchedDMEngine(problem).supports_batch is True
+    assert BatchedDMEngine(problem).is_estimate is False
+    walk = make_engine("rw", problem, rng=0, walks_per_node=4)
+    assert walk.supports_batch is True
+    assert walk.is_estimate is True
+
+
+def test_make_engine_specs():
+    problem = make_problem(0, "cumulative", 2)
+    assert isinstance(make_engine(None, problem), BatchedDMEngine)
+    assert isinstance(make_engine("dm", problem), DMEngine)
+    assert isinstance(make_engine("dm-batched", problem), BatchedDMEngine)
+    assert isinstance(make_engine("rw", problem, walks_per_node=2), WalkEngine)
+    assert isinstance(make_engine("sketch", problem, theta=50), WalkEngine)
+    engine = DMEngine(problem)
+    assert make_engine(engine, problem) is engine
+    with pytest.raises(ValueError):
+        make_engine("warp-drive", problem)
+    assert set(ENGINE_NAMES) == {"dm", "dm-batched", "rw", "sketch"}
+
+
+def test_marginal_gains_match_evaluate_differences():
+    problem = make_problem(3, "plurality", 4)
+    engine = BatchedDMEngine(problem)
+    base = (2, 5)
+    candidates = np.array([0, 1, 7, 9])
+    gains = engine.marginal_gains(base, candidates)
+    base_value = engine.evaluate_one(base)
+    for c, g in zip(candidates, gains):
+        assert g == pytest.approx(
+            engine.evaluate_one(base + (int(c),)) - base_value, abs=1e-10
+        )
+
+
+def test_duplicate_and_empty_seed_sets():
+    problem = make_problem(4, "copeland", 3)
+    engine = BatchedDMEngine(problem)
+    assert engine.evaluate_one(()) == pytest.approx(problem.objective(()), abs=1e-12)
+    assert engine.evaluate_one((5, 5, 5)) == pytest.approx(
+        problem.objective(np.array([5])), abs=1e-10
+    )
+    assert engine.evaluate([]).size == 0
+
+
+def test_out_of_range_seeds_raise():
+    problem = make_problem(0, "cumulative", 2)
+    with pytest.raises(ValueError):
+        BatchedDMEngine(problem).evaluate([(problem.n,)])
+    with pytest.raises(ValueError):
+        BatchedDMEngine(problem).evaluate([(-1,)])
+
+
+def test_user_weights_restrict_cumulative():
+    """Weighted cumulative objective == weight * sum over the masked users."""
+    problem = make_problem(1, "cumulative", 3)
+    weights = np.zeros(problem.n)
+    favorable = np.array([0, 3, 4, 8])
+    weights[favorable] = 0.5
+    engine = BatchedDMEngine(problem, user_weights=weights)
+    seeds = (2, 6)
+    expected = 0.5 * float(problem.target_opinions(np.array(seeds))[favorable].sum())
+    assert engine.evaluate_one(seeds) == pytest.approx(expected, abs=1e-12)
+
+
+def test_user_weights_reject_non_separable():
+    problem = make_problem(1, "copeland", 3)
+    with pytest.raises(TypeError):
+        BatchedDMEngine(problem, user_weights=np.ones(problem.n))
+
+
+# ----------------------------------------------------------------------
+# Walk-engine adapter
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec", ["rw", "sketch"])
+def test_walk_engine_gains_consistent_with_evaluate(spec):
+    problem = make_problem(2, "plurality", 3, n=12, r=2)
+    engine = make_engine(spec, problem, rng=7, walks_per_node=8, theta=300)
+    base = (4,)
+    candidates = np.array([0, 1, 2, 3])
+    gains = engine.marginal_gains(base, candidates)
+    for c, g in zip(candidates, gains):
+        direct = engine.evaluate_one(base + (int(c),)) - engine.evaluate_one(base)
+        assert g == pytest.approx(direct, abs=1e-9)
+
+
+def test_walk_engine_reset_and_replay():
+    """Evaluating sets in any order must not leak truncation state."""
+    problem = make_problem(5, "cumulative", 3, n=12, r=2)
+    engine = make_engine("rw", problem, rng=3, walks_per_node=8)
+    sets = [(1, 2), (), (9,), (1, 2), ()]
+    first = engine.evaluate(sets)
+    again = engine.evaluate(sets[::-1])[::-1]
+    np.testing.assert_allclose(first, again, atol=1e-12)
+
+
+def test_greedy_engine_over_walk_engine_runs():
+    problem = make_problem(6, "plurality", 3, n=12, r=2)
+    engine = make_engine("rw", problem, rng=11, walks_per_node=8)
+    result = greedy_engine(engine, 3)
+    assert result.seeds.size == 3
+    assert np.unique(result.seeds).size == 3
+
+
+@pytest.mark.parametrize("spec", ["rw", "sketch"])
+def test_walk_engine_selections_reproducible_with_rng(spec):
+    """A seeded rng must make walk-engine greedy selections deterministic."""
+    problem = make_problem(7, "plurality", 3, n=14, r=2)
+    runs = [
+        greedy_dm(problem, 3, engine=spec, rng=123).seeds.tolist()
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+
+
+def test_sandwich_final_scoring_ignores_weighted_or_foreign_engines():
+    """The sandwich arg-max must always score finalists exactly under F."""
+    from repro.core.sandwich import sandwich_select
+
+    problem = make_problem(9, "plurality", 3, n=12, r=2)
+    # A weighted engine on a cumulative clone (e.g. a reused LB engine)
+    # must not decide the winner among {F, UB, LB}: it is bound to a
+    # different problem and a scaled objective.
+    cum = problem.with_score(CumulativeScore())
+    weighted = BatchedDMEngine(cum, user_weights=np.full(problem.n, 7.0))
+    reference = sandwich_select(problem, 2, method="dm", engine="dm-batched")
+    hijacked = sandwich_select(
+        problem,
+        2,
+        feasible_selector=lambda k: reference.seeds_feasible,
+        engine=weighted,
+    )
+    assert hijacked.objective == pytest.approx(
+        problem.objective(hijacked.seeds), abs=1e-10
+    )
+    assert hijacked.seeds.tolist() == reference.seeds.tolist()
+    assert reference.objective == pytest.approx(
+        problem.objective(reference.seeds), abs=1e-10
+    )
+
+
+def test_walk_engine_small_candidate_gains_match_full_scan():
+    """The few-candidate path and the all-nodes scan must agree."""
+    problem = make_problem(8, "cumulative", 3, n=16, r=2)
+    base = (3,)
+    few = np.array([0, 1])
+    a = make_engine("rw", problem, rng=5, walks_per_node=8)
+    b = make_engine("rw", problem, rng=5, walks_per_node=8)
+    gains_few = a.marginal_gains(base, few)  # size < 8: per-candidate path
+    gains_all = b.marginal_gains(base, np.arange(16))[few]  # full scan
+    np.testing.assert_allclose(gains_few, gains_all, atol=1e-9)
