@@ -25,7 +25,9 @@ array([2])
 from repro.core.engine import (
     BatchedDMEngine,
     DMEngine,
+    EngineStats,
     ObjectiveEngine,
+    SelectionSession,
     WalkEngine,
     make_engine,
 )
@@ -59,10 +61,12 @@ __all__ = [
     "CopelandScore",
     "CumulativeScore",
     "DMEngine",
+    "EngineStats",
     "FJVoteProblem",
     "GreedyResult",
     "InfluenceGraph",
     "ObjectiveEngine",
+    "SelectionSession",
     "WalkEngine",
     "PApprovalScore",
     "PluralityScore",

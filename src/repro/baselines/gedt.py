@@ -31,7 +31,9 @@ def gedt_select(
     ("all baselines differ only in the seed selection methods").  ``engine``
     picks the evaluation backend for the inner greedy (see
     :func:`repro.core.engine.make_engine`); note an engine instance is
-    bound to *its* problem's score, so only spec names are accepted here.
+    bound to *its* problem's score, so only spec names are accepted here —
+    the cumulative clone gets its own engine and selection session, whose
+    CELF rounds warm-start against the clone's committed trajectory.
     ``rng`` seeds the stochastic engine specs.
     """
     if engine is not None and not isinstance(engine, str):

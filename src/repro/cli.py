@@ -17,7 +17,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.engine import ENGINE_NAMES
+from repro.core.engine import ENGINE_HELP, ENGINE_NAMES
 from repro.core.winmin import min_seeds_to_win
 from repro.datasets.dblp import dblp_like
 from repro.datasets.synth import Dataset
@@ -54,6 +54,22 @@ def _build_dataset(args: argparse.Namespace) -> Dataset:
     return maker(n=args.users, rng=args.seed, horizon=args.horizon)
 
 
+def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    # Choices *and* help render from the engine registry, so a newly
+    # registered backend shows up here without touching the CLI.
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="dm-batched",
+        help="objective-evaluation backend for the greedy-based methods ("
+        + "; ".join(
+            f"{name}: {ENGINE_HELP.get(name, 'no description')}"
+            for name in ENGINE_NAMES
+        )
+        + ")",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", choices=sorted(DATASETS), default="yelp")
     parser.add_argument("--users", type=int, default=1000, help="network size n")
@@ -65,14 +81,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--p", type=int, default=2, help="p for p-approval")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
-    parser.add_argument(
-        "--engine",
-        choices=ENGINE_NAMES,
-        default="dm-batched",
-        help="objective-evaluation backend for the greedy-based methods "
-        "(dm-batched: vectorized exact DM; dm: legacy per-set; rw/sketch: "
-        "walk estimators)",
-    )
+    _add_engine_option(parser)
 
 
 def _make_score(args: argparse.Namespace):
@@ -180,7 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--seed", type=int, default=0)
     p_case.add_argument("-k", type=int, default=100)
     p_case.add_argument("--method", choices=METHOD_NAMES, default="rw")
-    p_case.add_argument("--engine", choices=ENGINE_NAMES, default="dm-batched")
+    _add_engine_option(p_case)
     p_case.set_defaults(func=cmd_case_study)
 
     sub.add_parser("datasets", help="list datasets").set_defaults(func=cmd_datasets)

@@ -7,15 +7,24 @@ from repro.core.bounds import (
     theta_cumulative,
 )
 from repro.core.engine import (
+    ENGINE_HELP,
     ENGINE_NAMES,
     BatchedDMEngine,
     DMEngine,
+    EngineStats,
     ObjectiveEngine,
+    SelectionSession,
     WalkEngine,
     make_engine,
 )
 from repro.core.exact import brute_force_optimum, submodularity_violations
-from repro.core.greedy import GreedyResult, greedy_dm, greedy_engine, greedy_select
+from repro.core.greedy import (
+    GreedyResult,
+    greedy_dm,
+    greedy_engine,
+    greedy_select,
+    run_selection_rounds,
+)
 from repro.core.problem import FJVoteProblem
 from repro.core.random_walk import TruncatedWalks, random_walk_select
 from repro.core.reachability import ReachabilityIndex, coverage_greedy
@@ -26,12 +35,15 @@ from repro.core.winmin import WinMinResult, min_seeds_to_win
 __all__ = [
     "BatchedDMEngine",
     "DMEngine",
+    "ENGINE_HELP",
     "ENGINE_NAMES",
+    "EngineStats",
     "FJVoteProblem",
     "GreedyResult",
     "ObjectiveEngine",
     "ReachabilityIndex",
     "SandwichResult",
+    "SelectionSession",
     "TruncatedWalks",
     "WalkEngine",
     "WinMinResult",
@@ -46,6 +58,7 @@ __all__ = [
     "lambda_rank",
     "min_seeds_to_win",
     "random_walk_select",
+    "run_selection_rounds",
     "sandwich_select",
     "sketch_select",
     "submodularity_violations",

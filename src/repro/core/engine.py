@@ -7,7 +7,27 @@ wraps an :class:`~repro.core.problem.FJVoteProblem` and exposes
 
 * ``evaluate(seed_sets)``   — objectives of many seed sets at once,
 * ``marginal_gains(base, candidates)`` — one greedy round in one call,
+* ``open_session()``        — a stateful :class:`SelectionSession` that
+  carries warm-start state across greedy rounds and prefix probes,
 * capability flags ``supports_batch`` / ``is_estimate``.
+
+Selection sessions
+------------------
+Greedy (Algorithm 1) and the FJ-Vote-Win binary search (Algorithm 2) only
+ever evaluate *one-element extensions* of a committed set or *nested
+prefixes* of one greedy ranking.  A :class:`SelectionSession` exploits that
+shape instead of restarting every FJ evolution from the empty-seed base:
+
+* ``commit(seed)`` folds the chosen seed's already-evolved delta into a
+  cached *committed trajectory* (extending the
+  :meth:`~repro.core.problem.FJVoteProblem.target_trajectory` caching to
+  seeded bases), so the next round evolves candidate deltas against the
+  committed state — one pinned coordinate per column — rather than
+  recomputing all ``|S|`` pinned coordinates from scratch;
+* ``marginal_gains(candidates)`` is one warm-started round;
+* ``prefix_values(sizes)`` / ``prefix_wins(k)`` serve win-min's
+  binary-search probes from the greedy ranking, reusing the closest cached
+  prefix trajectory when probing a nearby size.
 
 Backends
 --------
@@ -18,8 +38,8 @@ Backends
 :class:`BatchedDMEngine`
     Evaluates all ``C`` seed sets *simultaneously*.  FJ dynamics are linear,
     so the opinions of a seeded system can be written as ``base + delta``
-    where ``base`` is the unseeded trajectory (computed once and cached on
-    the problem) and each seed set's ``delta`` obeys the homogeneous
+    where ``base`` is a cached trajectory (unseeded, or the session's
+    committed one) and each seed set's ``delta`` obeys the homogeneous
     recurrence ``delta(s+1) = (delta(s) @ W) * (1 - d)`` with the seeded
     coordinates pinned to ``1 - base(s)``.  All ``C`` deltas evolve
     together in two phases: one shared sparse ``(n, C)`` evolution while
@@ -27,25 +47,39 @@ Backends
     blocks that finish the horizon and are scored in place with the batch
     paths of :mod:`repro.voting.scores`.  Results match the per-set
     engine to machine precision; exhaustive greedy rounds run 5-20x
-    faster (``benchmarks/bench_engine_batched.py``).
+    faster (``benchmarks/bench_engine_batched.py``), and warm-started
+    sessions cut the evolution work of later rounds further
+    (``benchmarks/bench_session_warmstart.py``).
 :class:`WalkEngine`
     Routes the §V/§VI walk estimators (random-walk and sketch) through the
     same interface via :class:`~repro.core.random_walk.WalkGreedyOptimizer`.
-    Estimates, not exact values: ``is_estimate`` is true.
+    Estimates, not exact values: ``is_estimate`` is true.  Its sessions
+    apply post-generation truncation incrementally as seeds are committed.
 
 Adding a backend
 ----------------
-Subclass :class:`ObjectiveEngine`, implement ``evaluate`` (and override
-``marginal_gains`` when the backend can do a whole round cheaper than
-``C + 1`` independent evaluations), set the capability flags, and register
-a constructor in :func:`make_engine`.  Process-parallel, sharded-RR-set or
-GPU backends drop in the same way — greedy, sandwich and win-min only ever
-talk to the interface.
+Subclass :class:`ObjectiveEngine`, implement ``evaluate``, set the
+capability flags, and register a constructor in ``_ENGINE_FACTORIES`` (the
+single source of :data:`ENGINE_NAMES`, the CLI ``--engine`` choices and the
+``make_engine`` error message).  Override ``marginal_gains`` when the
+backend can do a whole stateless round cheaper than ``C + 1`` independent
+evaluations.  The session protocol is optional but where the leverage is:
+the default ``open_session`` returns a :class:`SelectionSession` that
+simply replays the committed set through ``marginal_gains``, which is
+always correct — a backend that can carry state across rounds (a committed
+trajectory, an updated sketch store, a GPU-resident delta block) should
+return its own :class:`SelectionSession` subclass overriding ``commit``,
+``marginal_gains`` and, if it can serve nested-prefix probes cheaply,
+``prefix_wins``.  Greedy, sandwich and win-min only ever talk to sessions,
+so process-parallel, sharded-RR-set or GPU backends drop in the same way.
+Every backend inherits a :class:`EngineStats` counter (``engine.stats``)
+whose deterministic work counters back the benchmark assertions.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, fields
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -54,10 +88,141 @@ from scipy import sparse
 from repro.core.problem import FJVoteProblem
 from repro.voting.scores import CumulativeScore, SeparableScore
 
-#: Engine spec names accepted by :func:`make_engine` (and ``--engine``).
-ENGINE_NAMES = ("dm", "dm-batched", "rw", "sketch")
-
 SeedSet = Sequence[int] | np.ndarray | tuple
+
+
+@dataclass
+class EngineStats:
+    """Deterministic work counters, one instance per engine (``engine.stats``).
+
+    The evolution counters make warm-start savings measurable without
+    timing noise: on one core the same selection always produces the same
+    counts.  ``evolution_work`` normalizes everything to *dense
+    column-steps* (one column pushed through one FJ step costs ``nnz(W)``
+    multiply-adds): a sparse-phase product costs ``nnz(delta)/n`` of that,
+    and a trajectory-extension step is exactly one column-step.
+    """
+
+    evaluate_calls: int = 0
+    sets_evaluated: int = 0
+    sparse_steps: int = 0
+    sparse_nnz: int = 0
+    dense_column_steps: int = 0
+    trajectory_steps: int = 0
+
+    def reset(self) -> None:
+        for field in fields(self):
+            setattr(self, field.name, 0)
+
+    def evolution_work(self, n: int) -> float:
+        """Total FJ evolution work in dense column-step equivalents."""
+        return (
+            self.dense_column_steps
+            + self.trajectory_steps
+            + self.sparse_nnz / max(int(n), 1)
+        )
+
+
+class SelectionSession:
+    """Stateful warm-start evaluation across greedy rounds and prefix probes.
+
+    A session is scoped to one selection run: it owns the committed seed
+    sequence, the accumulated objective, and whatever backend state makes
+    the next round cheaper.  This replaces the engines' old single-slot
+    ``base_value`` memoization, which silently thrashed when two algorithms
+    interleaved rounds on one engine (e.g. sandwich's upper/lower greedies)
+    — sessions are independent, so interleaving them costs nothing.
+
+    The base implementation is backend-agnostic and always correct: gains
+    are delegated to the engine's stateless ``marginal_gains`` with the
+    session's cached base objective, and prefix probes fall back to exact
+    per-set checks.  Backends override the hot paths (see
+    :class:`BatchedDMSession`).
+    """
+
+    def __init__(self, engine: "ObjectiveEngine", base: SeedSet = ()) -> None:
+        self.engine = engine
+        self._seeds: list[int] = [int(v) for v in base]
+        self._value = float(engine.evaluate_one(tuple(self._seeds)))
+        self._base_size = len(self._seeds)
+        # value of every committed prefix, aligned to sizes
+        # base_size .. len(seeds); greedy commits append to it.
+        self._prefix_values: list[float] = [self._value]
+
+    # ------------------------------------------------------------------
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        """Committed seeds, in commit order."""
+        return tuple(self._seeds)
+
+    @property
+    def value(self) -> float:
+        """Objective of the committed seed set."""
+        return self._value
+
+    def marginal_gains(self, candidates: SeedSet) -> np.ndarray:
+        """Gain of extending the committed set by each candidate."""
+        return self.engine.marginal_gains(
+            self.seeds, candidates, base_objective=self._value
+        )
+
+    def commit(self, seed: int, *, gain: float | None = None) -> float:
+        """Fold ``seed`` into the committed state; returns the new value.
+
+        Greedy loops pass the winning ``gain`` they just computed so the
+        committed value accumulates exactly as the round trace does;
+        without it the extension is evaluated once.
+        """
+        seed = int(seed)
+        if gain is None:
+            gain = (
+                float(self.engine.evaluate_one(self.seeds + (seed,)))
+                - self._value
+            )
+        self._apply_commit(seed)
+        self._seeds.append(seed)
+        self._value += float(gain)
+        self._prefix_values.append(self._value)
+        return self._value
+
+    def _apply_commit(self, seed: int) -> None:
+        """Backend hook: update warm state before the seed is recorded."""
+
+    # ------------------------------------------------------------------
+    # Nested-prefix probes (the win-min binary search)
+    # ------------------------------------------------------------------
+    def _check_prefix(self, k: int) -> int:
+        k = int(k)
+        if not self._base_size <= k <= len(self._seeds):
+            raise ValueError(
+                f"prefix size {k} outside committed range "
+                f"[{self._base_size}, {len(self._seeds)}]"
+            )
+        return k
+
+    def prefix_seeds(self, k: int) -> np.ndarray:
+        """First ``k`` committed seeds."""
+        return np.asarray(self._seeds[: self._check_prefix(k)], dtype=np.int64)
+
+    def prefix_values(self, sizes: Iterable[int]) -> np.ndarray:
+        """Objective of each committed prefix size — free, recorded at commit."""
+        return np.array(
+            [
+                self._prefix_values[self._check_prefix(k) - self._base_size]
+                for k in sizes
+            ],
+            dtype=np.float64,
+        )
+
+    def prefix_wins(self, k: int) -> bool:
+        """Exact Problem-2 winning check for the size-``k`` committed prefix."""
+        return self.engine.problem.target_wins(self.prefix_seeds(k))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(|seeds|={len(self._seeds)}, "
+            f"value={self._value:.6g})"
+        )
 
 
 class ObjectiveEngine(ABC):
@@ -71,6 +236,9 @@ class ObjectiveEngine(ABC):
     is_estimate:
         True when returned values are statistical estimates of ``F`` (the
         walk/sketch backends) rather than exact DM computations.
+    stats:
+        :class:`EngineStats` work counters, cumulative over the engine's
+        lifetime (call ``stats.reset()`` to start a measurement window).
     """
 
     supports_batch: bool = False
@@ -78,8 +246,7 @@ class ObjectiveEngine(ABC):
 
     def __init__(self, problem: FJVoteProblem) -> None:
         self.problem = problem
-        self._base_key: tuple[int, ...] | None = None
-        self._base_value: float = 0.0
+        self.stats = EngineStats()
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -90,6 +257,14 @@ class ObjectiveEngine(ABC):
         """Objective of a single seed set."""
         return float(self.evaluate([seeds])[0])
 
+    def open_session(self, base: SeedSet = ()) -> SelectionSession:
+        """Start a stateful selection session rooted at ``base``.
+
+        Backends with warm-startable state return their own session
+        subclass; the default replays the committed set statelessly.
+        """
+        return SelectionSession(self, base)
+
     def marginal_gains(
         self,
         base: SeedSet,
@@ -97,28 +272,20 @@ class ObjectiveEngine(ABC):
         *,
         base_objective: float | None = None,
     ) -> np.ndarray:
-        """Gain of extending ``base`` by each candidate (one greedy round).
+        """Gain of extending ``base`` by each candidate (one stateless round).
 
         Default: one (possibly batched) ``evaluate`` over the ``C``
         extensions, minus the base objective.  Callers that already track
-        the base value (the greedy loops accumulate it as they pick) pass
-        it via ``base_objective`` to skip a redundant evaluation; otherwise
-        it is computed and memoized.
+        the base value pass it via ``base_objective`` — a
+        :class:`SelectionSession` does this automatically; otherwise the
+        base is (re-)evaluated here.
         """
         base_t = tuple(int(v) for v in base)
         candidates = np.asarray(candidates, dtype=np.int64)
         values = self.evaluate([base_t + (int(c),) for c in candidates])
         if base_objective is None:
-            base_objective = self.base_value(base_t)
+            base_objective = self.evaluate_one(base_t)
         return values - base_objective
-
-    def base_value(self, base: SeedSet) -> float:
-        """Objective of ``base``, memoized for the duration of a round."""
-        key = tuple(int(v) for v in base)
-        if self._base_key != key:
-            self._base_key = key
-            self._base_value = self.evaluate_one(key)
-        return self._base_value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.problem!r})"
@@ -135,12 +302,98 @@ class DMEngine(ObjectiveEngine):
     is_estimate = False
 
     def evaluate(self, seed_sets: Iterable[SeedSet]) -> np.ndarray:
+        sets = list(seed_sets)
+        self.stats.evaluate_calls += 1
+        self.stats.sets_evaluated += len(sets)
         return np.array(
             [
                 self.problem.objective(np.asarray(s, dtype=np.int64))
-                for s in seed_sets
+                for s in sets
             ],
             dtype=np.float64,
+        )
+
+
+class BatchedDMSession(SelectionSession):
+    """Warm-started session over :class:`BatchedDMEngine`.
+
+    State is the *committed trajectory* — the full ``(horizon+1, n)``
+    seeded evolution of the committed set.  ``commit`` extends it by one
+    dense delta evolution (one column-step per FJ step); each round's
+    ``marginal_gains`` then evolves candidate deltas against it with a
+    single pinned coordinate per column, so the sparse phase stays sparse
+    for as long as a *fresh* seed's influence stays local, no matter how
+    many seeds are already committed.  ``prefix_wins`` keeps a bounded
+    cache of probe trajectories so win-min's binary search extends the
+    nearest smaller prefix instead of replaying from the empty set.
+    """
+
+    #: Probe trajectories kept alive; a binary search over k needs at most
+    #: ``log2(k_max)`` of them, each a dense ``(horizon+1, n)`` array.
+    PROBE_CACHE_CAP = 32
+
+    def __init__(self, engine: "BatchedDMEngine", base: SeedSet = ()) -> None:
+        # Deliberately skips SelectionSession.__init__: the base value is
+        # read off the committed trajectory instead of a fresh evaluation.
+        self.engine = engine
+        self._seeds = [int(v) for v in base]
+        self._traj = engine.problem.target_trajectory(tuple(self._seeds))
+        self._value = float(engine.score_target_row(self._traj[-1]))
+        self._base_size = len(self._seeds)
+        self._prefix_values = [self._value]
+        self._probe_cache: dict[int, np.ndarray] = {}
+
+    def marginal_gains(self, candidates: SeedSet) -> np.ndarray:
+        committed = np.asarray(self._seeds, dtype=np.int64)
+        values = self.engine.extension_values(self._traj, committed, candidates)
+        return values - self._value
+
+    def commit(self, seed: int, *, gain: float | None = None) -> float:
+        seed = int(seed)
+        self._traj = self.engine.extend_trajectory(
+            self._traj,
+            np.asarray(self._seeds, dtype=np.int64),
+            np.array([seed], dtype=np.int64),
+        )
+        if gain is None:
+            gain = float(self.engine.score_target_row(self._traj[-1])) - self._value
+        self._seeds.append(seed)
+        self._value += float(gain)
+        self._prefix_values.append(self._value)
+        return self._value
+
+    # ------------------------------------------------------------------
+    def _prefix_horizon_row(self, k: int) -> np.ndarray:
+        """Horizon target opinions of the size-``k`` prefix, warm-started."""
+        k = self._check_prefix(k)
+        if k == len(self._seeds):
+            return self._traj[-1]
+        if k == self._base_size:
+            return self.engine.problem.target_trajectory(
+                tuple(self._seeds[: self._base_size])
+            )[-1]
+        cached = self._probe_cache.get(k)
+        if cached is not None:
+            return cached[-1]
+        closest = [j for j in self._probe_cache if j < k]
+        if closest:
+            j = max(closest)
+            base_traj = self._probe_cache[j]
+        else:
+            j = self._base_size
+            base_traj = self.engine.problem.target_trajectory(
+                tuple(self._seeds[:j])
+            )
+        ranking = np.asarray(self._seeds, dtype=np.int64)
+        traj = self.engine.extend_trajectory(base_traj, ranking[:j], ranking[j:k])
+        while len(self._probe_cache) >= self.PROBE_CACHE_CAP:
+            self._probe_cache.pop(next(iter(self._probe_cache)))
+        self._probe_cache[k] = traj
+        return traj[-1]
+
+    def prefix_wins(self, k: int) -> bool:
+        return self.engine.problem.target_wins_from_row(
+            self._prefix_horizon_row(k)
         )
 
 
@@ -213,9 +466,11 @@ class BatchedDMEngine(ObjectiveEngine):
         # Fully-stubborn users leave explicit zero rows behind; prune them
         # so they cost nothing in every subsequent product.
         self._wt_scaled.eliminate_zeros()
-        self._b0 = state.initial_opinions[q]
 
     # ------------------------------------------------------------------
+    def open_session(self, base: SeedSet = ()) -> BatchedDMSession:
+        return BatchedDMSession(self, base)
+
     def _normalize_sets(self, seed_sets: Iterable[SeedSet]) -> list[np.ndarray]:
         n = self.problem.n
         out = []
@@ -241,7 +496,13 @@ class BatchedDMEngine(ObjectiveEngine):
             rows[lo:hi] = cols.T
         return rows
 
-    def _chunked_scores(self, sets: list[np.ndarray]) -> np.ndarray:
+    def _chunked_scores(
+        self,
+        sets: list[np.ndarray],
+        *,
+        traj: np.ndarray | None = None,
+        zero_rows: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Evolve and score block by block, never materializing all rows.
 
         Peak dense memory is one ``(n, batch_rows)`` block regardless of
@@ -250,11 +511,19 @@ class BatchedDMEngine(ObjectiveEngine):
         traffic).
         """
         out = np.empty(len(sets), dtype=np.float64)
-        for lo, hi, cols in self._evolve_blocks(sets):
+        for lo, hi, cols in self._evolve_blocks(
+            sets, traj=traj, zero_rows=zero_rows
+        ):
             out[lo:hi] = self._score_cols(cols)
         return out
 
-    def _evolve_blocks(self, sets: list[np.ndarray]):
+    def _evolve_blocks(
+        self,
+        sets: list[np.ndarray],
+        *,
+        traj: np.ndarray | None = None,
+        zero_rows: np.ndarray | None = None,
+    ):
         """Evolve all deltas; yields ``(lo, hi, (n, hi-lo) horizon values)``.
 
         Two phases.  While influence has spread to few nodes, *all* seed
@@ -263,19 +532,36 @@ class BatchedDMEngine(ObjectiveEngine):
         Once the delta fill approaches the densify threshold, columns are
         sliced into dense ``(n, batch_rows)`` blocks (sized to stay
         cache-resident) that finish the remaining steps independently.
+
+        ``traj`` is the base trajectory the deltas perturb (default: the
+        cached unseeded one).  ``zero_rows`` lists coordinates already
+        pinned *in the base* (a session's committed seeds): anything the
+        product propagates into them is zeroed, since base + delta must
+        stay 1 there.  That is the warm-start contract — committed seeds
+        live in ``traj``, each column pins only its own fresh seeds.
         """
         n = self.problem.n
         c = len(sets)
         if c == 0:
             return
-        traj = self.problem.target_trajectory()
+        if traj is None:
+            traj = self.problem.target_trajectory()
+        zero = None
+        zero_mask = None
+        if zero_rows is not None:
+            zero = np.asarray(zero_rows, dtype=np.int64)
+            if zero.size:
+                zero_mask = np.zeros(n, dtype=bool)
+                zero_mask[zero] = True
+            else:
+                zero = None
         horizon = self.problem.horizon
         sizes = np.array([s.size for s in sets], dtype=np.int64)
         pin_rows = np.concatenate(sets) if c else np.empty(0, dtype=np.int64)
         pin_cols = np.repeat(np.arange(c, dtype=np.int64), sizes)
         # delta(0): seeded coordinates jump to 1, everything else unchanged.
         delta = sparse.csr_matrix(
-            (1.0 - self._b0[pin_rows], (pin_rows, pin_cols)), shape=(n, c)
+            (1.0 - traj[0][pin_rows], (pin_rows, pin_cols)), shape=(n, c)
         )
         # Pinned-coordinate membership for the re-pin surgery: a flat bool
         # lookup when affordable, sorted-key search otherwise.
@@ -301,12 +587,15 @@ class BatchedDMEngine(ObjectiveEngine):
                 next_step = s  # dense blocks take over from step s
                 break
             prev_nnz = delta.nnz
+            self.stats.sparse_steps += 1
+            self.stats.sparse_nnz += delta.nnz
             delta = self._wt_scaled @ delta
             if prev_nnz:
                 growth = delta.nnz / prev_nnz
             # Re-pin in sparse form: zero whatever propagated into the
-            # seeded coordinates, then splice the pinned values back in
-            # via one duplicate-summing COO -> CSR rebuild.
+            # seeded coordinates (including the base's committed ones),
+            # then splice the pinned values back in via one
+            # duplicate-summing COO -> CSR rebuild.
             pin_values = 1.0 - traj[s][pin_rows]
             entry_rows = np.repeat(
                 np.arange(n, dtype=np.int64), np.diff(delta.indptr)
@@ -319,6 +608,8 @@ class BatchedDMEngine(ObjectiveEngine):
                 pos = np.searchsorted(pinned_sorted, entry_keys)
                 pos[pos == pinned_sorted.size] = 0
                 hit = pinned_sorted[pos] == entry_keys
+            if zero_mask is not None:
+                hit = hit | zero_mask[entry_rows]
             if hit.any():
                 delta.data[hit] = 0.0
             delta = sparse.csr_matrix(
@@ -340,10 +631,63 @@ class BatchedDMEngine(ObjectiveEngine):
             rows_b = pin_rows[in_block]
             cols_b = pin_cols[in_block] - lo
             for s in range(next_step, horizon + 1):
+                self.stats.dense_column_steps += hi - lo
                 block = self._wt_scaled @ block
+                if zero is not None:
+                    block[zero, :] = 0.0
                 block[rows_b, cols_b] = 1.0 - traj[s][rows_b]
             block += base
             yield lo, hi, block
+
+    # ------------------------------------------------------------------
+    # Warm-start primitives (the session's backend)
+    # ------------------------------------------------------------------
+    def extension_values(
+        self,
+        traj: np.ndarray,
+        committed: np.ndarray,
+        candidates: SeedSet,
+    ) -> np.ndarray:
+        """Objective of ``committed ∪ {c}`` per candidate, against ``traj``.
+
+        ``traj`` must be the committed set's trajectory, so every column
+        carries exactly one pinned coordinate — its fresh candidate — and
+        the committed coordinates are zeroed by the base contract.
+        """
+        sets = self._normalize_sets([(int(c),) for c in np.asarray(candidates)])
+        if not sets:
+            return np.empty(0, dtype=np.float64)
+        return self._chunked_scores(sets, traj=traj, zero_rows=committed)
+
+    def extend_trajectory(
+        self,
+        traj: np.ndarray,
+        committed: np.ndarray,
+        new_seeds: np.ndarray,
+    ) -> np.ndarray:
+        """Trajectory of ``committed ∪ new_seeds``, warm-started from ``traj``.
+
+        One dense ``(n,)`` delta pushed through the horizon — the commit /
+        prefix-probe path.  Each step costs one column-step
+        (``stats.trajectory_steps``).
+        """
+        new = np.unique(np.asarray(new_seeds, dtype=np.int64))
+        if new.size and (new[0] < 0 or new[-1] >= self.problem.n):
+            raise ValueError("seed indices out of range")
+        committed = np.asarray(committed, dtype=np.int64)
+        horizon = traj.shape[0] - 1
+        out = np.empty_like(traj)
+        delta = np.zeros(self.problem.n, dtype=np.float64)
+        delta[new] = 1.0 - traj[0][new]
+        out[0] = traj[0] + delta
+        for s in range(1, horizon + 1):
+            delta = self._wt_scaled @ delta
+            if committed.size:
+                delta[committed] = 0.0
+            delta[new] = 1.0 - traj[s][new]
+            out[s] = traj[s] + delta
+        self.stats.trajectory_steps += horizon
+        return out
 
     # ------------------------------------------------------------------
     def score_rows(self, rows: np.ndarray) -> np.ndarray:
@@ -368,11 +712,31 @@ class BatchedDMEngine(ObjectiveEngine):
             return contrib.sum(axis=0, dtype=np.float64)
         return score.score_targets_T(cols, self.problem.others_by_user())
 
+    def score_target_row(self, row: np.ndarray) -> float:
+        """Objective from one ``(n,)`` target horizon row (session base value)."""
+        return float(self._score_cols(np.ascontiguousarray(row)[:, None])[0])
+
     def evaluate(self, seed_sets: Iterable[SeedSet]) -> np.ndarray:
         sets = self._normalize_sets(seed_sets)
+        self.stats.evaluate_calls += 1
+        self.stats.sets_evaluated += len(sets)
         if not sets:
             return np.empty(0, dtype=np.float64)
         return self._chunked_scores(sets)
+
+
+class WalkSession(SelectionSession):
+    """Session over the walk estimators.
+
+    Commits apply post-generation truncation immediately, so the next
+    round's sync against the committed prefix is a no-op extension rather
+    than a reset-and-replay of the whole seed sequence.
+    """
+
+    def commit(self, seed: int, *, gain: float | None = None) -> float:
+        value = super().commit(seed, gain=gain)
+        self.engine._sync(self._seeds)
+        return value
 
 
 class WalkEngine(ObjectiveEngine):
@@ -384,7 +748,9 @@ class WalkEngine(ObjectiveEngine):
     truncation state lets arbitrary (non-incremental) seed sets be
     evaluated by reset-and-replay.  ``marginal_gains`` reuses the
     optimizer's single vectorized all-candidates scan, so a greedy round is
-    one pass regardless of the candidate count.
+    one pass regardless of the candidate count; sessions keep the
+    truncation state synced to the committed prefix, which makes each
+    incremental sync one ``add_seed`` instead of a replay.
 
     Parameters
     ----------
@@ -444,6 +810,9 @@ class WalkEngine(ObjectiveEngine):
         )
 
     # ------------------------------------------------------------------
+    def open_session(self, base: SeedSet = ()) -> WalkSession:
+        return WalkSession(self, base)
+
     def _reset(self) -> None:
         end_pos, values, b0 = self._snapshot
         self.walks.end_pos = end_pos.copy()
@@ -464,8 +833,11 @@ class WalkEngine(ObjectiveEngine):
             self.walks.add_seed(v)
 
     def evaluate(self, seed_sets: Iterable[SeedSet]) -> np.ndarray:
+        sets = list(seed_sets)
+        self.stats.evaluate_calls += 1
+        self.stats.sets_evaluated += len(sets)
         out = []
-        for s in seed_sets:
+        for s in sets:
             self._sync(s)
             out.append(self.optimizer.estimated_score())
         return np.array(out, dtype=np.float64)
@@ -489,6 +861,44 @@ class WalkEngine(ObjectiveEngine):
         return self.optimizer.marginal_gains()[candidates]
 
 
+def _make_dm(problem, rng, **kwargs):
+    return DMEngine(problem)
+
+
+def _make_dm_batched(problem, rng, **kwargs):
+    return BatchedDMEngine(problem, **kwargs)
+
+
+def _make_rw(problem, rng, **kwargs):
+    return WalkEngine(problem, grouping="start", rng=rng, **kwargs)
+
+
+def _make_sketch(problem, rng, **kwargs):
+    return WalkEngine(problem, grouping="walk", rng=rng, **kwargs)
+
+
+#: Registry behind :func:`make_engine`; the single source of truth for
+#: :data:`ENGINE_NAMES`, the CLI ``--engine`` choices/help text, and the
+#: unknown-spec error message.
+_ENGINE_FACTORIES = {
+    "dm": _make_dm,
+    "dm-batched": _make_dm_batched,
+    "rw": _make_rw,
+    "sketch": _make_sketch,
+}
+
+#: Engine spec names accepted by :func:`make_engine` (and ``--engine``).
+ENGINE_NAMES = tuple(_ENGINE_FACTORIES)
+
+#: One-line description per engine spec, rendered into the CLI help.
+ENGINE_HELP = {
+    "dm": "legacy per-set exact DM",
+    "dm-batched": "vectorized exact DM, the default",
+    "rw": "random-walk estimator",
+    "sketch": "sketch estimator",
+}
+
+
 def make_engine(
     spec: str | ObjectiveEngine | None,
     problem: FJVoteProblem,
@@ -501,7 +911,8 @@ def make_engine(
     Passing an :class:`ObjectiveEngine` instance returns it unchanged (its
     ``kwargs`` are ignored); ``None`` means the default ``"dm-batched"``.
     ``rng`` seeds the stochastic (walk/sketch) backends so selections stay
-    reproducible; the exact DM backends ignore it.
+    reproducible; the exact DM backends ignore it.  Unknown specs raise
+    ``ValueError`` listing every registered name.
     """
     if isinstance(spec, ObjectiveEngine):
         if spec.problem is not problem:
@@ -512,12 +923,7 @@ def make_engine(
         return spec
     if spec is None:
         spec = "dm-batched"
-    if spec == "dm":
-        return DMEngine(problem)
-    if spec == "dm-batched":
-        return BatchedDMEngine(problem, **kwargs)
-    if spec == "rw":
-        return WalkEngine(problem, grouping="start", rng=rng, **kwargs)
-    if spec == "sketch":
-        return WalkEngine(problem, grouping="walk", rng=rng, **kwargs)
-    raise ValueError(f"unknown engine {spec!r}; expected one of {ENGINE_NAMES}")
+    factory = _ENGINE_FACTORIES.get(spec) if isinstance(spec, str) else None
+    if factory is None:
+        raise ValueError(f"unknown engine {spec!r}; expected one of {ENGINE_NAMES}")
+    return factory(problem, rng, **kwargs)

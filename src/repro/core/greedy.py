@@ -1,22 +1,27 @@
 """Greedy seed selection (paper Algorithm 1) with optional CELF laziness.
 
-``greedy_select`` is a generic engine over a black-box set objective;
-``greedy_engine`` drives the same loop through an
-:class:`~repro.core.engine.ObjectiveEngine`, collapsing each exhaustive
-round into *one* batched evaluation; ``greedy_dm`` instantiates it with
-exact opinion computation via direct matrix multiplication (the DM method
-of §VIII-A, batched by default).  CELF lazy evaluation [Leskovec et al.
-2007] is valid when the objective is submodular — in this library: the
+One *round-driver*, :func:`run_selection_rounds`, hosts both the exhaustive
+scan and CELF lazy evaluation [Leskovec et al. 2007] over a
+:class:`~repro.core.engine.SelectionSession` — greedy state (the committed
+seeds, their objective, and any backend warm-start state) lives in the
+session, not in per-algorithm loops.  ``greedy_select`` drives it over a
+black-box set function; ``greedy_engine`` drives it over an
+:class:`~repro.core.engine.ObjectiveEngine` session, collapsing each
+exhaustive round into *one* batched, warm-started evaluation;
+``greedy_dm`` instantiates it with exact opinion computation via direct
+matrix multiplication (the DM method of §VIII-A, batched by default).
+CELF is valid when the objective is submodular — in this library: the
 cumulative score, the sandwich bound functions, and coverage — and is
 applied automatically for those.
 
 Tie-breaking contract
 ---------------------
-Both loops are deterministic.  The exhaustive path scans candidates in
-ascending node order and keeps the *first* maximum, so equal-gain ties
-resolve to the smallest node id.  The CELF heap stores ``(-gain, node,
-stamp)`` tuples, so equal ``-gain`` entries compare on ``node`` next:
-ties again pop the smallest node id first.  Tests pin this contract.
+The driver is deterministic.  The exhaustive path scans candidates in
+ascending node order and ``np.argmax`` keeps the *first* maximum, so
+equal-gain ties resolve to the smallest node id.  The CELF heap stores
+``(-gain, node, stamp)`` tuples, so equal ``-gain`` entries compare on
+``node`` next: ties again pop the smallest node id first.  Tests pin this
+contract.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ from repro.utils.validation import check_seed_budget
 from repro.voting.scores import CumulativeScore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> greedy)
-    from repro.core.engine import ObjectiveEngine
+    from repro.core.engine import ObjectiveEngine, SelectionSession
 
 
 @dataclass
@@ -57,6 +62,110 @@ class GreedyResult:
     objective: float
     gains: np.ndarray
     evaluations: int
+
+
+class _FunctionSession:
+    """A black-box set function behind the session protocol.
+
+    Lets :func:`run_selection_rounds` drive arbitrary ``value_fn`` callers
+    (coverage, equilibrium sums, test doubles) through the same exhaustive
+    and CELF code paths the engine sessions use.
+    """
+
+    def __init__(self, value_fn: Callable[[tuple[int, ...]], float]) -> None:
+        self._fn = value_fn
+        self.seeds: tuple[int, ...] = ()
+        self.value = float(value_fn(()))
+
+    def marginal_gains(self, candidates: Sequence[int]) -> np.ndarray:
+        base = self.seeds
+        return np.array(
+            [self._fn(base + (int(v),)) for v in candidates], dtype=np.float64
+        ) - self.value
+
+    def commit(self, seed: int, *, gain: float | None = None) -> float:
+        seed = int(seed)
+        if gain is None:
+            gain = float(self._fn(self.seeds + (seed,))) - self.value
+        self.seeds += (seed,)
+        self.value += float(gain)
+        return self.value
+
+
+def _candidate_pool(
+    n: int, k: int, candidates: Sequence[int] | None
+) -> tuple[int, np.ndarray]:
+    k = check_seed_budget(k, n)
+    pool = np.arange(n) if candidates is None else np.asarray(sorted(set(candidates)))
+    if k > pool.size:
+        raise ValueError(f"budget k={k} exceeds candidate pool size {pool.size}")
+    return k, pool
+
+
+def run_selection_rounds(
+    session: "SelectionSession | _FunctionSession",
+    k: int,
+    pool: np.ndarray,
+    *,
+    lazy: bool = False,
+) -> GreedyResult:
+    """The shared greedy round-driver: ``k`` commits against one session.
+
+    The exhaustive path performs *one* ``session.marginal_gains`` call per
+    round — a warm-started batched backend collapses the whole round into a
+    single vectorized evolution against the committed state.  The CELF path
+    batches the first round (all initial gains at once) and then
+    re-evaluates individual stale entries on demand; only sound for
+    submodular objectives.  Each pick is folded into the session via
+    ``commit``, so the next round (and any later prefix probe) starts from
+    the committed state instead of replaying the selection.
+    """
+    selected: list[int] = []
+    gains_trace: list[float] = []
+    evaluations = 0
+    if lazy:
+        # CELF: heap entries are (-cached_gain, node, stamp) where stamp is
+        # the size of the selected set when the gain was computed.  A cached
+        # gain is exact iff stamp == len(selected); by submodularity stale
+        # gains only over-estimate, so popping a fresh maximum is safe.
+        # Tuple comparison breaks equal -gain ties by ascending node id.
+        initial = session.marginal_gains(pool)
+        evaluations += pool.size
+        heap: list[tuple[float, int, int]] = [
+            (-float(g), int(v), 0) for g, v in zip(initial, pool)
+        ]
+        heapq.heapify(heap)
+        for _ in range(k):
+            while True:
+                neg_gain, v, stamp = heapq.heappop(heap)
+                if stamp == len(selected):
+                    best, best_gain = v, -neg_gain
+                    break
+                gain = float(session.marginal_gains(np.array([v]))[0])
+                evaluations += 1
+                heapq.heappush(heap, (-gain, v, len(selected)))
+            selected.append(best)
+            gains_trace.append(best_gain)
+            session.commit(best, gain=best_gain)
+    else:
+        # Candidates stay in ascending node order and np.argmax keeps the
+        # first maximum, so the smallest node id wins equal-gain ties.
+        remaining = np.asarray(pool).copy()
+        for _ in range(k):
+            gains = session.marginal_gains(remaining)
+            evaluations += remaining.size
+            idx = int(np.argmax(gains))
+            best, best_gain = int(remaining[idx]), float(gains[idx])
+            selected.append(best)
+            gains_trace.append(best_gain)
+            session.commit(best, gain=best_gain)
+            remaining = np.delete(remaining, idx)
+    return GreedyResult(
+        seeds=np.array(selected, dtype=np.int64),
+        objective=session.value,
+        gains=np.array(gains_trace, dtype=np.float64),
+        evaluations=evaluations,
+    )
 
 
 def greedy_select(
@@ -86,61 +195,8 @@ def greedy_select(
     Equal-gain ties resolve to the smallest node id on both paths (see the
     module docstring), so results are reproducible across runs.
     """
-    k = check_seed_budget(k, n)
-    pool = np.arange(n) if candidates is None else np.asarray(sorted(set(candidates)))
-    if k > pool.size:
-        raise ValueError(f"budget k={k} exceeds candidate pool size {pool.size}")
-    selected: list[int] = []
-    gains: list[float] = []
-    evaluations = 0
-    current = value_fn(())
-    if lazy:
-        # CELF: heap entries are (-cached_gain, node, stamp) where stamp is
-        # the size of the selected set when the gain was computed.  A cached
-        # gain is exact iff stamp == len(selected); by submodularity stale
-        # gains only over-estimate, so popping a fresh maximum is safe.
-        # Tuple comparison breaks equal -gain ties by ascending node id.
-        heap: list[tuple[float, int, int]] = []
-        for v in pool:
-            gain = value_fn((int(v),)) - current
-            evaluations += 1
-            heap.append((-gain, int(v), 0))
-        heapq.heapify(heap)
-        for _ in range(k):
-            while True:
-                neg_gain, v, stamp = heapq.heappop(heap)
-                if stamp == len(selected):
-                    best, best_gain = v, -neg_gain
-                    break
-                gain = value_fn(tuple(selected) + (v,)) - current
-                evaluations += 1
-                heapq.heappush(heap, (-gain, v, len(selected)))
-            selected.append(best)
-            gains.append(best_gain)
-            current += best_gain
-    else:
-        # Scan in ascending node order with a strict ">" so the smallest
-        # node id wins equal-gain ties (a Python set here would make the
-        # pick depend on hash order).
-        remaining = [int(v) for v in pool]
-        for _ in range(k):
-            best, best_gain = -1, -np.inf
-            base = tuple(selected)
-            for v in remaining:
-                gain = value_fn(base + (v,)) - current
-                evaluations += 1
-                if gain > best_gain:
-                    best, best_gain = v, gain
-            selected.append(best)
-            gains.append(best_gain)
-            current += best_gain
-            remaining.remove(best)
-    return GreedyResult(
-        seeds=np.array(selected, dtype=np.int64),
-        objective=current,
-        gains=np.array(gains, dtype=np.float64),
-        evaluations=evaluations,
-    )
+    k, pool = _candidate_pool(n, k, candidates)
+    return run_selection_rounds(_FunctionSession(value_fn), k, pool, lazy=lazy)
 
 
 def greedy_engine(
@@ -149,72 +205,30 @@ def greedy_engine(
     *,
     lazy: bool = False,
     candidates: Sequence[int] | None = None,
+    session: "SelectionSession | None" = None,
 ) -> GreedyResult:
-    """Greedy selection driven by an :class:`ObjectiveEngine`.
+    """Greedy selection driven by an :class:`ObjectiveEngine` session.
 
-    The exhaustive path performs *one* ``engine.marginal_gains`` call per
-    round — with a batched backend, a whole round of ``C`` candidate
-    evaluations collapses into a single vectorized evolution.  The CELF
-    path batches the first round (all initial gains at once) and then
-    re-evaluates individual stale entries on demand.
+    Opens a fresh :class:`~repro.core.engine.SelectionSession` on the
+    engine (or drives the caller's ``session``, which must be rooted at the
+    empty set — win-min passes one in so the binary search can keep probing
+    the committed ranking afterwards) and hands it to
+    :func:`run_selection_rounds`.
 
     Tie-breaking matches :func:`greedy_select`: candidates are scanned in
     ascending node order and ``np.argmax`` keeps the first maximum, so
     equal-gain ties resolve to the smallest node id.
     """
-    n = engine.problem.n
-    k = check_seed_budget(k, n)
-    pool = np.arange(n) if candidates is None else np.asarray(sorted(set(candidates)))
-    if k > pool.size:
-        raise ValueError(f"budget k={k} exceeds candidate pool size {pool.size}")
-    selected: list[int] = []
-    gains_trace: list[float] = []
-    evaluations = 0
-    # The accumulated objective doubles as the base value of every round's
-    # gain computation, so the engine never re-evaluates the base set.
-    current = engine.evaluate_one(())
-    if lazy:
-        initial = engine.marginal_gains((), pool, base_objective=current)
-        evaluations += pool.size
-        heap: list[tuple[float, int, int]] = [
-            (-float(g), int(v), 0) for g, v in zip(initial, pool)
-        ]
-        heapq.heapify(heap)
-        for _ in range(k):
-            while True:
-                neg_gain, v, stamp = heapq.heappop(heap)
-                if stamp == len(selected):
-                    best, best_gain = v, -neg_gain
-                    break
-                gain = float(
-                    engine.marginal_gains(
-                        tuple(selected), [v], base_objective=current
-                    )[0]
-                )
-                evaluations += 1
-                heapq.heappush(heap, (-gain, v, len(selected)))
-            selected.append(best)
-            gains_trace.append(best_gain)
-            current += best_gain
-    else:
-        remaining = pool.copy()
-        for _ in range(k):
-            gains = engine.marginal_gains(
-                tuple(selected), remaining, base_objective=current
-            )
-            evaluations += remaining.size
-            idx = int(np.argmax(gains))
-            best, best_gain = int(remaining[idx]), float(gains[idx])
-            selected.append(best)
-            gains_trace.append(best_gain)
-            current += best_gain
-            remaining = np.delete(remaining, idx)
-    return GreedyResult(
-        seeds=np.array(selected, dtype=np.int64),
-        objective=current,
-        gains=np.array(gains_trace, dtype=np.float64),
-        evaluations=evaluations,
-    )
+    k, pool = _candidate_pool(engine.problem.n, k, candidates)
+    if session is None:
+        session = engine.open_session()
+    elif session.engine is not engine:
+        raise ValueError("session belongs to a different engine")
+    elif session.seeds:
+        # A pre-committed session would let committed seeds be re-selected
+        # and would fold their value into the result's objective.
+        raise ValueError("session must be rooted at the empty seed set")
+    return run_selection_rounds(session, k, pool, lazy=lazy)
 
 
 def greedy_dm(
@@ -235,10 +249,10 @@ def greedy_dm(
     ``engine`` selects the evaluation backend: an
     :class:`~repro.core.engine.ObjectiveEngine` instance, a spec name from
     :data:`~repro.core.engine.ENGINE_NAMES`, or ``None`` for the default
-    batched DM engine (exact, identical objectives, one vectorized
-    evolution per round instead of ~n).  ``rng`` seeds the stochastic
-    (walk/sketch) engine specs for reproducible selections; exact engines
-    ignore it.
+    batched DM engine (exact, identical objectives, one warm-started
+    vectorized evolution per round instead of ~n restarts).  ``rng`` seeds
+    the stochastic (walk/sketch) engine specs for reproducible selections;
+    exact engines ignore it.
     """
     from repro.core.engine import make_engine
 

@@ -65,6 +65,7 @@ class FJVoteProblem:
         self._others_by_user: np.ndarray | None = None
         self._base_target: np.ndarray | None = None
         self._base_trajectory: np.ndarray | None = None
+        self._seeded_trajectories: dict[tuple[int, ...], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -123,14 +124,42 @@ class FJVoteProblem:
         b0, d = self.state.seeded(self.target, seeds)
         return fj_evolve(b0, d, self.state.graph(self.target), self.horizon)
 
-    def target_trajectory(self) -> np.ndarray:
-        """``(horizon+1, n)`` unseeded target opinions at every step (cached).
+    #: Seeded trajectories kept alive at once (FIFO eviction).  Each entry is
+    #: a dense ``(horizon+1, n)`` array, so the cap stays deliberately small;
+    #: selection sessions carry their own warm state beyond this.
+    SEEDED_TRAJECTORY_CACHE = 8
 
-        Row ``s`` is ``b_q(s)`` with no seeds applied.  This is the shared
-        base trajectory the batched engine perturbs: seeding only *pins*
-        coordinates, so every seeded evolution is this trajectory plus a
-        homogeneous delta (see :mod:`repro.core.engine`).
+    def target_trajectory(self, seeds: np.ndarray | tuple = ()) -> np.ndarray:
+        """``(horizon+1, n)`` target opinions at every step under ``seeds`` (cached).
+
+        Row ``s`` is ``b_q(s)`` with ``seeds`` pinned to opinion 1.  The
+        unseeded call is the shared base trajectory the batched engine
+        perturbs: seeding only *pins* coordinates, so every seeded evolution
+        is this trajectory plus a homogeneous delta (see
+        :mod:`repro.core.engine`).  Seeded bases are cached too (keyed by the
+        deduplicated seed set, bounded FIFO) — they anchor warm-started
+        selection sessions, which evolve each round's candidate deltas
+        against the *committed* trajectory instead of replaying the committed
+        seeds from scratch.
         """
+        seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+        if seeds.size:
+            key = tuple(int(v) for v in seeds)
+            cached = self._seeded_trajectories.get(key)
+            if cached is None:
+                from repro.opinion.fj import fj_trajectory
+
+                b0, d = self.state.seeded(self.target, seeds)
+                steps = fj_trajectory(
+                    b0, d, self.state.graph(self.target), self.horizon
+                )
+                cached = np.vstack([b[None, :] for b in steps])
+                while len(self._seeded_trajectories) >= self.SEEDED_TRAJECTORY_CACHE:
+                    self._seeded_trajectories.pop(
+                        next(iter(self._seeded_trajectories))
+                    )
+                self._seeded_trajectories[key] = cached
+            return cached
         if self._base_trajectory is None:
             from repro.opinion.fj import fj_trajectory
 
@@ -147,9 +176,18 @@ class FJVoteProblem:
 
     def full_opinions(self, seeds: np.ndarray | tuple = ()) -> np.ndarray:
         """Full ``(r, n)`` horizon opinion matrix with ``seeds`` for the target."""
+        return self.full_opinions_from_target(self.target_opinions(seeds))
+
+    def full_opinions_from_target(self, target_row: np.ndarray) -> np.ndarray:
+        """``(r, n)`` horizon opinions from a precomputed target row.
+
+        Competitor rows come from the shared cache; only the target row is
+        caller-supplied.  This is how selection sessions turn a warm-started
+        horizon row into a full voting profile without an FJ re-evolution.
+        """
         competitors = self.competitor_opinions()
         out = np.empty((self.r, self.n), dtype=np.float64)
-        out[self.target] = self.target_opinions(seeds)
+        out[self.target] = target_row
         others = [x for x in range(self.r) if x != self.target]
         for row, x in enumerate(others):
             out[x] = competitors[row]
@@ -173,6 +211,16 @@ class FJVoteProblem:
         """Problem-2 winning criterion: strict score maximum for the target."""
         return is_strict_winner(self.full_opinions(seeds), self.score, self.target)
 
+    def target_wins_from_row(self, target_row: np.ndarray) -> bool:
+        """Winning criterion from a precomputed target horizon row.
+
+        Used by warm-started sessions whose prefix probes already hold the
+        seeded horizon opinions (see ``SelectionSession.prefix_wins``).
+        """
+        return is_strict_winner(
+            self.full_opinions_from_target(target_row), self.score, self.target
+        )
+
     def with_score(self, score: VotingScore) -> "FJVoteProblem":
         """A copy of the problem with a different scoring function.
 
@@ -190,6 +238,7 @@ class FJVoteProblem:
         clone._others_by_user = self._others_by_user
         clone._base_target = self._base_target
         clone._base_trajectory = self._base_trajectory
+        clone._seeded_trajectories = self._seeded_trajectories
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -369,25 +369,52 @@ class WalkGreedyOptimizer:
 
     # ------------------------------------------------------------------
     def select(self, k: int) -> GreedyResult:
-        """Greedy selection of ``k`` seeds on the estimated score."""
+        """Greedy selection of ``k`` seeds on the estimated score.
+
+        Runs through the shared round-driver of :mod:`repro.core.greedy`
+        behind a small session adapter: each round is one vectorized
+        all-candidates scan, each pick truncates the walks in place, and
+        the tie-break contract (smallest node id) matches the exact
+        engines.  ``evaluations`` therefore counts ``C`` per round, the
+        same convention as the batched engines.
+        """
+        from repro.core.greedy import run_selection_rounds
+
         n = self.walks.n
         k = check_seed_budget(k, n)
-        gains_trace: list[float] = []
-        evaluations = 0
-        for _ in range(k):
-            gains = self.marginal_gains()
-            evaluations += 1
-            if self.walks.seeds:
-                gains[np.asarray(self.walks.seeds, dtype=np.int64)] = -np.inf
-            best = int(np.argmax(gains))
-            gains_trace.append(float(gains[best]))
-            self.walks.add_seed(best)
-        return GreedyResult(
-            seeds=np.array(self.walks.seeds[-k:] if k else [], dtype=np.int64),
-            objective=self.estimated_score(),
-            gains=np.array(gains_trace, dtype=np.float64),
-            evaluations=evaluations,
+        pool = np.setdiff1d(
+            np.arange(n), np.asarray(self.walks.seeds, dtype=np.int64)
         )
+        if k > pool.size:
+            raise ValueError(
+                f"budget k={k} exceeds candidate pool size {pool.size}"
+            )
+        return run_selection_rounds(_OptimizerSession(self), k, pool, lazy=False)
+
+
+class _OptimizerSession:
+    """:class:`WalkGreedyOptimizer` behind the selection-session protocol.
+
+    ``commit`` applies post-generation truncation immediately, so the next
+    round's scan sees the updated walk values; the committed value
+    accumulates the picked gains exactly like the engine sessions.
+    """
+
+    def __init__(self, optimizer: WalkGreedyOptimizer) -> None:
+        self.optimizer = optimizer
+        self.value = optimizer.estimated_score()
+
+    def marginal_gains(self, candidates: np.ndarray) -> np.ndarray:
+        gains = self.optimizer.marginal_gains()
+        return gains[np.asarray(candidates, dtype=np.int64)]
+
+    def commit(self, seed: int, *, gain: float | None = None) -> float:
+        seed = int(seed)
+        if gain is None:
+            gain = float(self.optimizer.marginal_gains()[seed])
+        self.optimizer.walks.add_seed(seed)
+        self.value += float(gain)
+        return self.value
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.engine import BatchedDMEngine, ObjectiveEngine, make_engine
-from repro.core.greedy import GreedyResult, greedy_dm, greedy_engine
+from repro.core.greedy import GreedyResult, greedy_engine
 from repro.core.problem import FJVoteProblem
 from repro.core.random_walk import random_walk_select
 from repro.core.reachability import ReachabilityIndex, coverage_greedy
@@ -78,7 +78,11 @@ def lower_bound_greedy(
     over ``favorable`` — submodular by Theorem 3, hence CELF-safe.  The
     weighted restriction is expressed as a batched DM engine over the
     cumulative score with per-user weights ``ω[p]·1[v ∈ favorable]``, so
-    the CELF initialization round is a single vectorized evolution.
+    the CELF initialization round is a single vectorized evolution and
+    every later pick is folded into the LB session's committed trajectory.
+    Running in its own session also means the LB greedy can interleave
+    with the feasible greedy on a shared problem without either one
+    invalidating the other's cached base state.
     """
     score = problem.score
     if not isinstance(score, PositionalPApprovalScore):
@@ -142,9 +146,11 @@ def sandwich_select(
         ``method``).
     engine:
         Evaluation backend for the ``"dm"`` feasible greedy (see
-        :func:`repro.core.engine.make_engine`).  The final arg-max over
-        {S_F, S_U, S_L} is always scored exactly; when the engine is an
-        exact batch engine, all finalists are scored in one batched call.
+        :func:`repro.core.engine.make_engine`).  The feasible greedy runs
+        in its own selection session; the engine instance built for it is
+        reused for the final arg-max over {S_F, S_U, S_L}, which is always
+        scored exactly — when the engine is an exact batch engine, all
+        finalists are scored in one batched call.
     method_kwargs:
         Forwarded to the RW/RS selector.
     """
@@ -158,10 +164,14 @@ def sandwich_select(
             "use greedy_dm directly for the cumulative score"
         )
     # --- S_F: feasible greedy solution on F itself.
+    engine_obj: ObjectiveEngine | None = None
     if feasible_selector is not None:
         seeds_f = np.asarray(feasible_selector(k), dtype=np.int64)
     elif method == "dm":
-        seeds_f = greedy_dm(problem, k, engine=engine, rng=rng).seeds
+        # The sandwich scores are never cumulative (rejected above), so the
+        # feasible greedy is exhaustive — matching greedy_dm's lazy="auto".
+        engine_obj = make_engine(engine, problem, rng=rng)
+        seeds_f = greedy_engine(engine_obj, k, lazy=False).seeds
     elif method == "rw":
         seeds_f = random_walk_select(problem, k, rng=rng, **method_kwargs).seeds
     elif method == "rs":
@@ -186,18 +196,21 @@ def sandwich_select(
         lb_result, _ = lower_bound_greedy(problem, k, base)
         seeds_l = lb_result.seeds
     # --- Final: arg max of F over the candidates (Alg. 3 line 4), scored
-    # exactly — batched when the caller's engine is exact, otherwise via a
-    # fresh batched DM engine (estimate engines must not decide the winner).
+    # exactly — reusing the feasible greedy's engine (and its problem-level
+    # trajectory caches) when it is exact, otherwise via a fresh batched DM
+    # engine (estimate engines must not decide the winner).
     candidates = {"F": seeds_f, "UB": seeds_u}
     if seeds_l is not None:
         candidates["LB"] = seeds_l
+    if engine_obj is None and isinstance(engine, ObjectiveEngine):
+        if engine.problem is problem:
+            engine_obj = engine
     if (
-        isinstance(engine, ObjectiveEngine)
-        and not engine.is_estimate
-        and engine.problem is problem
-        and getattr(engine, "user_weights", None) is None
+        engine_obj is not None
+        and not engine_obj.is_estimate
+        and getattr(engine_obj, "user_weights", None) is None
     ):
-        exact = engine
+        exact = engine_obj
     elif engine in (None, "dm", "dm-batched"):
         exact = make_engine(engine, problem)
     else:

@@ -3,8 +3,14 @@
 Binary search over the budget ``k``: scores are non-decreasing in the seed
 set, and with a deterministic greedy selector the size-``k`` solutions are
 nested prefixes of one ranking, so the winning indicator is monotone in
-``k``.  As the paper remarks, the returned size can exceed the true optimum
-because the inner seed selection is itself approximate.
+``k``.  The default path runs Algorithm 1 *once* through a
+:class:`~repro.core.engine.SelectionSession` and then serves every
+binary-search probe as a session prefix probe: the committed trajectory
+answers the full-budget check for free, and each midpoint extends the
+nearest cached prefix instead of replaying the ranking from scratch (the
+winning criterion itself stays exact — estimate engines only influence the
+ranking).  As the paper remarks, the returned size can exceed the true
+optimum because the inner seed selection is itself approximate.
 """
 
 from __future__ import annotations
@@ -14,9 +20,10 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.engine import ObjectiveEngine
-from repro.core.greedy import greedy_dm
+from repro.core.engine import ObjectiveEngine, make_engine
+from repro.core.greedy import greedy_engine
 from repro.core.problem import FJVoteProblem
+from repro.voting.scores import CumulativeScore
 
 
 @dataclass
@@ -25,7 +32,8 @@ class WinMinResult:
 
     ``found`` is false when the target cannot win even with the maximum
     budget probed, in which case ``seeds``/``k`` describe that largest
-    attempt.
+    attempt.  ``probes`` counts winning-criterion checks (the CELF-style
+    effectiveness metric for Algorithm 2).
     """
 
     seeds: np.ndarray
@@ -52,13 +60,14 @@ def min_seeds_to_win(
     selector:
         Maps a budget to a seed set (e.g. a closure over
         :func:`repro.core.random_walk.random_walk_select`).  Defaults to the
-        exact greedy ranking, evaluated as prefixes so Algorithm 1 runs only
-        once.
+        exact greedy ranking, evaluated as nested session prefixes so
+        Algorithm 1 runs only once and probes reuse its committed state.
     engine:
         Evaluation backend for the default greedy ranking (see
         :func:`repro.core.engine.make_engine`); ignored when ``selector``
-        is given.  The winning criterion itself is always checked exactly
-        via :meth:`FJVoteProblem.target_wins`.
+        is given.  The winning criterion itself is always checked exactly —
+        via the session's warm-started prefix rows on the exact backends,
+        via :meth:`FJVoteProblem.target_wins` otherwise.
     rng:
         Seeds the stochastic (walk/sketch) engine specs so the default
         ranking stays reproducible; exact engines ignore it.
@@ -71,23 +80,36 @@ def min_seeds_to_win(
     if problem.target_wins(()):
         return WinMinResult(seeds=np.empty(0, dtype=np.int64), k=0, found=True, probes=probes)
     if selector is None:
-        ranking = greedy_dm(problem, upper, engine=engine, rng=rng).seeds
+        engine_obj = make_engine(engine, problem, rng=rng)
+        session = engine_obj.open_session()
+        # Mirrors greedy_dm's lazy="auto": CELF exactly for the submodular
+        # cumulative score (Theorem 3).
+        ranking = greedy_engine(
+            engine_obj,
+            upper,
+            lazy=isinstance(problem.score, CumulativeScore),
+            session=session,
+        ).seeds
 
-        def get(k: int) -> np.ndarray:
-            return ranking[:k]
+        def probe(k: int) -> tuple[np.ndarray, bool]:
+            return ranking[:k], session.prefix_wins(k)
 
     else:
-        get = selector
-    best = get(upper)
+
+        def probe(k: int) -> tuple[np.ndarray, bool]:
+            seeds = np.asarray(selector(k), dtype=np.int64)
+            return seeds, problem.target_wins(seeds)
+
+    best, won = probe(upper)
     probes += 1
-    if not problem.target_wins(best):
+    if not won:
         return WinMinResult(seeds=best, k=upper, found=False, probes=probes)
     lo, hi = 0, upper
     while hi - lo > 1:
         mid = (lo + hi) // 2
-        candidate = get(mid)
+        candidate, won = probe(mid)
         probes += 1
-        if problem.target_wins(candidate):
+        if won:
             hi, best = mid, candidate
         else:
             lo = mid

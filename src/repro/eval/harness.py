@@ -15,6 +15,7 @@ import numpy as np
 from repro.baselines.centrality import degree_select, pagerank_select, rwr_select
 from repro.baselines.gedt import gedt_select
 from repro.baselines.imm import imm
+from repro.core.engine import ObjectiveEngine, make_engine
 from repro.core.greedy import greedy_dm
 from repro.core.problem import FJVoteProblem
 from repro.core.random_walk import random_walk_select
@@ -32,20 +33,26 @@ def select_seeds(
     k: int,
     rng: int | np.random.Generator | None = None,
     *,
-    engine: str | None = None,
+    engine: "str | ObjectiveEngine | None" = None,
     **kwargs: object,
 ) -> np.ndarray:
     """Select ``k`` seeds with the named method.
 
     ``kwargs`` are forwarded to the underlying selector (e.g. ``lambda_cap``
     for RW, ``theta`` for RS, ``epsilon`` for IMM).  ``engine`` picks the
-    objective-evaluation backend for the greedy-based methods (``dm`` and
-    ``gedt``; see :data:`repro.core.engine.ENGINE_NAMES`) and is ignored by
-    the others, which carry their own estimators.
+    objective-evaluation backend for the greedy-based methods (a spec name
+    from :data:`repro.core.engine.ENGINE_NAMES`, or — for ``dm`` — a
+    prebuilt :class:`~repro.core.engine.ObjectiveEngine` instance whose
+    sessions then share the problem's cached trajectories across budgets)
+    and is ignored by the others, which carry their own estimators.
     """
     rng = ensure_rng(rng)
     if method == "dm":
         return greedy_dm(problem, k, engine=engine, rng=rng).seeds
+    if not isinstance(engine, (str, type(None))):
+        raise TypeError(
+            f"method {method!r} accepts only engine spec names, not instances"
+        )
     if method == "rw":
         return random_walk_select(problem, k, rng=rng, **kwargs).seeds
     if method == "rs":
@@ -89,8 +96,11 @@ def run_methods(
     """Run every (method, k) combination; timing covers seed selection only.
 
     Competitor opinions are pre-computed before timing starts: they are a
-    shared input to all methods, as in the paper's setup.  ``engine``
-    selects the evaluation backend for the greedy-based methods.
+    shared input to all methods, as in the paper's setup, and the exact DM
+    engine (a shared input too — it only wraps the problem) is built once
+    per method sweep so every budget's selection session starts from the
+    same cached trajectories.  ``engine`` selects the evaluation backend
+    for the greedy-based methods.
     """
     rng = ensure_rng(rng)
     method_kwargs = method_kwargs or {}
@@ -98,9 +108,14 @@ def run_methods(
     runs: list[MethodRun] = []
     for method in methods:
         kwargs = dict(method_kwargs.get(method, {}))
+        method_engine: str | ObjectiveEngine | None = engine
+        if method == "dm" and engine in (None, "dm", "dm-batched"):
+            method_engine = make_engine(engine, problem)
         for k in ks:
             with Timer() as timer:
-                seeds = select_seeds(method, problem, k, rng, engine=engine, **kwargs)
+                seeds = select_seeds(
+                    method, problem, k, rng, engine=method_engine, **kwargs
+                )
             runs.append(
                 MethodRun(
                     method=method,

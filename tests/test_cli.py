@@ -142,3 +142,18 @@ def test_module_entry_point():
     )
     assert proc.returncode == 0
     assert "rs" in proc.stdout.split()
+
+
+def test_engine_help_renders_from_registry():
+    """--engine help text derives from ENGINE_NAMES/ENGINE_HELP, not a
+    hand-copied list: every registered spec must appear with its blurb."""
+    from repro.core.engine import ENGINE_HELP, ENGINE_NAMES
+
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions if isinstance(a, __import__("argparse")._SubParsersAction)
+    )
+    for command in ("select", "winmin", "case-study"):
+        help_text = " ".join(sub.choices[command].format_help().split())
+        for name in ENGINE_NAMES:
+            assert f"{name}: {ENGINE_HELP[name]}" in help_text

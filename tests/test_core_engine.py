@@ -135,6 +135,17 @@ def test_make_engine_specs():
     assert set(ENGINE_NAMES) == {"dm", "dm-batched", "rw", "sketch"}
 
 
+def test_make_engine_unknown_spec_error_lists_engine_names():
+    """The ValueError must name every registered spec (the CLI help's source)."""
+    problem = make_problem(0, "cumulative", 2)
+    for bad in ("warp-drive", "", 42):
+        with pytest.raises(ValueError) as excinfo:
+            make_engine(bad, problem)
+        message = str(excinfo.value)
+        for name in ENGINE_NAMES:
+            assert name in message
+
+
 def test_marginal_gains_match_evaluate_differences():
     problem = make_problem(3, "plurality", 4)
     engine = BatchedDMEngine(problem)
@@ -264,3 +275,168 @@ def test_walk_engine_small_candidate_gains_match_full_scan():
     gains_few = a.marginal_gains(base, few)  # size < 8: per-candidate path
     gains_all = b.marginal_gains(base, np.arange(16))[few]  # full scan
     np.testing.assert_allclose(gains_few, gains_all, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Selection sessions: warm-start parity and state isolation
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 40),
+    score_name=st.sampled_from(sorted(SCORE_FACTORIES)),
+    horizon=st.integers(0, 6),
+    data=st.data(),
+)
+def test_session_marginal_gains_match_stateless_rounds(
+    seed, score_name, horizon, data
+):
+    """Warm-started rounds == stateless from-scratch rounds to 1e-10.
+
+    Commits a random seed sequence one element at a time; after every
+    commit, the session's gains (candidate deltas evolved against the
+    committed trajectory) must match a fresh engine's stateless gains
+    (the full set replayed from the unseeded base).
+    """
+    problem = make_problem(seed, score_name, horizon)
+    n = problem.n
+    engine = BatchedDMEngine(problem)
+    reference = BatchedDMEngine(problem)
+    session = engine.open_session()
+    order = data.draw(
+        st.lists(
+            st.integers(0, n - 1), min_size=1, max_size=4, unique=True
+        ),
+        label="commit order",
+    )
+    for committed, nxt in enumerate(order):
+        candidates = np.array(sorted(set(range(0, n, 3)) - set(order[:committed])))
+        warm = session.marginal_gains(candidates)
+        cold = reference.marginal_gains(tuple(order[:committed]), candidates)
+        np.testing.assert_allclose(warm, cold, atol=1e-10, rtol=0)
+        session.commit(nxt)
+    assert session.value == pytest.approx(
+        reference.evaluate_one(tuple(order)), abs=1e-10
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 25),
+    score_name=st.sampled_from(sorted(SCORE_FACTORIES)),
+    horizon=st.integers(0, 5),
+)
+def test_session_greedy_matches_manual_stateless_greedy(seed, score_name, horizon):
+    """Session-driven greedy must select byte-identical seeds to PR-1-style
+    stateless rounds (one engine.marginal_gains per round, empty-base)."""
+    problem = make_problem(seed, score_name, horizon, n=11)
+    k = 3
+    warm = greedy_engine(BatchedDMEngine(problem), k, lazy=False)
+    engine = BatchedDMEngine(problem)
+    selected: list[int] = []
+    gains_trace: list[float] = []
+    current = engine.evaluate_one(())
+    remaining = np.arange(problem.n)
+    for _ in range(k):
+        gains = engine.marginal_gains(
+            tuple(selected), remaining, base_objective=current
+        )
+        idx = int(np.argmax(gains))
+        selected.append(int(remaining[idx]))
+        gains_trace.append(float(gains[idx]))
+        current += gains_trace[-1]
+        remaining = np.delete(remaining, idx)
+    assert warm.seeds.tolist() == selected
+    np.testing.assert_allclose(warm.gains, gains_trace, atol=1e-10)
+    assert warm.objective == pytest.approx(current, abs=1e-10)
+
+
+def test_session_prefix_values_and_wins_match_exact():
+    problem = make_problem(11, "plurality", 4, n=14, r=3)
+    engine = BatchedDMEngine(problem)
+    session = engine.open_session()
+    result = greedy_engine(engine, 6, session=session)
+    ranking = result.seeds
+    sizes = [0, 1, 3, 6]
+    exact = DMEngine(problem).evaluate([ranking[:k] for k in sizes])
+    np.testing.assert_allclose(session.prefix_values(sizes), exact, atol=1e-10)
+    # Probe out of order to exercise the nearest-cached-prefix extension.
+    for k in (6, 3, 5, 1, 4, 0, 2):
+        assert session.prefix_wins(k) == problem.target_wins(ranking[:k])
+    with pytest.raises(ValueError):
+        session.prefix_wins(7)
+    with pytest.raises(ValueError):
+        session.prefix_values([-1])
+
+
+@pytest.mark.parametrize("spec", ["dm", "dm-batched", "rw", "sketch"])
+def test_open_session_commit_tracks_engine_evaluate(spec):
+    """Every backend's session accumulates exactly its own evaluate values."""
+    problem = make_problem(3, "cumulative", 3, n=12, r=2)
+    kwargs = {"walks_per_node": 8, "theta": 200} if spec in ("rw", "sketch") else {}
+    engine = make_engine(spec, problem, rng=9, **kwargs)
+    session = engine.open_session()
+    assert session.value == pytest.approx(engine.evaluate_one(()), abs=1e-10)
+    session.commit(4)
+    session.commit(7)
+    assert session.seeds == (4, 7)
+    assert session.value == pytest.approx(engine.evaluate_one((4, 7)), abs=1e-9)
+    np.testing.assert_allclose(
+        session.marginal_gains(np.array([0, 1])),
+        engine.marginal_gains((4, 7), [0, 1]),
+        atol=1e-9,
+    )
+
+
+def test_interleaved_sessions_do_not_thrash_base_cache():
+    """Regression: the old single-slot ``base_value`` memo recomputed the
+    base on every alternation between two interleaved selection loops
+    (e.g. sandwich's upper/lower greedies sharing one engine).  Sessions
+    carry their own base value, so each interleaved round evaluates only
+    its candidate extension."""
+    problem = make_problem(5, "cumulative", 3)
+    engine = DMEngine(problem)
+    one = engine.open_session()
+    two = engine.open_session(base=(3,))
+    baseline = engine.stats.sets_evaluated
+    for cand in (0, 1, 2, 4):
+        one.marginal_gains(np.array([cand]))
+        two.marginal_gains(np.array([cand]))
+    # 8 interleaved single-candidate rounds -> exactly 8 evaluated sets
+    # (the thrashing memo re-evaluated the base too: 16).
+    assert engine.stats.sets_evaluated - baseline == 8
+
+
+def test_session_warm_start_does_less_evolution_work():
+    """Deterministic miniature of benchmarks/bench_session_warmstart.py:
+    warm-started exhaustive greedy must spend strictly less evolution work
+    than stateless rounds while selecting the same seeds."""
+    problem = make_problem(13, "plurality", 8, n=40, r=2)
+    k = 4
+    warm_engine = BatchedDMEngine(problem)
+    warm = greedy_engine(warm_engine, k, lazy=False)
+    cold_engine = BatchedDMEngine(problem)
+    selected: list[int] = []
+    current = cold_engine.evaluate_one(())
+    remaining = np.arange(problem.n)
+    for _ in range(k):
+        gains = cold_engine.marginal_gains(
+            tuple(selected), remaining, base_objective=current
+        )
+        idx = int(np.argmax(gains))
+        selected.append(int(remaining[idx]))
+        current += float(gains[idx])
+        remaining = np.delete(remaining, idx)
+    assert warm.seeds.tolist() == selected
+    n = problem.n
+    assert warm_engine.stats.evolution_work(n) < cold_engine.stats.evolution_work(n)
+
+
+def test_engine_stats_reset():
+    problem = make_problem(0, "cumulative", 3)
+    engine = BatchedDMEngine(problem)
+    engine.evaluate([(1,), (2, 3)])
+    assert engine.stats.evaluate_calls == 1
+    assert engine.stats.sets_evaluated == 2
+    engine.stats.reset()
+    assert engine.stats.evaluate_calls == 0
+    assert engine.stats.evolution_work(problem.n) == 0.0

@@ -87,3 +87,81 @@ def test_k_max_validation():
         min_seeds_to_win(problem, k_max=0)
     with pytest.raises(ValueError):
         min_seeds_to_win(problem, k_max=99)
+
+
+def test_cap_hit_returns_found_false_with_cap_sized_attempt():
+    """Deterministic k_max-cap case: a fully-stubborn competitor at opinion
+    1.0 beats any cumulative score reachable with fewer than n seeds."""
+    n = 8
+    rng = np.random.default_rng(5)
+    mask = rng.random((n, n)) < 0.4
+    np.fill_diagonal(mask, False)
+    src, dst = np.where(mask)
+    graph = graph_from_edges(n, src, dst, rng.uniform(0.2, 1.0, src.size))
+    state = CampaignState(
+        graphs=(graph, graph),
+        initial_opinions=np.vstack([rng.uniform(0.1, 0.4, n), np.ones(n)]),
+        stubbornness=np.vstack([rng.uniform(0.3, 0.8, n), np.ones(n)]),
+    )
+    problem = FJVoteProblem(state, 0, 3, CumulativeScore())
+    result = min_seeds_to_win(problem, k_max=2)
+    assert result.found is False
+    assert result.k == 2
+    assert result.seeds.size == 2
+    # Empty-set check plus the failed full-budget probe; no binary search.
+    assert result.probes == 2
+
+
+def test_singleton_graph():
+    graph = graph_from_edges(1, [], [], np.empty(0))
+    state = CampaignState(
+        graphs=(graph, graph),
+        initial_opinions=np.array([[0.2], [0.9]]),
+        stubbornness=np.array([[0.5], [0.5]]),
+    )
+    losing = FJVoteProblem(state, 0, 2, PluralityScore())
+    result = min_seeds_to_win(losing)
+    assert result.found and result.k == 1
+    assert result.seeds.tolist() == [0]
+    assert result.probes == 2  # k_max == n == 1: no midpoints to bisect
+    winning = FJVoteProblem(state, 1, 2, PluralityScore())
+    already = min_seeds_to_win(winning)
+    assert already.found and already.k == 0 and already.probes == 1
+
+
+def test_probe_accounting_matches_selector_invocations():
+    """``probes`` counts winning checks: one for the empty set, then one
+    per selector invocation (upper bound + binary-search midpoints)."""
+    state = _losing_state(seed=6)
+    problem = FJVoteProblem(state, 0, 3, CumulativeScore())
+    calls: list[int] = []
+
+    def selector(k: int) -> np.ndarray:
+        calls.append(k)
+        return np.arange(k, dtype=np.int64)
+
+    result = min_seeds_to_win(problem, selector=selector)
+    assert result.probes == len(calls) + 1
+
+
+def test_session_prefix_probes_match_stateless_engines():
+    """The warm-started prefix_wins path (dm-batched) and the per-set path
+    (dm) must agree on the result and on probe accounting."""
+    state = _losing_state(seed=7)
+    problem = FJVoteProblem(state, 0, 3, PluralityScore())
+    batched = min_seeds_to_win(problem, engine="dm-batched")
+    per_set = min_seeds_to_win(problem, engine="dm")
+    assert batched.found == per_set.found
+    assert batched.k == per_set.k
+    assert batched.seeds.tolist() == per_set.seeds.tolist()
+    assert batched.probes == per_set.probes
+    assert problem.target_wins(batched.seeds)
+    if batched.k > 1:
+        assert not problem.target_wins(batched.seeds[: batched.k - 1])
+
+
+def test_k_max_zero_rejected_even_when_already_winning():
+    state = _losing_state()
+    problem = FJVoteProblem(state, 1, 3, CumulativeScore())  # target leads
+    with pytest.raises(ValueError):
+        min_seeds_to_win(problem, k_max=0)
