@@ -30,7 +30,9 @@ from repro.core.engine import (
     SelectionSession,
     WalkEngine,
     make_engine,
+    parse_engine_spec,
 )
+from repro.core.engine_mp import MultiprocessDMEngine
 from repro.core.greedy import GreedyResult, greedy_dm, greedy_engine, greedy_select
 from repro.core.problem import FJVoteProblem
 from repro.core.random_walk import TruncatedWalks, random_walk_select
@@ -65,6 +67,7 @@ __all__ = [
     "FJVoteProblem",
     "GreedyResult",
     "InfluenceGraph",
+    "MultiprocessDMEngine",
     "ObjectiveEngine",
     "SelectionSession",
     "WalkEngine",
@@ -87,6 +90,7 @@ __all__ = [
     "horizon_opinions",
     "make_engine",
     "make_score",
+    "parse_engine_spec",
     "min_seeds_to_win",
     "random_walk_select",
     "sandwich_select",

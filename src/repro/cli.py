@@ -7,6 +7,24 @@ Commands
 ``case-study``  the §VIII-B ACM-election case study
 ``datasets``    list built-in dataset recipes
 ``methods``     list seed-selection methods
+
+Engine selection (``--engine``)
+-------------------------------
+The greedy-based methods evaluate the objective through a pluggable
+backend (:mod:`repro.core.engine`):
+
+==============  =====  ==========================================================
+spec            exact  backend
+==============  =====  ==========================================================
+``dm``          yes    legacy per-set DM, one FJ evolution per seed set
+``dm-batched``  yes    vectorized DM, all candidates in one evolution (default)
+``dm-mp[:W]``   yes    ``dm-batched`` sharded over ``W`` worker processes
+``rw``          no     random-walk estimator (Algorithm 4)
+``sketch``      no     sketch estimator (Algorithm 5)
+==============  =====  ==========================================================
+
+All exact specs produce byte-identical selections; ``dm-mp`` pays off on
+multi-core hosts where candidate chunks evolve in parallel memory domains.
 """
 
 from __future__ import annotations
@@ -17,7 +35,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.engine import ENGINE_HELP, ENGINE_NAMES
+from repro.core.engine import ENGINE_HELP, ENGINE_NAMES, parse_engine_spec
 from repro.core.winmin import min_seeds_to_win
 from repro.datasets.dblp import dblp_like
 from repro.datasets.synth import Dataset
@@ -54,12 +72,24 @@ def _build_dataset(args: argparse.Namespace) -> Dataset:
     return maker(n=args.users, rng=args.seed, horizon=args.horizon)
 
 
+def _engine_spec(value: str) -> str:
+    # Validation *and* the error message come from the engine registry
+    # (parse_engine_spec's single ValueError), so malformed specs like
+    # ``dm-mp:`` or ``dm-mp:0`` fail with the same message everywhere.
+    try:
+        parse_engine_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
 def _add_engine_option(parser: argparse.ArgumentParser) -> None:
-    # Choices *and* help render from the engine registry, so a newly
-    # registered backend shows up here without touching the CLI.
+    # Accepted names *and* help render from the engine registry, so a
+    # newly registered backend shows up here without touching the CLI.
     parser.add_argument(
         "--engine",
-        choices=ENGINE_NAMES,
+        type=_engine_spec,
+        metavar="|".join(ENGINE_NAMES),
         default="dm-batched",
         help="objective-evaluation backend for the greedy-based methods ("
         + "; ".join(

@@ -16,7 +16,10 @@ from repro.core.engine import (
     SelectionSession,
     WalkEngine,
     make_engine,
+    parse_engine_spec,
+    spec_is_exact_dm,
 )
+from repro.core.engine_mp import MultiprocessDMEngine
 from repro.core.exact import brute_force_optimum, submodularity_violations
 from repro.core.greedy import (
     GreedyResult,
@@ -40,6 +43,7 @@ __all__ = [
     "EngineStats",
     "FJVoteProblem",
     "GreedyResult",
+    "MultiprocessDMEngine",
     "ObjectiveEngine",
     "ReachabilityIndex",
     "SandwichResult",
@@ -53,6 +57,8 @@ __all__ = [
     "greedy_engine",
     "greedy_select",
     "make_engine",
+    "parse_engine_spec",
+    "spec_is_exact_dm",
     "lambda_copeland",
     "lambda_cumulative",
     "lambda_rank",

@@ -50,6 +50,12 @@ Backends
     faster (``benchmarks/bench_engine_batched.py``), and warm-started
     sessions cut the evolution work of later rounds further
     (``benchmarks/bench_session_warmstart.py``).
+:class:`~repro.core.engine_mp.MultiprocessDMEngine`
+    ``dm-mp``: the batched evaluation sharded across a persistent pool of
+    worker processes — candidate chunks evolve concurrently, session
+    commits are broadcast so workers fold the committed trajectory
+    locally, and selections stay byte-identical to the single-process
+    engine for every worker count.
 :class:`WalkEngine`
     Routes the §V/§VI walk estimators (random-walk and sketch) through the
     same interface via :class:`~repro.core.random_walk.WalkGreedyOptimizer`.
@@ -109,6 +115,12 @@ class EngineStats:
     sparse_nnz: int = 0
     dense_column_steps: int = 0
     trajectory_steps: int = 0
+    #: Sparse-phase re-pin surgery: steps handled by data-only in-place
+    #: writes, entries spliced in by the sorted merge (structure misses),
+    #: and full COO->CSR rebuilds (the legacy ``repin="rebuild"`` path).
+    repin_steps: int = 0
+    repin_inserted: int = 0
+    repin_rebuilds: int = 0
 
     def reset(self) -> None:
         for field in fields(self):
@@ -265,6 +277,21 @@ class ObjectiveEngine(ABC):
         """
         return SelectionSession(self, base)
 
+    def close(self) -> None:
+        """Release backend resources (worker pools, device memory).
+
+        No-op for the in-process engines; engines built from a spec by the
+        selection entry points are closed when the selection returns.
+        Engines support ``with`` blocks for explicit scoping.
+        """
+
+    def __enter__(self) -> "ObjectiveEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
     def marginal_gains(
         self,
         base: SeedSet,
@@ -420,6 +447,14 @@ class BatchedDMEngine(ObjectiveEngine):
         Delta matrices start sparse (a fresh seed only perturbs its t-step
         out-neighborhood) and switch to dense blocks once their fill
         fraction approaches this threshold (see ``_evolve_blocks``).
+    repin:
+        How the sparse phase splices pinned seed values back in after each
+        product.  ``"inplace"`` (default) reuses the product's CSR
+        structure: pinned coordinates already present get data-only
+        writes, missing ones are spliced in by a sorted merge — no global
+        sort, no rebuild.  ``"rebuild"`` is the legacy duplicate-summing
+        COO->CSR rebuild, kept as the parity/benchmark reference
+        (``benchmarks/bench_engine_mp.py``).
     """
 
     supports_batch = True
@@ -433,8 +468,14 @@ class BatchedDMEngine(ObjectiveEngine):
         batch_rows: int | None = None,
         max_batch_bytes: int = 64_000_000,
         densify_threshold: float = 0.1,
+        repin: str = "inplace",
     ) -> None:
         super().__init__(problem)
+        if repin not in ("inplace", "rebuild"):
+            raise ValueError(
+                f"repin must be 'inplace' or 'rebuild', got {repin!r}"
+            )
+        self.repin = repin
         self.user_weights: np.ndarray | None = None
         if user_weights is not None:
             if not isinstance(problem.score, SeparableScore):
@@ -563,15 +604,22 @@ class BatchedDMEngine(ObjectiveEngine):
         delta = sparse.csr_matrix(
             (1.0 - traj[0][pin_rows], (pin_rows, pin_cols)), shape=(n, c)
         )
-        # Pinned-coordinate membership for the re-pin surgery: a flat bool
-        # lookup when affordable, sorted-key search otherwise.
+        # Pinned coordinates sorted by flattened (row, col) key — the order
+        # entries take in a canonical CSR — precomputed once so each step's
+        # re-pin surgery is one searchsorted against the product's keys.
         flat_keys = pin_rows * np.int64(c) + pin_cols
-        use_lookup = n * c <= 1 << 26
-        if use_lookup:
-            pinned = np.zeros(n * c, dtype=bool)
-            pinned[flat_keys] = True
-        else:
-            pinned_sorted = np.sort(flat_keys)
+        key_order = np.argsort(flat_keys, kind="stable")
+        pin_keys = flat_keys[key_order]
+        pin_rows_s = pin_rows[key_order]
+        pin_cols_s = pin_cols[key_order]
+        inplace = self.repin == "inplace"
+        if not inplace:
+            # Legacy rebuild path: membership via a flat bool lookup when
+            # affordable, sorted-key search otherwise.
+            use_lookup = n * c <= 1 << 26
+            if use_lookup:
+                pinned = np.zeros(n * c, dtype=bool)
+                pinned[flat_keys] = True
         # The sparse phase stops once the *next* product is predicted to
         # cost more than its dense counterpart: a sparse-sparse product is
         # ~3x denser-per-nonzero than dense, and the fill cap also bounds
@@ -594,9 +642,15 @@ class BatchedDMEngine(ObjectiveEngine):
                 growth = delta.nnz / prev_nnz
             # Re-pin in sparse form: zero whatever propagated into the
             # seeded coordinates (including the base's committed ones),
-            # then splice the pinned values back in via one
-            # duplicate-summing COO -> CSR rebuild.
-            pin_values = 1.0 - traj[s][pin_rows]
+            # then splice the pinned values back in.
+            pin_values = 1.0 - traj[s][pin_rows_s]
+            if inplace:
+                delta = self._repin_inplace(
+                    delta, pin_keys, pin_rows_s, pin_cols_s, pin_values, zero
+                )
+                continue
+            # Legacy duplicate-summing COO -> CSR rebuild (global sort).
+            self.stats.repin_rebuilds += 1
             entry_rows = np.repeat(
                 np.arange(n, dtype=np.int64), np.diff(delta.indptr)
             )
@@ -605,9 +659,9 @@ class BatchedDMEngine(ObjectiveEngine):
             if use_lookup:
                 hit = pinned[entry_keys]
             else:
-                pos = np.searchsorted(pinned_sorted, entry_keys)
-                pos[pos == pinned_sorted.size] = 0
-                hit = pinned_sorted[pos] == entry_keys
+                pos = np.searchsorted(pin_keys, entry_keys)
+                pos[pos == pin_keys.size] = 0
+                hit = pin_keys[pos] == entry_keys
             if zero_mask is not None:
                 hit = hit | zero_mask[entry_rows]
             if hit.any():
@@ -616,8 +670,8 @@ class BatchedDMEngine(ObjectiveEngine):
                 (
                     np.concatenate([delta.data, pin_values]),
                     (
-                        np.concatenate([entry_rows, pin_rows]),
-                        np.concatenate([entry_cols, pin_cols]),
+                        np.concatenate([entry_rows, pin_rows_s]),
+                        np.concatenate([entry_cols, pin_cols_s]),
                     ),
                 ),
                 shape=(n, c),
@@ -638,6 +692,60 @@ class BatchedDMEngine(ObjectiveEngine):
                 block[rows_b, cols_b] = 1.0 - traj[s][rows_b]
             block += base
             yield lo, hi, block
+
+    def _repin_inplace(
+        self,
+        delta: sparse.csr_matrix,
+        pin_keys: np.ndarray,
+        pin_rows: np.ndarray,
+        pin_cols: np.ndarray,
+        pin_values: np.ndarray,
+        zero: np.ndarray | None,
+    ) -> sparse.csr_matrix:
+        """Structure-reusing re-pin: data-only writes, sorted merge on miss.
+
+        ``pin_*`` must be sorted by flattened ``row * c + col`` key.  The
+        product's CSR structure is kept: pinned coordinates it already
+        stores are overwritten in ``delta.data`` directly, and only the
+        (typically few) pins the product did not propagate into are
+        spliced in by an O(nnz) sorted merge — the global
+        lexsort/COO-rebuild of the legacy path never runs.
+        """
+        delta.sort_indices()
+        self.stats.repin_steps += 1
+        n, c = delta.shape
+        if zero is not None:
+            indptr = delta.indptr
+            for r in zero:
+                delta.data[indptr[r] : indptr[r + 1]] = 0.0
+        if pin_keys.size == 0:
+            return delta
+        # Canonical CSR => flattened keys are strictly ascending, so one
+        # searchsorted locates every pinned coordinate at once.
+        entry_rows = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(delta.indptr)
+        )
+        entry_keys = entry_rows * np.int64(c) + delta.indices
+        pos = np.searchsorted(entry_keys, pin_keys)
+        found = np.zeros(pin_keys.size, dtype=bool)
+        in_range = pos < entry_keys.size
+        found[in_range] = entry_keys[pos[in_range]] == pin_keys[in_range]
+        delta.data[pos[found]] = pin_values[found]
+        missing = ~found
+        if missing.any():
+            m_pos = pos[missing]
+            data = np.insert(delta.data, m_pos, pin_values[missing])
+            indices = np.insert(
+                delta.indices, m_pos, pin_cols[missing].astype(delta.indices.dtype)
+            )
+            counts = np.bincount(pin_rows[missing], minlength=n)
+            indptr = delta.indptr + np.concatenate(
+                ([0], np.cumsum(counts))
+            ).astype(np.int64)
+            self.stats.repin_inserted += int(missing.sum())
+            delta = sparse.csr_matrix((data, indices, indptr), shape=(n, c))
+            delta.has_canonical_format = True  # merged in key order, no dups
+        return delta
 
     # ------------------------------------------------------------------
     # Warm-start primitives (the session's backend)
@@ -802,23 +910,19 @@ class WalkEngine(ObjectiveEngine):
             else problem.others_by_user(),
             grouping=grouping,
         )
-        # Pristine truncation state for reset-and-replay evaluation.
-        self._snapshot = (
-            self.walks.end_pos.copy(),
-            self.walks.values.copy(),
-            self.walks._b0.copy(),
-        )
+        # Pristine truncation state for reset-and-replay evaluation.  The
+        # snapshot shares the arrays (copy-on-write in ``add_seed``): a
+        # reset is an O(1) pointer swap and only the first truncation after
+        # it pays a copy, instead of every array being copied twice — once
+        # here and once per restore.
+        self._snapshot = self.walks.snapshot_state()
 
     # ------------------------------------------------------------------
     def open_session(self, base: SeedSet = ()) -> WalkSession:
         return WalkSession(self, base)
 
     def _reset(self) -> None:
-        end_pos, values, b0 = self._snapshot
-        self.walks.end_pos = end_pos.copy()
-        self.walks.values = values.copy()
-        self.walks._b0 = b0.copy()
-        self.walks.seeds = []
+        self.walks.restore_state(self._snapshot)
 
     def _sync(self, seeds: SeedSet) -> None:
         """Make the truncation state reflect exactly ``seeds``."""
@@ -869,6 +973,12 @@ def _make_dm_batched(problem, rng, **kwargs):
     return BatchedDMEngine(problem, **kwargs)
 
 
+def _make_dm_mp(problem, rng, **kwargs):
+    from repro.core.engine_mp import MultiprocessDMEngine
+
+    return MultiprocessDMEngine(problem, **kwargs)
+
+
 def _make_rw(problem, rng, **kwargs):
     return WalkEngine(problem, grouping="start", rng=rng, **kwargs)
 
@@ -883,6 +993,7 @@ def _make_sketch(problem, rng, **kwargs):
 _ENGINE_FACTORIES = {
     "dm": _make_dm,
     "dm-batched": _make_dm_batched,
+    "dm-mp": _make_dm_mp,
     "rw": _make_rw,
     "sketch": _make_sketch,
 }
@@ -890,13 +1001,61 @@ _ENGINE_FACTORIES = {
 #: Engine spec names accepted by :func:`make_engine` (and ``--engine``).
 ENGINE_NAMES = tuple(_ENGINE_FACTORIES)
 
+#: Exact DM backends: deterministic, parity-checked against each other.
+EXACT_DM_NAMES = ("dm", "dm-batched", "dm-mp")
+
 #: One-line description per engine spec, rendered into the CLI help.
 ENGINE_HELP = {
     "dm": "legacy per-set exact DM",
     "dm-batched": "vectorized exact DM, the default",
+    "dm-mp": "exact DM fanned out over worker processes (dm-mp:<workers>)",
     "rw": "random-walk estimator",
     "sketch": "sketch estimator",
 }
+
+
+def parse_engine_spec(spec: object) -> tuple[str, dict[str, object]]:
+    """Split an engine spec string into ``(registry name, spec kwargs)``.
+
+    Accepts every bare name in :data:`ENGINE_NAMES` plus the parameterized
+    ``dm-mp:<workers>`` form (a positive worker count).  Anything else —
+    unknown names, non-strings, malformed or non-positive worker counts
+    like ``"dm-mp:"`` / ``"dm-mp:0"`` / ``"dm-mp:-2"`` — raises the
+    registry's single ``ValueError``, whose message the CLI ``--engine``
+    option surfaces verbatim.
+    """
+    if isinstance(spec, str):
+        if spec in _ENGINE_FACTORIES:
+            return spec, {}
+        name, sep, arg = spec.partition(":")
+        if sep and name == "dm-mp":
+            try:
+                workers = int(arg)
+            except ValueError:
+                workers = 0
+            if workers >= 1:
+                return name, {"workers": workers}
+    raise ValueError(
+        f"unknown engine {spec!r}; expected one of {ENGINE_NAMES} "
+        "(dm-mp also accepts 'dm-mp:<workers>' with workers >= 1)"
+    )
+
+
+def spec_is_exact_dm(spec: object) -> bool:
+    """True when ``spec`` names an exact DM backend (``None`` = default).
+
+    Covers the parameterized ``dm-mp:<workers>`` forms; engine instances
+    and estimator specs return False.
+    """
+    if spec is None:
+        return True
+    if not isinstance(spec, str):
+        return False
+    try:
+        name, _ = parse_engine_spec(spec)
+    except ValueError:
+        return False
+    return name in EXACT_DM_NAMES
 
 
 def make_engine(
@@ -910,9 +1069,11 @@ def make_engine(
 
     Passing an :class:`ObjectiveEngine` instance returns it unchanged (its
     ``kwargs`` are ignored); ``None`` means the default ``"dm-batched"``.
-    ``rng`` seeds the stochastic (walk/sketch) backends so selections stay
-    reproducible; the exact DM backends ignore it.  Unknown specs raise
-    ``ValueError`` listing every registered name.
+    Spec strings may carry parameters (``"dm-mp:4"`` = four worker
+    processes).  ``rng`` seeds the stochastic (walk/sketch) backends so
+    selections stay reproducible; the exact DM backends ignore it.
+    Unknown or malformed specs raise ``ValueError`` listing every
+    registered name (see :func:`parse_engine_spec`).
     """
     if isinstance(spec, ObjectiveEngine):
         if spec.problem is not problem:
@@ -923,7 +1084,5 @@ def make_engine(
         return spec
     if spec is None:
         spec = "dm-batched"
-    factory = _ENGINE_FACTORIES.get(spec) if isinstance(spec, str) else None
-    if factory is None:
-        raise ValueError(f"unknown engine {spec!r}; expected one of {ENGINE_NAMES}")
-    return factory(problem, rng, **kwargs)
+    name, spec_kwargs = parse_engine_spec(spec)
+    return _ENGINE_FACTORIES[name](problem, rng, **{**spec_kwargs, **kwargs})

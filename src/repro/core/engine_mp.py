@@ -1,0 +1,424 @@
+"""Multiprocess fan-out over the batched DM engine (``--engine dm-mp``).
+
+:class:`MultiprocessDMEngine` shards the candidate columns that
+:meth:`~repro.core.engine.BatchedDMEngine._evolve_blocks` would evolve in
+one process across a persistent pool of worker processes.  Per-candidate
+delta evolutions are independent (each column of the ``(n, C)`` delta
+matrix depends only on its own pinned seeds), so a greedy round splits into
+``workers`` contiguous candidate chunks that evolve and score concurrently;
+the parent concatenates the per-chunk score vectors in chunk order, which
+keeps selections byte-identical to :class:`~repro.core.engine.BatchedDMEngine`
+no matter how many workers run.
+
+Problem state is shipped once per worker, at pool start: under the
+``fork`` start method the matrices are inherited copy-on-write for free,
+under ``forkserver``/``spawn`` the pickled
+:class:`~repro.core.problem.FJVoteProblem` (minus its session-specific
+seeded-trajectory cache, see ``FJVoteProblem.__getstate__``) travels with
+the ``Process`` arguments.  Each worker builds its own private
+:class:`BatchedDMEngine` from it — per-round messages then carry only seed
+id chunks and score vectors, never matrices.
+
+Selection sessions fan out too: :class:`MultiprocessDMSession` keeps the
+parent-side committed trajectory (for values and win-min prefix probes)
+exactly like its base class, and *broadcasts* every ``commit`` to the pool
+so each worker folds the chosen seed into a worker-local committed
+trajectory by the same one-column extension the parent performs — bitwise
+the same state, built once per worker instead of shipped per round.  A
+worker that missed a broadcast (e.g. the pool started mid-session)
+rebuilds the committed trajectory lazily from the ``(base, seeds)`` pair
+every fan-out message carries, replaying the commit sequence so the
+rebuilt trajectory is still bitwise identical.
+
+On a single-core host the fan-out cannot beat the in-process engine on
+wall-clock — IPC overhead buys nothing — but the sharding itself is
+measurable either way: ``benchmarks/bench_engine_mp.py`` asserts on the
+deterministic per-worker :class:`~repro.core.engine.EngineStats` counters
+(critical-path dense column-steps), which translate to wall-clock on
+multi-core hardware where each worker owns a memory domain.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import asdict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.engine import (
+    BatchedDMEngine,
+    BatchedDMSession,
+    EngineStats,
+    SeedSet,
+)
+from repro.core.problem import FJVoteProblem
+
+#: Work counters folded from worker deltas into the parent's ``stats``
+#: (and per-worker into ``worker_stats``).  Probe accounting
+#: (``evaluate_calls`` / ``sets_evaluated``) is *not* in this list: the
+#: parent counts probes itself, exactly as the single-process engine
+#: would, so the counters stay comparable across worker counts.
+_EVOLUTION_COUNTERS = (
+    "sparse_steps",
+    "sparse_nnz",
+    "dense_column_steps",
+    "trajectory_steps",
+    "repin_steps",
+    "repin_inserted",
+    "repin_rebuilds",
+)
+
+#: Worker-local committed trajectories kept per worker (FIFO eviction);
+#: mirrors ``FJVoteProblem.SEEDED_TRAJECTORY_CACHE``.
+_WORKER_SESSION_CACHE = 8
+
+
+def _rebuild_session(engine: BatchedDMEngine, base: tuple, seeds: tuple) -> dict:
+    """Worker-side committed state for a session, rebuilt from scratch.
+
+    Replays the exact commit sequence a :class:`BatchedDMSession` performs
+    — base trajectory, then one single-seed extension per commit — so the
+    rebuilt trajectory is bitwise identical to the parent's regardless of
+    whether the worker saw the individual commit broadcasts.
+    """
+    traj = engine.problem.target_trajectory(tuple(base))
+    committed = list(base)
+    for seed in list(seeds)[len(base) :]:
+        traj = engine.extend_trajectory(
+            traj,
+            np.asarray(committed, dtype=np.int64),
+            np.array([seed], dtype=np.int64),
+        )
+        committed.append(int(seed))
+    return {"seeds": list(seeds), "traj": traj}
+
+
+def _worker_session(
+    engine: BatchedDMEngine, sessions: dict, sid: int, base: tuple, seeds: tuple
+) -> dict:
+    """Fetch (or lazily rebuild) the worker's state for session ``sid``."""
+    state = sessions.get(sid)
+    if state is None or state["seeds"] != list(seeds) or state["traj"] is None:
+        state = _rebuild_session(engine, base, seeds)
+        evict = [k for k in sessions if k != sid]
+        while len(evict) + 1 > _WORKER_SESSION_CACHE:
+            sessions.pop(evict.pop(0))
+        sessions[sid] = state
+    return state
+
+
+def _worker_main(conn, problem: FJVoteProblem, engine_kwargs: dict) -> None:
+    """Worker loop: one private :class:`BatchedDMEngine`, commands via pipe.
+
+    Every command reply carries the delta of the worker engine's
+    :class:`EngineStats` counters so the parent can account the evolution
+    work each worker actually performed.
+    """
+    engine = BatchedDMEngine(problem, **engine_kwargs)
+    sessions: dict[int, dict] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        op = message[0]
+        if op == "stop":
+            break
+        try:
+            engine.stats.reset()
+            if op == "ping":
+                result = (os.getpid(), mp.current_process().name)
+            elif op == "eval":
+                result = engine._chunked_scores(message[1])
+            elif op == "ext":
+                _, sid, base, seeds, chunk = message
+                state = _worker_session(engine, sessions, sid, base, seeds)
+                result = engine.extension_values(
+                    state["traj"], np.asarray(seeds, dtype=np.int64), chunk
+                )
+            elif op == "commit":
+                _, sid, base, before, seed = message
+                state = sessions.get(sid)
+                if state is not None and state["seeds"] == list(before):
+                    state["traj"] = engine.extend_trajectory(
+                        state["traj"],
+                        np.asarray(before, dtype=np.int64),
+                        np.array([seed], dtype=np.int64),
+                    )
+                    state["seeds"].append(int(seed))
+                else:
+                    # Missed or out-of-order broadcast: remember the seed
+                    # sequence, rebuild lazily on the next fan-out.
+                    sessions[sid] = {
+                        "seeds": list(before) + [int(seed)],
+                        "traj": None,
+                    }
+                result = None
+            else:
+                raise ValueError(f"unknown dm-mp worker op {op!r}")
+            conn.send(("ok", result, asdict(engine.stats)))
+        except Exception as exc:  # pragma: no cover - worker-side failures
+            import traceback
+
+            conn.send(("err", f"{exc}\n{traceback.format_exc()}", None))
+
+
+class _WorkerHandle:
+    """One pool member: the process and the parent end of its pipe."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+
+
+class MultiprocessDMSession(BatchedDMSession):
+    """Warm-started session whose commits are broadcast to the worker pool.
+
+    The parent keeps the committed trajectory exactly like
+    :class:`BatchedDMSession` (values, ``gain=None`` commits and win-min
+    prefix probes are single-column work, cheapest done locally); each
+    round's ``marginal_gains`` fans the candidate chunks out with the
+    session id, and each ``commit`` tells every worker to fold the chosen
+    seed into its local copy of the committed trajectory.
+    """
+
+    def __init__(self, engine: "MultiprocessDMEngine", base: SeedSet = ()) -> None:
+        super().__init__(engine, base)
+        self._base = tuple(self._seeds)
+        self._sid = engine._next_session_id()
+
+    def marginal_gains(self, candidates: SeedSet) -> np.ndarray:
+        values = self.engine.session_extension_values(
+            self._sid, self._base, tuple(self._seeds), self._traj, candidates
+        )
+        return values - self._value
+
+    def commit(self, seed: int, *, gain: float | None = None) -> float:
+        before = tuple(self._seeds)
+        value = super().commit(seed, gain=gain)
+        self.engine.broadcast_commit(self._sid, self._base, before, int(seed))
+        return value
+
+
+class MultiprocessDMEngine(BatchedDMEngine):
+    """Exact DM evaluation sharded across a persistent process pool.
+
+    Parameters
+    ----------
+    problem:
+        The FJ-Vote instance (shipped to each worker once, at pool start).
+    workers:
+        Pool size (the ``dm-mp:<workers>`` CLI suffix); must be >= 1.
+    start_method:
+        ``multiprocessing`` start method: ``"fork"`` (default where
+        available — matrices are inherited for free), ``"forkserver"`` or
+        ``"spawn"`` (the problem is pickled to the worker instead).
+    min_fanout:
+        Below this many seed sets per call the parent — itself a full
+        batched engine holding the same state — evaluates locally: a CELF
+        stale-entry refresh is one column, not worth a round-trip.
+        Results are bitwise identical either way.  Default ``2 * workers``.
+    kwargs:
+        Forwarded to :class:`BatchedDMEngine` in the parent *and* every
+        worker (``batch_rows``, ``densify_threshold``, ``repin``, ...).
+
+    The pool starts lazily on the first fanned-out call and is released by
+    :meth:`close` (also via ``with`` or garbage collection).  The engine
+    keeps per-worker :class:`EngineStats` in ``worker_stats`` — the max
+    dense-column-step share across workers is the round's critical path,
+    the deterministic scaling metric of ``benchmarks/bench_engine_mp.py``.
+    """
+
+    def __init__(
+        self,
+        problem: FJVoteProblem,
+        *,
+        workers: int = 2,
+        start_method: str | None = None,
+        min_fanout: int | None = None,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(problem, **kwargs)
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"dm-mp needs at least one worker, got {workers}")
+        self.workers = workers
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = str(start_method)
+        self.min_fanout = (
+            2 * workers if min_fanout is None else max(1, int(min_fanout))
+        )
+        self.worker_stats = [EngineStats() for _ in range(workers)]
+        self._engine_kwargs = dict(kwargs)
+        self._handles: list[_WorkerHandle] | None = None
+        self._session_counter = 0
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> list[_WorkerHandle]:
+        if self._handles is None:
+            ctx = mp.get_context(self.start_method)
+            handles = []
+            for _ in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, self.problem, self._engine_kwargs),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                handles.append(_WorkerHandle(process, parent_conn))
+            self._handles = handles
+        return self._handles
+
+    def close(self) -> None:
+        """Stop the worker pool (idempotent; restarts lazily if used again)."""
+        handles, self._handles = self._handles, None
+        if not handles:
+            return
+        for handle in handles:
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout=10)
+            if handle.process.is_alive():  # pragma: no cover - hung worker
+                handle.process.terminate()
+                handle.process.join(timeout=10)
+            handle.conn.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def ping(self) -> list[tuple[int, str]]:
+        """Round-trip every worker; returns ``(pid, process name)`` pairs."""
+        return self._run([("ping",)] * self.workers)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _run(self, messages: Sequence[tuple]) -> list:
+        """Send one message per worker (at most), gather replies in order.
+
+        Workers compute concurrently — all sends complete before the first
+        receive — and replies are folded into ``stats`` / ``worker_stats``.
+        """
+        handles = self._ensure_pool()
+        live: list[tuple[int, _WorkerHandle]] = []
+        try:
+            for index, message in enumerate(messages):
+                handle = handles[index]
+                handle.conn.send(message)
+                live.append((index, handle))
+        except (BrokenPipeError, OSError) as exc:
+            # A dead worker mid-send would leave already-messaged workers
+            # with undrained replies that a later, smaller fan-out could
+            # mispair with its own requests; tear the pool down instead
+            # (it restarts lazily on the next call).
+            self.close()
+            raise RuntimeError(
+                f"dm-mp worker {len(live)} unreachable: {exc!r}"
+            ) from exc
+        out = []
+        failure: str | None = None
+        for index, handle in live:
+            try:
+                status, result, stats = handle.conn.recv()
+            except (EOFError, OSError) as exc:
+                failure = f"dm-mp worker {index} died: {exc!r}"
+                continue
+            if status != "ok":
+                failure = f"dm-mp worker {index} failed:\n{result}"
+                continue
+            for name in _EVOLUTION_COUNTERS:
+                value = stats.get(name, 0)
+                setattr(self.stats, name, getattr(self.stats, name) + value)
+                worker = self.worker_stats[index]
+                setattr(worker, name, getattr(worker, name) + value)
+            out.append(result)
+        if failure is not None:
+            self.close()
+            raise RuntimeError(failure)
+        return out
+
+    def _chunk_indices(self, count: int) -> list[np.ndarray]:
+        """Deterministic contiguous index chunks, one per worker, no empties."""
+        return [
+            idx
+            for idx in np.array_split(np.arange(count), self.workers)
+            if idx.size
+        ]
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+    def open_session(self, base: SeedSet = ()) -> MultiprocessDMSession:
+        return MultiprocessDMSession(self, base)
+
+    def _next_session_id(self) -> int:
+        self._session_counter += 1
+        return self._session_counter
+
+    def evaluate(self, seed_sets: Iterable[SeedSet]) -> np.ndarray:
+        sets = self._normalize_sets(seed_sets)
+        self.stats.evaluate_calls += 1
+        self.stats.sets_evaluated += len(sets)
+        if not sets:
+            return np.empty(0, dtype=np.float64)
+        if len(sets) < self.min_fanout:
+            return self._chunked_scores(sets)
+        chunks = self._chunk_indices(len(sets))
+        results = self._run(
+            [("eval", [sets[i] for i in idx]) for idx in chunks]
+        )
+        return np.concatenate(results)
+
+    def session_extension_values(
+        self,
+        sid: int,
+        base: tuple,
+        seeds: tuple,
+        traj: np.ndarray,
+        candidates: SeedSet,
+    ) -> np.ndarray:
+        """One session round: candidate chunks fanned out with the session id.
+
+        Small rounds (CELF refreshes) run on the parent's own committed
+        trajectory; both paths produce bitwise-identical values.
+        """
+        cand = np.asarray(candidates, dtype=np.int64)
+        if cand.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if cand.size < self.min_fanout:
+            return self.extension_values(
+                traj, np.asarray(seeds, dtype=np.int64), cand
+            )
+        chunks = self._chunk_indices(cand.size)
+        results = self._run(
+            [("ext", sid, base, seeds, cand[idx]) for idx in chunks]
+        )
+        return np.concatenate(results)
+
+    def broadcast_commit(
+        self, sid: int, base: tuple, before: tuple, seed: int
+    ) -> None:
+        """Tell every worker to fold ``seed`` into session ``sid``'s state.
+
+        A no-op while the pool has not started: the first fan-out message
+        carries the full seed sequence and workers rebuild from it.
+        """
+        if self._handles is None:
+            return
+        self._run([("commit", sid, base, before, seed)] * self.workers)

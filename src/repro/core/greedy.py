@@ -258,9 +258,12 @@ def greedy_dm(
 
     if lazy == "auto":
         lazy = isinstance(problem.score, CumulativeScore)
-    return greedy_engine(
-        make_engine(engine, problem, rng=rng),
-        k,
-        lazy=bool(lazy),
-        candidates=candidates,
-    )
+    made = make_engine(engine, problem, rng=rng)
+    try:
+        return greedy_engine(made, k, lazy=bool(lazy), candidates=candidates)
+    finally:
+        # Engines built here from a spec are scoped to this selection;
+        # caller-supplied instances stay open (make_engine passed them
+        # through).  close() is a no-op for the in-process backends.
+        if made is not engine:
+            made.close()

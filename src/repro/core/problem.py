@@ -174,6 +174,20 @@ class FJVoteProblem:
                 self._base_target = self._base_trajectory[-1]
         return self._base_trajectory
 
+    def __getstate__(self) -> dict:
+        """Pickle support for process fan-out (``--engine dm-mp``).
+
+        Ships the instance and its *shareable* caches — competitor
+        opinions and the unseeded base trajectory, which every worker
+        would otherwise recompute identically — but drops the
+        seeded-trajectory cache: that is per-session warm state, and
+        worker sessions rebuild their committed trajectories from commit
+        broadcasts instead (see :mod:`repro.core.engine_mp`).
+        """
+        state = self.__dict__.copy()
+        state["_seeded_trajectories"] = {}
+        return state
+
     def full_opinions(self, seeds: np.ndarray | tuple = ()) -> np.ndarray:
         """Full ``(r, n)`` horizon opinion matrix with ``seeds`` for the target."""
         return self.full_opinions_from_target(self.target_opinions(seeds))

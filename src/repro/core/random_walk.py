@@ -113,7 +113,9 @@ class TruncatedWalks:
         self.end_pos = self.lengths.copy()
         ends = walks[np.arange(self.num_walks), self.end_pos]
         self.values = self._b0[ends]
-        self.seeds: list[int] = []
+        self._seeds: list[int] = []
+        self._seed_set: set[int] = set()
+        self._shared = False
         self._build_index()
 
     @classmethod
@@ -177,13 +179,56 @@ class TruncatedWalks:
         mask = self.idx_pos <= self.end_pos[self.idx_walk]
         return self.idx_node[mask], self.idx_walk[mask]
 
+    @property
+    def seeds(self) -> list[int]:
+        """Seeds applied so far, in application order."""
+        return self._seeds
+
+    @seeds.setter
+    def seeds(self, value) -> None:
+        self._seeds = [int(v) for v in value]
+        self._seed_set = set(self._seeds)
+
+    def snapshot_state(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy snapshot of ``(end_pos, values, b0)``.
+
+        The arrays are returned *by reference* and the collection is
+        marked shared: the next mutating :meth:`add_seed` copies before
+        writing (copy-on-write), so the snapshot stays pristine without
+        either side paying an upfront copy.
+        """
+        self._shared = True
+        return (self.end_pos, self.values, self._b0)
+
+    def restore_state(
+        self, state: tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> None:
+        """Adopt a :meth:`snapshot_state` by reference and clear seeds.
+
+        No arrays are copied here — restore is an O(1) pointer swap, and
+        copy-on-write in :meth:`add_seed` protects the snapshot.
+        """
+        self.end_pos, self.values, self._b0 = state
+        self._shared = True
+        self._seeds = []
+        self._seed_set = set()
+
+    def _own_state(self) -> None:
+        """Copy-on-write barrier: materialize private arrays before a write."""
+        if self._shared:
+            self.end_pos = self.end_pos.copy()
+            self.values = self.values.copy()
+            self._b0 = self._b0.copy()
+            self._shared = False
+
     def add_seed(self, node: int) -> None:
         """Truncate every walk containing ``node`` at ``node`` (Alg. 4 line 8)."""
         node = int(node)
-        if node in self.seeds:
+        if node in self._seed_set:
             return
-        self.seeds.append(node)
-        self._b0 = self._b0.copy()
+        self._own_state()
+        self._seeds.append(node)
+        self._seed_set.add(node)
         self._b0[node] = 1.0
         wids, pos = self.entries_for(node)
         hit = pos <= self.end_pos[wids]

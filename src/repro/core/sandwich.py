@@ -25,7 +25,12 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.engine import BatchedDMEngine, ObjectiveEngine, make_engine
+from repro.core.engine import (
+    BatchedDMEngine,
+    ObjectiveEngine,
+    make_engine,
+    spec_is_exact_dm,
+)
 from repro.core.greedy import GreedyResult, greedy_engine
 from repro.core.problem import FJVoteProblem
 from repro.core.random_walk import random_walk_select
@@ -163,6 +168,39 @@ def sandwich_select(
             "sandwich approximation targets the non-submodular scores; "
             "use greedy_dm directly for the cumulative score"
         )
+    created: list[ObjectiveEngine] = []
+    try:
+        return _sandwich_select(
+            problem,
+            k,
+            method,
+            feasible_selector,
+            rng,
+            engine,
+            method_kwargs,
+            is_positional,
+            created,
+        )
+    finally:
+        # Engines built here from a spec (not caller-supplied instances)
+        # are scoped to this selection; close() releases dm-mp pools and
+        # is a no-op for the in-process backends.
+        for built in created:
+            built.close()
+
+
+def _sandwich_select(
+    problem: FJVoteProblem,
+    k: int,
+    method: str,
+    feasible_selector: Callable[[int], np.ndarray] | None,
+    rng: "int | np.random.Generator | None",
+    engine: ObjectiveEngine | str | None,
+    method_kwargs: dict,
+    is_positional: bool,
+    created: list[ObjectiveEngine],
+) -> SandwichResult:
+    score = problem.score
     # --- S_F: feasible greedy solution on F itself.
     engine_obj: ObjectiveEngine | None = None
     if feasible_selector is not None:
@@ -171,6 +209,8 @@ def sandwich_select(
         # The sandwich scores are never cumulative (rejected above), so the
         # feasible greedy is exhaustive — matching greedy_dm's lazy="auto".
         engine_obj = make_engine(engine, problem, rng=rng)
+        if engine_obj is not engine:
+            created.append(engine_obj)
         seeds_f = greedy_engine(engine_obj, k, lazy=False).seeds
     elif method == "rw":
         seeds_f = random_walk_select(problem, k, rng=rng, **method_kwargs).seeds
@@ -211,8 +251,9 @@ def sandwich_select(
         and getattr(engine_obj, "user_weights", None) is None
     ):
         exact = engine_obj
-    elif engine in (None, "dm", "dm-batched"):
+    elif spec_is_exact_dm(engine):
         exact = make_engine(engine, problem)
+        created.append(exact)
     else:
         exact = BatchedDMEngine(problem)
     finals = exact.evaluate(list(candidates.values()))

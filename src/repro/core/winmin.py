@@ -79,38 +79,47 @@ def min_seeds_to_win(
     probes = 1
     if problem.target_wins(()):
         return WinMinResult(seeds=np.empty(0, dtype=np.int64), k=0, found=True, probes=probes)
-    if selector is None:
-        engine_obj = make_engine(engine, problem, rng=rng)
-        session = engine_obj.open_session()
-        # Mirrors greedy_dm's lazy="auto": CELF exactly for the submodular
-        # cumulative score (Theorem 3).
-        ranking = greedy_engine(
-            engine_obj,
-            upper,
-            lazy=isinstance(problem.score, CumulativeScore),
-            session=session,
-        ).seeds
+    created: ObjectiveEngine | None = None
+    try:
+        if selector is None:
+            engine_obj = make_engine(engine, problem, rng=rng)
+            if engine_obj is not engine:
+                # Built from a spec: scoped to this search (closes dm-mp
+                # pools; a no-op for the in-process backends).
+                created = engine_obj
+            session = engine_obj.open_session()
+            # Mirrors greedy_dm's lazy="auto": CELF exactly for the
+            # submodular cumulative score (Theorem 3).
+            ranking = greedy_engine(
+                engine_obj,
+                upper,
+                lazy=isinstance(problem.score, CumulativeScore),
+                session=session,
+            ).seeds
 
-        def probe(k: int) -> tuple[np.ndarray, bool]:
-            return ranking[:k], session.prefix_wins(k)
+            def probe(k: int) -> tuple[np.ndarray, bool]:
+                return ranking[:k], session.prefix_wins(k)
 
-    else:
-
-        def probe(k: int) -> tuple[np.ndarray, bool]:
-            seeds = np.asarray(selector(k), dtype=np.int64)
-            return seeds, problem.target_wins(seeds)
-
-    best, won = probe(upper)
-    probes += 1
-    if not won:
-        return WinMinResult(seeds=best, k=upper, found=False, probes=probes)
-    lo, hi = 0, upper
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        candidate, won = probe(mid)
-        probes += 1
-        if won:
-            hi, best = mid, candidate
         else:
-            lo = mid
-    return WinMinResult(seeds=best, k=hi, found=True, probes=probes)
+
+            def probe(k: int) -> tuple[np.ndarray, bool]:
+                seeds = np.asarray(selector(k), dtype=np.int64)
+                return seeds, problem.target_wins(seeds)
+
+        best, won = probe(upper)
+        probes += 1
+        if not won:
+            return WinMinResult(seeds=best, k=upper, found=False, probes=probes)
+        lo, hi = 0, upper
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            candidate, won = probe(mid)
+            probes += 1
+            if won:
+                hi, best = mid, candidate
+            else:
+                lo = mid
+        return WinMinResult(seeds=best, k=hi, found=True, probes=probes)
+    finally:
+        if created is not None:
+            created.close()

@@ -15,7 +15,7 @@ import numpy as np
 from repro.baselines.centrality import degree_select, pagerank_select, rwr_select
 from repro.baselines.gedt import gedt_select
 from repro.baselines.imm import imm
-from repro.core.engine import ObjectiveEngine, make_engine
+from repro.core.engine import ObjectiveEngine, make_engine, spec_is_exact_dm
 from repro.core.greedy import greedy_dm
 from repro.core.problem import FJVoteProblem
 from repro.core.random_walk import random_walk_select
@@ -109,20 +109,30 @@ def run_methods(
     for method in methods:
         kwargs = dict(method_kwargs.get(method, {}))
         method_engine: str | ObjectiveEngine | None = engine
-        if method == "dm" and engine in (None, "dm", "dm-batched"):
+        if method == "dm" and spec_is_exact_dm(engine):
+            # Exact engines are deterministic shared inputs: build once per
+            # method sweep so every budget's session reuses the cached
+            # trajectories (and, for dm-mp, one worker pool serves the
+            # whole sweep instead of spinning up per budget).
             method_engine = make_engine(engine, problem)
-        for k in ks:
-            with Timer() as timer:
-                seeds = select_seeds(
-                    method, problem, k, rng, engine=method_engine, **kwargs
+        try:
+            for k in ks:
+                with Timer() as timer:
+                    seeds = select_seeds(
+                        method, problem, k, rng, engine=method_engine, **kwargs
+                    )
+                runs.append(
+                    MethodRun(
+                        method=method,
+                        k=int(k),
+                        score_value=problem.objective(seeds),
+                        seconds=timer.elapsed,
+                        seeds=seeds,
+                    )
                 )
-            runs.append(
-                MethodRun(
-                    method=method,
-                    k=int(k),
-                    score_value=problem.objective(seeds),
-                    seconds=timer.elapsed,
-                    seeds=seeds,
-                )
-            )
+        finally:
+            if isinstance(method_engine, ObjectiveEngine) and (
+                method_engine is not engine
+            ):
+                method_engine.close()
     return runs

@@ -35,7 +35,7 @@ def test_select_runs_small(capsys):
     assert "->" in out
 
 
-@pytest.mark.parametrize("engine", ["dm", "dm-batched", "rw", "sketch"])
+@pytest.mark.parametrize("engine", ["dm", "dm-batched", "dm-mp", "dm-mp:2", "rw", "sketch"])
 def test_select_engine_choices(capsys, engine):
     code = main(
         [
@@ -56,7 +56,7 @@ def test_select_engine_choices(capsys, engine):
 def test_select_engine_dm_variants_agree(capsys):
     """Exact engines must print identical seeds and scores."""
     outs = []
-    for engine in ("dm", "dm-batched"):
+    for engine in ("dm", "dm-batched", "dm-mp:2"):
         assert main(
             [
                 "select",
@@ -73,7 +73,7 @@ def test_select_engine_dm_variants_agree(capsys):
         outs.append(
             (out.splitlines()[-1], out.splitlines()[-2].split("(")[0])
         )  # seeds line + score line sans timing
-    assert outs[0] == outs[1]
+    assert outs[0] == outs[1] == outs[2]
 
 
 def test_unknown_engine_rejected(capsys):
@@ -81,6 +81,21 @@ def test_unknown_engine_rejected(capsys):
         build_parser().parse_args(
             ["select", "--method", "dm", "--engine", "warp-drive"]
         )
+
+
+@pytest.mark.parametrize("bad", ["dm-mp:", "dm-mp:0", "dm-mp:-2", "dm-mp:two"])
+def test_malformed_worker_spec_surfaces_registry_error(capsys, bad):
+    """Malformed dm-mp:<workers> specs exit with the engine registry's
+    ValueError message (names every spec and the dm-mp:<workers> form)."""
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["select", "--method", "dm", "--engine", bad])
+    err = capsys.readouterr().err
+    assert "unknown engine" in err
+    assert "dm-mp:<workers>" in err
+    from repro.core.engine import ENGINE_NAMES
+
+    for name in ENGINE_NAMES:
+        assert name in err
 
 
 def test_select_p_approval(capsys):

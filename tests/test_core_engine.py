@@ -20,7 +20,10 @@ from repro.core.engine import (
     ObjectiveEngine,
     WalkEngine,
     make_engine,
+    parse_engine_spec,
+    spec_is_exact_dm,
 )
+from repro.core.engine_mp import MultiprocessDMEngine
 from repro.core.greedy import greedy_dm, greedy_engine
 from repro.core.problem import FJVoteProblem
 from repro.voting.scores import (
@@ -128,11 +131,39 @@ def test_make_engine_specs():
     assert isinstance(make_engine("dm-batched", problem), BatchedDMEngine)
     assert isinstance(make_engine("rw", problem, walks_per_node=2), WalkEngine)
     assert isinstance(make_engine("sketch", problem, theta=50), WalkEngine)
+    with make_engine("dm-mp:3", problem) as mp_engine:
+        assert isinstance(mp_engine, MultiprocessDMEngine)
+        assert mp_engine.workers == 3
     engine = DMEngine(problem)
     assert make_engine(engine, problem) is engine
     with pytest.raises(ValueError):
         make_engine("warp-drive", problem)
-    assert set(ENGINE_NAMES) == {"dm", "dm-batched", "rw", "sketch"}
+    assert set(ENGINE_NAMES) == {"dm", "dm-batched", "dm-mp", "rw", "sketch"}
+
+
+def test_parse_engine_spec_and_exactness():
+    assert parse_engine_spec("dm-batched") == ("dm-batched", {})
+    assert parse_engine_spec("dm-mp") == ("dm-mp", {})
+    assert parse_engine_spec("dm-mp:4") == ("dm-mp", {"workers": 4})
+    for spec in (None, "dm", "dm-batched", "dm-mp", "dm-mp:2"):
+        assert spec_is_exact_dm(spec), spec
+    for spec in ("rw", "sketch", "dm-mp:0", "nope", 7):
+        assert not spec_is_exact_dm(spec), spec
+
+
+@pytest.mark.parametrize(
+    "bad", ["dm-mp:", "dm-mp:0", "dm-mp:-2", "dm-mp:two", "dm-mp:1:1", "rw:3"]
+)
+def test_make_engine_rejects_malformed_worker_specs(bad):
+    """Malformed dm-mp:<workers> forms fail with the registry's single
+    ValueError — the same message the CLI --engine option surfaces."""
+    problem = make_problem(0, "cumulative", 2)
+    with pytest.raises(ValueError) as excinfo:
+        make_engine(bad, problem)
+    message = str(excinfo.value)
+    for name in ENGINE_NAMES:
+        assert name in message
+    assert "dm-mp:<workers>" in message
 
 
 def test_make_engine_unknown_spec_error_lists_engine_names():
@@ -368,23 +399,23 @@ def test_session_prefix_values_and_wins_match_exact():
         session.prefix_values([-1])
 
 
-@pytest.mark.parametrize("spec", ["dm", "dm-batched", "rw", "sketch"])
+@pytest.mark.parametrize("spec", ["dm", "dm-batched", "dm-mp:2", "rw", "sketch"])
 def test_open_session_commit_tracks_engine_evaluate(spec):
     """Every backend's session accumulates exactly its own evaluate values."""
     problem = make_problem(3, "cumulative", 3, n=12, r=2)
     kwargs = {"walks_per_node": 8, "theta": 200} if spec in ("rw", "sketch") else {}
-    engine = make_engine(spec, problem, rng=9, **kwargs)
-    session = engine.open_session()
-    assert session.value == pytest.approx(engine.evaluate_one(()), abs=1e-10)
-    session.commit(4)
-    session.commit(7)
-    assert session.seeds == (4, 7)
-    assert session.value == pytest.approx(engine.evaluate_one((4, 7)), abs=1e-9)
-    np.testing.assert_allclose(
-        session.marginal_gains(np.array([0, 1])),
-        engine.marginal_gains((4, 7), [0, 1]),
-        atol=1e-9,
-    )
+    with make_engine(spec, problem, rng=9, **kwargs) as engine:
+        session = engine.open_session()
+        assert session.value == pytest.approx(engine.evaluate_one(()), abs=1e-10)
+        session.commit(4)
+        session.commit(7)
+        assert session.seeds == (4, 7)
+        assert session.value == pytest.approx(engine.evaluate_one((4, 7)), abs=1e-9)
+        np.testing.assert_allclose(
+            session.marginal_gains(np.array([0, 1])),
+            engine.marginal_gains((4, 7), [0, 1]),
+            atol=1e-9,
+        )
 
 
 def test_interleaved_sessions_do_not_thrash_base_cache():
@@ -440,3 +471,216 @@ def test_engine_stats_reset():
     engine.stats.reset()
     assert engine.stats.evaluate_calls == 0
     assert engine.stats.evolution_work(problem.n) == 0.0
+
+
+# ----------------------------------------------------------------------
+# In-place sparse re-pin: structure-reusing surgery == legacy rebuild
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 40),
+    score_name=st.sampled_from(sorted(SCORE_FACTORIES)),
+    horizon=st.integers(1, 6),
+    data=st.data(),
+)
+def test_inplace_repin_matches_legacy_rebuild(seed, score_name, horizon, data):
+    """The in-place re-pin must reproduce the COO->CSR rebuild bit for bit
+    (same pinned-value splices, same explicit-zero structure) while never
+    performing a rebuild, on both the stateless and warm-started paths."""
+    problem = make_problem(seed, score_name, horizon)
+    n = problem.n
+    num_sets = data.draw(st.integers(1, 5))
+    seed_sets = [
+        data.draw(st.lists(st.integers(0, n - 1), min_size=0, max_size=4))
+        for _ in range(num_sets)
+    ]
+    # densify_threshold=1.0 keeps every step in the sparse phase, the only
+    # code path the re-pin mode touches.
+    inplace = BatchedDMEngine(problem, densify_threshold=1.0)
+    legacy = BatchedDMEngine(problem, densify_threshold=1.0, repin="rebuild")
+    np.testing.assert_array_equal(
+        inplace.evaluate(seed_sets), legacy.evaluate(seed_sets)
+    )
+    assert inplace.stats.repin_rebuilds == 0
+    assert legacy.stats.repin_rebuilds == legacy.stats.sparse_steps
+    # Warm-started sessions exercise zero_rows (committed-seed zeroing).
+    commits = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=3, unique=True)
+    )
+    s_inplace = inplace.open_session()
+    s_legacy = legacy.open_session()
+    for commit in commits:
+        candidates = np.array(sorted(set(range(n)) - set(commits)))
+        np.testing.assert_array_equal(
+            s_inplace.marginal_gains(candidates),
+            s_legacy.marginal_gains(candidates),
+        )
+        s_inplace.commit(commit)
+        s_legacy.commit(commit)
+    assert s_inplace.value == s_legacy.value
+
+
+def test_repin_mode_validated():
+    problem = make_problem(0, "cumulative", 2)
+    with pytest.raises(ValueError):
+        BatchedDMEngine(problem, repin="in-place-ish")
+
+
+# ----------------------------------------------------------------------
+# Multiprocess fan-out engine (dm-mp)
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 20),
+    score_name=st.sampled_from(sorted(SCORE_FACTORIES)),
+    horizon=st.integers(0, 4),
+    workers=st.sampled_from([1, 2, 4]),
+    data=st.data(),
+)
+def test_mp_engine_matches_batched_objectives(
+    seed, score_name, horizon, workers, data
+):
+    """dm-mp evaluation == dm-batched byte for byte, and the probe
+    accounting (evaluate_calls / sets_evaluated) is identical for every
+    worker count — the parent counts probes, workers only evolve."""
+    problem = make_problem(seed, score_name, horizon)
+    n = problem.n
+    num_sets = data.draw(st.integers(1, 6))
+    seed_sets = [
+        data.draw(st.lists(st.integers(0, n - 1), min_size=0, max_size=3))
+        for _ in range(num_sets)
+    ]
+    batched = BatchedDMEngine(problem)
+    expected = batched.evaluate(seed_sets)
+    with MultiprocessDMEngine(problem, workers=workers, min_fanout=1) as engine:
+        # Chunked scoring can reorder float sums (numpy pairwise summation
+        # depends on block width), so values carry the 1e-10 parity
+        # contract, not bitwise equality.
+        np.testing.assert_allclose(
+            engine.evaluate(seed_sets), expected, atol=1e-10, rtol=0
+        )
+        assert engine.stats.evaluate_calls == batched.stats.evaluate_calls
+        assert engine.stats.sets_evaluated == batched.stats.sets_evaluated
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_mp_greedy_selects_identical_seeds(workers):
+    """Fanned-out greedy must pick byte-identical seeds and gains for any
+    worker count, with probe accounting matching the batched engine."""
+    problem = make_problem(2, "plurality", 4, n=14)
+    ref_engine = BatchedDMEngine(problem)
+    reference = greedy_engine(ref_engine, 4, lazy=False)
+    with MultiprocessDMEngine(problem, workers=workers, min_fanout=1) as engine:
+        result = greedy_engine(engine, 4, lazy=False)
+        assert result.seeds.tolist() == reference.seeds.tolist()
+        np.testing.assert_allclose(result.gains, reference.gains, atol=1e-10, rtol=0)
+        assert result.evaluations == reference.evaluations
+        assert engine.stats.evaluate_calls == ref_engine.stats.evaluate_calls
+        assert engine.stats.sets_evaluated == ref_engine.stats.sets_evaluated
+        # Work was genuinely sharded: every worker evolved some columns.
+        assert all(
+            w.dense_column_steps + w.sparse_steps > 0 for w in engine.worker_stats
+        )
+
+
+def test_mp_small_rounds_run_locally_without_pool():
+    """Below min_fanout the parent evaluates locally — the pool never
+    starts, yet results and session commits stay byte-identical."""
+    problem = make_problem(5, "cumulative", 3, n=12, r=2)
+    reference = BatchedDMEngine(problem)
+    with MultiprocessDMEngine(problem, workers=2, min_fanout=64) as engine:
+        session = engine.open_session()
+        ref_session = reference.open_session()
+        for commit in (3, 8):
+            candidates = np.array([1, 2, 5])
+            np.testing.assert_array_equal(
+                session.marginal_gains(candidates),
+                ref_session.marginal_gains(candidates),
+            )
+            session.commit(commit)
+            ref_session.commit(commit)
+        assert session.value == ref_session.value
+        assert engine._handles is None  # pool never spawned
+
+
+@pytest.mark.parametrize("start_method", ["fork", "forkserver"])
+def test_mp_session_commit_broadcast_across_start_methods(start_method):
+    """Session commit broadcast smoke under fork *and* forkserver: workers
+    fold every committed seed into their local trajectory (or lazily
+    rebuild it), so warm-started rounds stay byte-identical to dm-batched
+    however the pool was started."""
+    import multiprocessing as mp
+
+    if start_method not in mp.get_all_start_methods():
+        pytest.skip(f"start method {start_method!r} unavailable")
+    problem = make_problem(4, "plurality", 3, n=12, r=2)
+    reference = BatchedDMEngine(problem)
+    ref_session = reference.open_session()
+    with MultiprocessDMEngine(
+        problem, workers=2, start_method=start_method, min_fanout=1
+    ) as engine:
+        assert len(engine.ping()) == 2
+        session = engine.open_session()
+        for commit in (6, 2, 9):
+            candidates = np.array(
+                sorted(set(range(problem.n)) - set(session.seeds))
+            )
+            np.testing.assert_allclose(
+                session.marginal_gains(candidates),
+                ref_session.marginal_gains(candidates),
+                atol=1e-10,
+                rtol=0,
+            )
+            session.commit(commit)
+            ref_session.commit(commit)
+        assert session.value == pytest.approx(ref_session.value, abs=1e-10)
+        # Prefix probes (win-min's path) stay parent-side and exact.
+        for k in (0, 1, 3):
+            assert session.prefix_wins(k) == problem.target_wins(
+                session.prefix_seeds(k)
+            )
+
+
+def test_mp_engine_close_is_idempotent_and_restartable():
+    problem = make_problem(1, "cumulative", 2, n=10, r=2)
+    engine = MultiprocessDMEngine(problem, workers=2, min_fanout=1)
+    sets = [(1,), (2,), (3,), (4,)]
+    expected = BatchedDMEngine(problem).evaluate(sets)
+    np.testing.assert_array_equal(engine.evaluate(sets), expected)
+    engine.close()
+    engine.close()  # idempotent
+    assert engine._handles is None
+    # The pool restarts lazily after close.
+    np.testing.assert_array_equal(engine.evaluate(sets), expected)
+    engine.close()
+
+
+def test_mp_dead_worker_raises_and_pool_recovers():
+    """A killed worker must fail the round loudly (no silently mispaired
+    stale replies), tear the pool down, and let the next call restart it."""
+    import os
+    import signal
+    import time
+
+    problem = make_problem(1, "cumulative", 2, n=10, r=2)
+    sets = [(1,), (2,), (3,), (4,)]
+    expected = BatchedDMEngine(problem).evaluate(sets)
+    engine = MultiprocessDMEngine(problem, workers=2, min_fanout=1)
+    try:
+        np.testing.assert_allclose(engine.evaluate(sets), expected, atol=1e-10)
+        os.kill(engine._handles[1].process.pid, signal.SIGKILL)
+        time.sleep(0.2)
+        with pytest.raises(RuntimeError, match="dm-mp worker"):
+            engine.evaluate(sets)
+        assert engine._handles is None  # torn down, not half-alive
+        np.testing.assert_allclose(engine.evaluate(sets), expected, atol=1e-10)
+    finally:
+        engine.close()
+
+
+def test_mp_worker_count_validated():
+    problem = make_problem(0, "cumulative", 2)
+    with pytest.raises(ValueError):
+        MultiprocessDMEngine(problem, workers=0)
+    with pytest.raises(ValueError):
+        MultiprocessDMEngine(problem, workers=-3)

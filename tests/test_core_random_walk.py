@@ -268,3 +268,85 @@ def test_estimate_gamma_star():
 def test_estimate_gamma_star_no_competitors():
     gamma = estimate_gamma_star(np.array([0.5]), np.empty((1, 0)))
     assert np.isinf(gamma[0])
+
+
+# ----------------------------------------------------------------------
+# Truncation-state snapshots: copy-on-write and set-backed seed adds
+# ----------------------------------------------------------------------
+def _walks_instance(seed=5):
+    state = random_instance(n=14, r=2, seed=seed)
+    graph = state.graph(0)
+    return TruncatedWalks.generate(
+        graph,
+        state.stubbornness[0],
+        state.initial_opinions[0],
+        4,
+        np.repeat(np.arange(graph.n, dtype=np.int64), 6),
+        rng=seed,
+    )
+
+
+def test_add_seed_duplicate_is_noop():
+    """Membership is set-backed; re-adding a seed must change nothing —
+    not the seed list, not the truncation arrays, not even array identity
+    (no copy-on-write trigger)."""
+    walks = _walks_instance()
+    walks.add_seed(3)
+    end_pos, values, b0 = walks.end_pos, walks.values, walks._b0
+    before = (end_pos.copy(), values.copy(), b0.copy())
+    walks.add_seed(3)
+    assert walks.seeds == [3]
+    assert walks.end_pos is end_pos and walks.values is values
+    assert walks._b0 is b0
+    np.testing.assert_array_equal(walks.end_pos, before[0])
+    np.testing.assert_array_equal(walks.values, before[1])
+    np.testing.assert_array_equal(walks._b0, before[2])
+
+
+def test_seeds_setter_keeps_membership_in_sync():
+    walks = _walks_instance()
+    walks.add_seed(2)
+    walks.seeds = []
+    walks.add_seed(2)  # must not be treated as a duplicate after reset
+    assert walks.seeds == [2]
+
+
+def test_snapshot_restore_is_copy_on_write():
+    """Regression: snapshot/restore used to copy every array twice (once
+    at snapshot, once per restore).  Restore now aliases the snapshot and
+    the first mutating add_seed copies — so the snapshot must survive
+    mutations, and a mutation-free restore must not allocate."""
+    walks = _walks_instance()
+    snap = walks.snapshot_state()
+    pristine = tuple(a.copy() for a in snap)
+    walks.add_seed(4)  # copy-on-write: snapshot arrays must stay pristine
+    assert not np.shares_memory(walks.values, snap[1])
+    np.testing.assert_array_equal(snap[0], pristine[0])
+    np.testing.assert_array_equal(snap[1], pristine[1])
+    np.testing.assert_array_equal(snap[2], pristine[2])
+    walks.restore_state(snap)
+    # restore is an O(1) pointer swap: same arrays, no copies...
+    assert walks.end_pos is snap[0] and walks.values is snap[1]
+    assert walks.seeds == []
+    # ...and the next mutation detaches again without touching the snapshot.
+    walks.add_seed(7)
+    assert not np.shares_memory(walks.end_pos, snap[0])
+    np.testing.assert_array_equal(snap[0], pristine[0])
+    np.testing.assert_array_equal(snap[1], pristine[1])
+
+
+def test_walk_engine_reset_does_not_leak_mutations_into_snapshot():
+    """End-to-end aliasing regression over WalkEngine: evaluating seeded
+    sets between empty-set evaluations must keep the pristine snapshot
+    byte-identical, so the empty-set estimate never drifts."""
+    from repro.core.engine import make_engine
+
+    state = random_instance(n=14, r=2, seed=9)
+    problem = FJVoteProblem(state, 0, 4, CumulativeScore())
+    engine = make_engine("rw", problem, rng=11, walks_per_node=6)
+    baseline = engine.evaluate_one(())
+    snap_values = engine._snapshot[1].copy()
+    for seeds in ((3,), (1, 5), (), (9, 3)):
+        engine.evaluate_one(seeds)
+    np.testing.assert_array_equal(engine._snapshot[1], snap_values)
+    assert engine.evaluate_one(()) == baseline
