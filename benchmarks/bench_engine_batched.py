@@ -13,19 +13,16 @@ Set ``REPRO_BENCH_TINY=1`` for the CI smoke variant: one tiny size, parity
 assertion only (speedup floors need realistic sizes and quiet machines).
 """
 
-import os
-
 import numpy as np
-import pytest
 
-from benchmarks.conftest import BENCH_SEED, run_once
+from benchmarks.conftest import BENCH_SEED, BENCH_TINY, run_once
 from repro.core.engine import BatchedDMEngine, DMEngine
 from repro.datasets.twitter import twitter_social_distancing
 from repro.eval.reporting import format_series
 from repro.utils.timing import Timer
 from repro.voting.scores import PluralityScore
 
-TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+TINY = BENCH_TINY
 SIZES = [200] if TINY else [500, 2000, 8000]
 #: The CLI's default horizon; longer horizons amortize the per-candidate
 #: fixed costs of the per-set path, so the ratio grows with t.

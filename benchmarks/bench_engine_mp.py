@@ -32,7 +32,7 @@ import os
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_SEED, run_once
+from benchmarks.conftest import BENCH_SEED, BENCH_TINY, run_once
 from repro.core.engine import BatchedDMEngine
 from repro.core.engine_mp import MultiprocessDMEngine
 from repro.core.greedy import greedy_engine
@@ -41,7 +41,7 @@ from repro.eval.reporting import format_series
 from repro.utils.timing import Timer
 from repro.voting.scores import PluralityScore
 
-TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+TINY = BENCH_TINY
 MP_SIZE = 200 if TINY else 2000
 WORKER_COUNTS = [2] if TINY else [2, 4]
 REPIN_SIZES = [200] if TINY else [500, 2000]
@@ -114,7 +114,7 @@ def _mp_rounds(n: int) -> list[dict[str, float]]:
     return rows
 
 
-def test_mp_fanout_dense_phase_scaling(benchmark, save_result):
+def test_mp_fanout_dense_phase_scaling(benchmark, save_result, save_bench_json):
     rows = run_once(benchmark, lambda: _mp_rounds(MP_SIZE))
     series = {
         "batched dense col-steps": [r["total_dense"] for r in rows],
@@ -136,6 +136,21 @@ def test_mp_fanout_dense_phase_scaling(benchmark, save_result):
                 format_series("workers", WORKER_COUNTS, series),
             ),
         )
+    # Perf-trajectory record: 2-worker counters (the smoke configuration).
+    two = rows[0]
+    save_bench_json(
+        "engine_mp",
+        {
+            "cp_speedup_2w_x": {
+                "value": two["cp_speedup"],
+                "higher_is_better": True,
+            },
+            "critical_dense_col_steps_2w": {
+                "value": float(two["critical_dense"]),
+                "higher_is_better": False,
+            },
+        },
+    )
     for row in rows:
         # Sharding must genuinely split the dense phase for every count.
         assert row["critical_dense"] < row["total_dense"], (

@@ -6,7 +6,6 @@ distribution's head grows with seeding relative to no seeds.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.eval.experiments import rank_distribution_experiment

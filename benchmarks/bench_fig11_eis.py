@@ -5,7 +5,6 @@ RW seeds chosen for the cumulative score achieve over ~80% of IMM's spread —
 the voting-based seeds are not bad solutions for classic influence either.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.eval.experiments import eis_experiment

@@ -6,7 +6,6 @@ grows linearly in t while RW/RS grow sub-linearly (walks often terminate
 early at stubborn nodes).
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.eval.experiments import horizon_experiment

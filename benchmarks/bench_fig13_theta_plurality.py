@@ -5,7 +5,6 @@ the converged θ is insensitive to k and t (the paper reuses one estimate
 across both), justifying the §VI-E heuristic.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.eval.experiments import theta_experiment

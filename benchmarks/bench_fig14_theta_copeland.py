@@ -4,7 +4,6 @@ Expected shape: as Fig. 13 — the score converges at a θ well below n and
 the converged value is stable across k and t.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.eval.experiments import theta_experiment

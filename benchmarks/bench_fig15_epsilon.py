@@ -5,7 +5,6 @@ degrades noticeably beyond ε ≈ 0.1-0.2, which is why the paper defaults to
 ε = 0.1.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.eval.experiments import epsilon_experiment

@@ -5,7 +5,6 @@ Expected shape: the score rises sharply at small ρ and flattens from
 keeps increasing with ρ.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.eval.experiments import rho_experiment

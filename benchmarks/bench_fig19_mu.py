@@ -6,7 +6,6 @@ overlapping, justifying the μ=10 default.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.datasets.yelp import yelp_like

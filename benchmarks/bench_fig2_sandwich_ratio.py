@@ -9,7 +9,6 @@ Also checks the §IV-D runtime claim: S_U and S_L are far cheaper than S_F.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.core.sandwich import lower_bound_greedy, favorable_users, sandwich_select

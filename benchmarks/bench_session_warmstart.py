@@ -19,11 +19,9 @@ set ``REPRO_BENCH_TINY=1`` for the CI smoke variant (one tiny size, work
 monotonicity only).
 """
 
-import os
-
 import numpy as np
 
-from benchmarks.conftest import BENCH_SEED, run_once
+from benchmarks.conftest import BENCH_SEED, BENCH_TINY, run_once
 from repro.core.engine import BatchedDMEngine
 from repro.core.greedy import greedy_engine
 from repro.datasets.twitter import _twitter_base
@@ -31,7 +29,7 @@ from repro.eval.reporting import format_series
 from repro.utils.timing import Timer
 from repro.voting.scores import PluralityScore
 
-TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+TINY = BENCH_TINY
 SIZES = [200] if TINY else [500, 2000]
 #: Rounds: the warm-start saving accrues from round 2 on, once the
 #: committed set is big enough that replaying it densifies early.
@@ -100,7 +98,9 @@ def _one_size(n: int) -> dict[str, float]:
     }
 
 
-def test_session_warmstart_less_evolution_work(benchmark, save_result):
+def test_session_warmstart_less_evolution_work(
+    benchmark, save_result, save_bench_json
+):
     rounds = run_once(benchmark, lambda: [_one_size(n) for n in SIZES])
     series = {
         "stateless (s)": [r["cold_s"] for r in rounds],
@@ -115,6 +115,21 @@ def test_session_warmstart_less_evolution_work(benchmark, save_result):
             "exhaustive greedy, plurality, sparse retweet graph, k=%d, t=%d:\n%s"
             % (K, HORIZON, format_series("n", SIZES, series)),
         )
+    # Perf-trajectory record: deterministic counters at the largest size.
+    last = rounds[-1]
+    save_bench_json(
+        "session_warmstart",
+        {
+            "work_reduction_x": {
+                "value": last["work_ratio"],
+                "higher_is_better": True,
+            },
+            "session_work_col_steps": {
+                "value": last["warm_work"],
+                "higher_is_better": False,
+            },
+        },
+    )
     for n, r in zip(SIZES, rounds):
         assert r["warm_work"] < r["cold_work"], (
             f"warm-start did not reduce evolution work at n={n}"

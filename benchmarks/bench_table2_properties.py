@@ -8,7 +8,6 @@ violations).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.core.exact import monotonicity_violations, submodularity_violations

@@ -7,7 +7,6 @@ seeds on 64K users), every domain's share rises, and most switched users
 were near-neutral initially.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.eval.case_study import acm_election_case_study

@@ -5,7 +5,6 @@ the more approximate the method, the more seeds it needs — and Mask needs
 fewer seeds than Social Distancing.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.eval.experiments import min_seeds_experiment

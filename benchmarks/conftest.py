@@ -7,6 +7,8 @@ stdout) so EXPERIMENTS.md can cite them.
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
@@ -73,6 +75,12 @@ def dblp_ds():
     return dblp_like(n=1200, rng=BENCH_SEED, horizon=10)
 
 
+#: Shared CI-smoke switch: tiny sizes, and counter JSON lands in the
+#: ``.tiny`` files the perf-trajectory gate compares against
+#: ``benchmarks/baselines/``.
+BENCH_TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
+
 @pytest.fixture(scope="session")
 def save_result():
     """Write a named result block to benchmarks/results/ and stdout."""
@@ -81,6 +89,29 @@ def save_result():
     def write(name: str, text: str) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print(f"\n===== {name} =====\n{text}")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def save_bench_json():
+    """Write deterministic counter metrics to ``BENCH_<name>[.tiny].json``.
+
+    Metrics must be timer-free work counters (walk steps, column-steps,
+    speedup ratios derived from them) so the same commit always produces
+    the same file; ``scripts/check_bench_regression.py`` fails CI when a
+    metric regresses more than 10% against the committed baseline in
+    ``benchmarks/baselines/``.  Each metric is
+    ``{"value": number, "higher_is_better": bool}``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, metrics: dict) -> None:
+        suffix = ".tiny" if BENCH_TINY else ""
+        payload = {"name": name, "tiny": BENCH_TINY, "metrics": metrics}
+        path = RESULTS_DIR / f"BENCH_{name}{suffix}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n===== BENCH_{name}{suffix}.json =====\n{path.read_text()}")
 
     return write
 

@@ -12,7 +12,6 @@ Run:  python examples/competing_campaigns.py [--users 800]
 
 import argparse
 
-import numpy as np
 
 from repro.baselines.centrality import degree_select
 from repro.core.problem import FJVoteProblem

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Perf-trajectory gate: fail when a deterministic work counter regresses.
+
+Compares every ``benchmarks/baselines/BENCH_*.json`` against the matching
+file in ``benchmarks/results/`` (produced by the benchmark smoke steps; the
+``.tiny`` variants are what CI runs).  All metrics are deterministic work
+counters or ratios derived from them — the same commit always produces the
+same numbers on every host — so any drift is a real code change, not noise.
+
+A metric fails when it moves more than ``--tolerance`` (default 10%) in
+its bad direction: down for ``higher_is_better`` metrics (speedups,
+reduction factors), up otherwise (work counters).  Improvements are
+reported so baselines can be re-pinned; a missing result file or metric is
+an error (the gate must never silently stop measuring).
+
+Usage::
+
+    python scripts/check_bench_regression.py [--tolerance 0.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINES = REPO / "benchmarks" / "baselines"
+RESULTS = REPO / "benchmarks" / "results"
+
+
+def compare(baseline_path: Path, tolerance: float) -> list[str]:
+    """Return failure messages for one baseline file (empty = pass)."""
+    result_path = RESULTS / baseline_path.name
+    if not result_path.exists():
+        return [
+            f"{baseline_path.name}: no result produced at {result_path} "
+            "(did the benchmark smoke step run?)"
+        ]
+    baseline = json.loads(baseline_path.read_text())["metrics"]
+    result = json.loads(result_path.read_text())["metrics"]
+    failures = []
+    for metric, spec in sorted(baseline.items()):
+        if metric not in result:
+            failures.append(f"{baseline_path.name}: metric {metric!r} vanished")
+            continue
+        base = float(spec["value"])
+        new = float(result[metric]["value"])
+        higher_better = bool(spec.get("higher_is_better", False))
+        if base == new:
+            # Identical numbers (including a legitimate 0 == 0) are never
+            # a regression, whatever the direction.
+            print(f"  ok: {baseline_path.name}: {metric} {base:g} -> {new:g}")
+            continue
+        if base == 0:
+            ratio = float("inf")
+        else:
+            ratio = new / base
+        if higher_better:
+            regressed = ratio < 1.0 - tolerance
+            improved = ratio > 1.0 + tolerance
+        else:
+            regressed = ratio > 1.0 + tolerance
+            improved = ratio < 1.0 - tolerance
+        arrow = f"{base:g} -> {new:g}"
+        if regressed:
+            failures.append(
+                f"{baseline_path.name}: {metric} regressed {arrow} "
+                f"({'-' if higher_better else '+'}{abs(ratio - 1):.1%}, "
+                f"tolerance {tolerance:.0%})"
+            )
+        elif improved:
+            print(
+                f"  improvement: {baseline_path.name}: {metric} {arrow} "
+                "— consider re-pinning the baseline"
+            )
+        else:
+            print(f"  ok: {baseline_path.name}: {metric} {arrow}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    args = parser.parse_args(argv)
+    baselines = sorted(BASELINES.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no baselines under {BASELINES}", file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    for path in baselines:
+        failures.extend(compare(path, args.tolerance))
+    if failures:
+        print("\nperf-trajectory regressions:", file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baselines)} benchmark baselines within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -78,12 +78,19 @@ def imm(
     ell: float = 1.0,
     theta_cap: int | None = 200_000,
     rng: int | np.random.Generator | None = None,
+    rr_pool=None,
 ) -> IMMResult:
     """Run IMM on ``graph`` for budget ``k`` under the IC or LT model.
 
     ``epsilon = 0.5`` is the original paper's default trade-off.
     ``theta_cap`` bounds the RR-set count so laptop-scale runs stay fast;
     the approximation guarantee formally needs the uncapped count.
+
+    ``rr_pool`` (an :class:`~repro.core.walk_store.RRSetPool`, usually from
+    a shared :class:`~repro.core.walk_store.WalkStore`) replaces the
+    private RR-set sample: the lower-bound rounds and the final θ draw all
+    extend one deterministic pooled sample, and a later run — another
+    budget of the same sweep — reuses every RR set already generated.
     """
     rng = ensure_rng(rng)
     n = graph.n
@@ -96,12 +103,25 @@ def imm(
         raise ValueError(f"model must be 'ic' or 'lt', got {model!r}")
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
+    if rr_pool is not None:
+        if rr_pool.model != model:
+            raise ValueError(
+                f"rr_pool is for model {rr_pool.model!r}, imm called with {model!r}"
+            )
+        if rr_pool.graph is not graph:
+            raise ValueError(
+                "rr_pool was built for a different graph; RR-set node ids "
+                "would not refer to this instance"
+            )
 
-    def extend(rr_sets: list[np.ndarray], target: int) -> None:
+    def extend(rr_sets: list[np.ndarray], target: int) -> list[np.ndarray]:
         target = min(target, theta_cap) if theta_cap is not None else target
+        if rr_pool is not None:
+            return rr_pool.ensure(max(target, len(rr_sets)))
         while len(rr_sets) < target:
             root = int(rng.integers(0, n))
             rr_sets.append(make_rr(graph, root, rng))
+        return rr_sets
 
     # Phase 1: estimate a lower bound on OPT (Alg. 2 of the IMM paper).
     eps_prime = float(np.sqrt(2.0) * epsilon)
@@ -117,7 +137,7 @@ def imm(
     max_rounds = max(int(np.ceil(np.log2(n))) - 1, 1)
     for i in range(1, max_rounds + 1):
         x = n / (2.0**i)
-        extend(rr_sets, int(np.ceil(lambda_prime / x)))
+        rr_sets = extend(rr_sets, int(np.ceil(lambda_prime / x)))
         _, frac = max_coverage(rr_sets, n, k)
         if n * frac >= (1.0 + eps_prime) * x:
             lower_bound = n * frac / (1.0 + eps_prime)
@@ -127,7 +147,7 @@ def imm(
     beta = np.sqrt((1.0 - 1.0 / np.e) * (log_comb(n, k) + ell * log_n + np.log(2.0)))
     lambda_star = 2.0 * n * ((1.0 - 1.0 / np.e) * alpha + beta) ** 2 / (epsilon**2)
     theta = int(np.ceil(lambda_star / max(lower_bound, 1.0)))
-    extend(rr_sets, theta)
+    rr_sets = extend(rr_sets, theta)
     seeds, frac = max_coverage(rr_sets, n, k)
     return IMMResult(
         seeds=seeds,

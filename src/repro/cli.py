@@ -13,18 +13,22 @@ Engine selection (``--engine``)
 The greedy-based methods evaluate the objective through a pluggable
 backend (:mod:`repro.core.engine`):
 
-==============  =====  ==========================================================
-spec            exact  backend
-==============  =====  ==========================================================
-``dm``          yes    legacy per-set DM, one FJ evolution per seed set
-``dm-batched``  yes    vectorized DM, all candidates in one evolution (default)
-``dm-mp[:W]``   yes    ``dm-batched`` sharded over ``W`` worker processes
-``rw``          no     random-walk estimator (Algorithm 4)
-``sketch``      no     sketch estimator (Algorithm 5)
-==============  =====  ==========================================================
+===============  =====  =========================================================
+spec             exact  backend
+===============  =====  =========================================================
+``dm``           yes    legacy per-set DM, one FJ evolution per seed set
+``dm-batched``   yes    vectorized DM, all candidates in one evolution (default)
+``dm-mp[:W]``    yes    ``dm-batched`` sharded over ``W`` worker processes
+``rw``           no     random-walk estimator (Algorithm 4)
+``sketch``       no     sketch estimator (Algorithm 5)
+``rw-store[:S]`` no     shared sharded walk store, adaptive sampling
+===============  =====  =========================================================
 
 All exact specs produce byte-identical selections; ``dm-mp`` pays off on
 multi-core hosts where candidate chunks evolve in parallel memory domains.
+``rw-store`` persists walks in an ``S``-shard store and escalates the
+sample IMM-style until the requested (ε, δ) bound holds, reusing every
+walk across greedy rounds, budgets and win-min probes.
 """
 
 from __future__ import annotations
@@ -32,8 +36,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable, Sequence
-
-import numpy as np
 
 from repro.core.engine import ENGINE_HELP, ENGINE_NAMES, parse_engine_spec
 from repro.core.winmin import min_seeds_to_win

@@ -12,6 +12,7 @@ from repro.core.engine import (
     BatchedDMEngine,
     DMEngine,
     EngineStats,
+    EstimatorPrecisionWarning,
     ObjectiveEngine,
     SelectionSession,
     WalkEngine,
@@ -33,6 +34,7 @@ from repro.core.random_walk import TruncatedWalks, random_walk_select
 from repro.core.reachability import ReachabilityIndex, coverage_greedy
 from repro.core.sandwich import SandwichResult, sandwich_select
 from repro.core.sketch import sketch_select
+from repro.core.walk_store import RRSetPool, StoreStats, WalkStore, store_for_problem
 from repro.core.winmin import WinMinResult, min_seeds_to_win
 
 __all__ = [
@@ -41,15 +43,19 @@ __all__ = [
     "ENGINE_HELP",
     "ENGINE_NAMES",
     "EngineStats",
+    "EstimatorPrecisionWarning",
     "FJVoteProblem",
     "GreedyResult",
     "MultiprocessDMEngine",
     "ObjectiveEngine",
     "ReachabilityIndex",
     "SandwichResult",
+    "RRSetPool",
     "SelectionSession",
+    "StoreStats",
     "TruncatedWalks",
     "WalkEngine",
+    "WalkStore",
     "WinMinResult",
     "brute_force_optimum",
     "coverage_greedy",
@@ -67,6 +73,7 @@ __all__ = [
     "run_selection_rounds",
     "sandwich_select",
     "sketch_select",
+    "store_for_problem",
     "submodularity_violations",
     "theta_cumulative",
 ]

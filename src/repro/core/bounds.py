@@ -66,7 +66,61 @@ def lambda_copeland(gamma: float | np.ndarray, rho: float) -> int | np.ndarray:
     return int(out) if np.isscalar(gamma) or out.ndim == 0 else out
 
 
-def theta_cumulative(n: int, k: int, opt_lower_bound: float, epsilon: float, ell: float) -> int:
+def _theta_cumulative_numerator(n: int, k: int, ell: float) -> float:
+    """The ε- and OPT-free numerator ``A`` of Theorem 13: ``θ = A / (OPT ε²)``.
+
+    Callers divide by their OPT lower bound themselves.  Shared by
+    :func:`theta_cumulative` and its inverse
+    :func:`epsilon_achieved_cumulative` so the pair cannot drift apart.
+    """
+    one_minus_inv_e = 1.0 - 1.0 / np.e
+    log_2nl = ell * np.log(n) + np.log(2.0)
+    inner = (
+        one_minus_inv_e * np.sqrt(log_2nl)
+        + np.sqrt(one_minus_inv_e * (log_2nl + log_comb(n, k)))
+    ) ** 2
+    return float(2.0 * n * inner)
+
+
+def delta_achieved(lam: int, rho: float) -> float:
+    """Opinion-error δ achieved by ``lam`` walks per node (Theorem 10 inverse).
+
+    The smallest δ for which ``lam`` satisfies :func:`lambda_cumulative`:
+    ``δ = sqrt(ln(2 / (1 - ρ)) / (2 λ))``.  Surfaces the accuracy a fixed
+    walk budget actually buys, so estimators can report the (ε, δ) they
+    met rather than silently undershooting a caller's request.
+    """
+    lam = int(lam)
+    if lam < 1:
+        raise ValueError("lam must be >= 1")
+    rho = check_probability(rho, "rho")
+    if rho >= 1.0:
+        raise ValueError("rho must be < 1")
+    return float(np.sqrt(np.log(2.0 / (1.0 - rho)) / (2.0 * lam)))
+
+
+def epsilon_achieved_cumulative(
+    n: int, k: int, opt_lower_bound: float, theta: int, ell: float
+) -> float:
+    """Approximation ε achieved by ``theta`` sketches (Theorem 13 inverse).
+
+    :func:`theta_cumulative` is ``θ = A / ε²`` with ``A`` independent of ε,
+    so the ε a fixed sketch budget attains is ``sqrt(A / θ)``.  Any lower
+    bound on OPT is sound (a tighter one reports a smaller ε).
+    """
+    if opt_lower_bound <= 0:
+        raise ValueError("opt_lower_bound must be positive")
+    if int(theta) < 1:
+        raise ValueError("theta must be >= 1")
+    if n < 1 or not 0 <= k <= n:
+        raise ValueError("need n >= 1 and 0 <= k <= n")
+    numerator = _theta_cumulative_numerator(n, k, ell)
+    return float(np.sqrt(numerator / (opt_lower_bound * int(theta))))
+
+
+def theta_cumulative(
+    n: int, k: int, opt_lower_bound: float, epsilon: float, ell: float
+) -> int:
     """Sketch count for the cumulative score (Theorem 13, Eq. 40).
 
     ``θ ≥ (2n / (OPT ε²)) [ (1-1/e) √(ln 2nˡ) +
@@ -81,16 +135,13 @@ def theta_cumulative(n: int, k: int, opt_lower_bound: float, epsilon: float, ell
         raise ValueError("epsilon must be positive")
     if n < 1 or not 0 <= k <= n:
         raise ValueError("need n >= 1 and 0 <= k <= n")
-    one_minus_inv_e = 1.0 - 1.0 / np.e
-    log_2nl = ell * np.log(n) + np.log(2.0)
-    inner = (
-        one_minus_inv_e * np.sqrt(log_2nl)
-        + np.sqrt(one_minus_inv_e * (log_2nl + log_comb(n, k)))
-    ) ** 2
-    return int(np.ceil(2.0 * n * inner / (opt_lower_bound * epsilon * epsilon)))
+    numerator = _theta_cumulative_numerator(n, k, ell)
+    return int(np.ceil(numerator / (opt_lower_bound * epsilon * epsilon)))
 
 
-def theta_estimate_round(n: int, k: int, x: float, epsilon_prime: float, ell: float) -> int:
+def theta_estimate_round(
+    n: int, k: int, x: float, epsilon_prime: float, ell: float
+) -> int:
     """Sketches for one round of the OPT lower-bound test (IMM Alg. 2 style).
 
     For a guess ``OPT ≥ x``, sampling this many sketches lets the test
@@ -99,9 +150,18 @@ def theta_estimate_round(n: int, k: int, x: float, epsilon_prime: float, ell: fl
     if x <= 0 or epsilon_prime <= 0:
         raise ValueError("x and epsilon_prime must be positive")
     log_term = (
-        log_comb(n, k) + ell * np.log(max(n, 2)) + np.log(max(np.log2(max(n, 2)), 1.0))
+        log_comb(n, k)
+        + ell * np.log(max(n, 2))
+        + np.log(max(np.log2(max(n, 2)), 1.0))
     )
-    return int(np.ceil((2.0 + 2.0 * epsilon_prime / 3.0) * log_term * n / (epsilon_prime**2 * x)))
+    return int(
+        np.ceil(
+            (2.0 + 2.0 * epsilon_prime / 3.0)
+            * log_term
+            * n
+            / (epsilon_prime**2 * x)
+        )
+    )
 
 
 def _scan_theta(log_lhs, log_rhs: float, theta_max: int) -> int | None:

@@ -61,6 +61,10 @@ Backends
     same interface via :class:`~repro.core.random_walk.WalkGreedyOptimizer`.
     Estimates, not exact values: ``is_estimate`` is true.  Its sessions
     apply post-generation truncation incrementally as seeds are committed.
+    Walks come from a :class:`~repro.core.walk_store.WalkStore` — private
+    for the ``rw``/``sketch`` specs, shared and sharded for ``rw-store``,
+    which also turns on IMM-style adaptive sample-size escalation (see
+    :meth:`WalkEngine.prepare_budget`).
 
 Adding a backend
 ----------------
@@ -84,6 +88,7 @@ whose deterministic work counters back the benchmark assertions.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, fields
 from typing import Iterable, Sequence
@@ -95,6 +100,17 @@ from repro.core.problem import FJVoteProblem
 from repro.voting.scores import CumulativeScore, SeparableScore
 
 SeedSet = Sequence[int] | np.ndarray | tuple
+
+
+class EstimatorPrecisionWarning(UserWarning):
+    """An estimator could not certify a caller's requested (ε, δ) precision.
+
+    Raised (as a warning, not an error — the selection still runs) when a
+    walk/sketch backend was asked for ``epsilon`` but its sample budget
+    only certifies a larger error, or when no closed-form guarantee exists
+    for the score at all (the rank-based scores, §VI-E).  The achieved
+    value is surfaced in :attr:`EngineStats.achieved_epsilon`.
+    """
 
 
 @dataclass
@@ -121,6 +137,15 @@ class EngineStats:
     repin_steps: int = 0
     repin_inserted: int = 0
     repin_rebuilds: int = 0
+    #: Estimator (ε, δ) accounting, filled by ``prepare_budget`` on the
+    #: walk backends: the precision the caller asked for, the precision
+    #: the sample budget actually certifies (0.0 = not computable — no
+    #: closed form for the score), and how many budget preparations could
+    #: not certify the request (each also raises
+    #: :class:`EstimatorPrecisionWarning`).
+    requested_epsilon: float = 0.0
+    achieved_epsilon: float = 0.0
+    precision_unmet: int = 0
 
     def reset(self) -> None:
         for field in fields(self):
@@ -177,6 +202,19 @@ class SelectionSession:
         return self.engine.marginal_gains(
             self.seeds, candidates, base_objective=self._value
         )
+
+    def rebase(self) -> None:
+        """Re-evaluate the base objective against the engine's current state.
+
+        Only valid before any commit: the greedy driver calls this when a
+        caller-supplied session predates a ``prepare_budget`` escalation
+        that replaced the backend's sample, so the cached base value would
+        otherwise come from a different sample than the round gains.
+        """
+        if len(self._seeds) != self._base_size:
+            raise ValueError("cannot rebase a session with commits")
+        self._value = float(self.engine.evaluate_one(tuple(self._seeds)))
+        self._prefix_values = [self._value]
 
     def commit(self, seed: int, *, gain: float | None = None) -> float:
         """Fold ``seed`` into the committed state; returns the new value.
@@ -276,6 +314,19 @@ class ObjectiveEngine(ABC):
         subclass; the default replays the committed set statelessly.
         """
         return SelectionSession(self, base)
+
+    def prepare_budget(self, k: int) -> bool:
+        """Adapt backend state to an upcoming selection budget ``k``.
+
+        Called by the greedy driver (and win-min) before rounds start.
+        No-op for the exact engines; estimator backends use it for
+        IMM-style adaptive sample-size escalation and for (ε, δ)
+        accounting (see :class:`WalkEngine` and
+        :attr:`EngineStats.achieved_epsilon`).  Returns True when the
+        backend's evaluation state changed (e.g. a larger sample was
+        bound), so the driver can rebase sessions opened beforehand.
+        """
+        return False
 
     def close(self) -> None:
         """Release backend resources (worker pools, device memory).
@@ -850,8 +901,10 @@ class WalkSession(SelectionSession):
 class WalkEngine(ObjectiveEngine):
     """Walk/sketch estimators behind the engine interface (§V / §VI).
 
-    Wraps a :class:`~repro.core.random_walk.TruncatedWalks` collection and
-    a :class:`~repro.core.random_walk.WalkGreedyOptimizer`; seed sets are
+    Serves a :class:`~repro.core.random_walk.TruncatedWalks` view drawn
+    from a :class:`~repro.core.walk_store.WalkStore` (a private one unless
+    a shared store is supplied — the ``rw-store`` spec) through a
+    :class:`~repro.core.random_walk.WalkGreedyOptimizer`; seed sets are
     applied by post-generation truncation, and a pristine snapshot of the
     truncation state lets arbitrary (non-incremental) seed sets be
     evaluated by reset-and-replay.  ``marginal_gains`` reuses the
@@ -860,12 +913,46 @@ class WalkEngine(ObjectiveEngine):
     truncation state synced to the committed prefix, which makes each
     incremental sync one ``add_seed`` instead of a replay.
 
+    Walks are generated in deterministic seed-per-block units by the
+    store, so two engines built from the same ``rng`` — or the same shared
+    store at any shard count — see byte-identical walks and make
+    byte-identical selections.
+
     Parameters
     ----------
     grouping:
         ``"start"`` — Algorithm 4 (RW): ``walks_per_node`` walks from every
         node, per-user averaged estimates.  ``"walk"`` — Algorithm 5 (RS):
         ``theta`` uniform-start sketch walks, rescaled by ``n / theta``.
+    store, shards:
+        A shared :class:`~repro.core.walk_store.WalkStore` to draw from,
+        or (when building a private store) its generation-shard count.
+    adaptive:
+        Enable IMM-style adaptive sample-size escalation in
+        :meth:`prepare_budget`: the sample grows in reuse-friendly
+        doublings until the (ε, δ) bound for the requested ``epsilon``
+        holds (Hoeffding per-node counts for ``"start"``, the §VI
+        martingale θ ladder for ``"walk"``), replacing the fixed walk
+        counts.  Escalation never regenerates: every doubling extends the
+        store's pools.
+    epsilon, rho, ell:
+        Requested precision and confidence.  Whether or not ``adaptive``
+        is set, :meth:`prepare_budget` records the *achieved* ε in
+        ``stats.achieved_epsilon`` and warns
+        (:class:`EstimatorPrecisionWarning`) when a requested ``epsilon``
+        cannot be certified.  What ε *means* depends on the grouping: for
+        ``"start"`` it is the per-user Hoeffding quantity
+        ``sqrt(ln(2/(1-ρ)) / 2λ)`` — the opinion error δ of Theorem 10
+        for the cumulative score, and equivalently the smallest certified
+        rank margin γ of Theorem 11 for the rank scores (Theorem 12's
+        one-sided Copeland bound needs strictly fewer walks, so this is
+        conservative for it).  For ``"walk"`` it is Theorem 13's
+        score-level approximation ε, which exists only for the cumulative
+        score — rank scores have no closed form (§VI-E) and always warn
+        when an ``epsilon`` is requested.
+    theta_cap, lambda_cap:
+        Hard sample caps for the adaptive ladders (escalation past them
+        triggers the precision warning instead of unbounded growth).
     """
 
     supports_batch = True
@@ -879,43 +966,232 @@ class WalkEngine(ObjectiveEngine):
         walks_per_node: int = 32,
         theta: int = 4000,
         rng: int | np.random.Generator | None = None,
+        store=None,
+        shards: int | None = None,
+        adaptive: bool = False,
+        epsilon: float | None = None,
+        rho: float = 0.9,
+        ell: float = 1.0,
+        theta_cap: int | None = None,
+        lambda_cap: int | None = 1024,
     ) -> None:
         super().__init__(problem)
-        from repro.core.random_walk import TruncatedWalks, WalkGreedyOptimizer
+        from repro.core.walk_store import WalkStore
         from repro.utils.rng import ensure_rng
 
-        rng = ensure_rng(rng)
-        state = problem.state
-        q = problem.target
-        n = problem.n
-        if grouping == "start":
-            starts = np.repeat(np.arange(n, dtype=np.int64), max(int(walks_per_node), 1))
-        elif grouping == "walk":
-            starts = rng.integers(0, n, size=max(int(theta), 1))
-        else:
+        if grouping not in ("start", "walk"):
             raise ValueError(f"grouping must be 'start' or 'walk', got {grouping!r}")
-        self.walks = TruncatedWalks.generate(
-            state.graph(q),
-            state.stubbornness[q],
-            state.initial_opinions[q],
-            problem.horizon,
-            starts,
-            rng,
-        )
+        rng = ensure_rng(rng)
+        if store is None:
+            store = WalkStore(
+                problem.state,
+                problem.horizon,
+                seed=rng,
+                shards=1 if shards is None else int(shards),
+            )
+            self._owns_store = True
+        else:
+            store.require_problem(problem)
+            if shards is not None and int(shards) != store.shards:
+                raise ValueError(
+                    f"shards={shards} conflicts with the supplied store "
+                    f"(shards={store.shards})"
+                )
+            self._owns_store = False
+        self.store = store
+        self.grouping = grouping
+        self.walks_per_node = max(int(walks_per_node), 1)
+        self.theta = max(int(theta), 1)
+        self.adaptive = bool(adaptive)
+        self.epsilon = None if epsilon is None else float(epsilon)
+        self.rho = float(rho)
+        self.ell = float(ell)
+        self.theta_cap = None if theta_cap is None else int(theta_cap)
+        self.lambda_cap = None if lambda_cap is None else int(lambda_cap)
+        self._rng = rng
+        self._prepared_k: int | None = None
+        self._opt_lb: float | None = None
+        self._bind_count = 0
+        if grouping == "start":
+            if self.adaptive:
+                # The per-node escalation target is closed-form and
+                # budget-independent, so bind the escalated sample once
+                # here instead of building (and indexing) a throwaway
+                # fixed-count view that prepare_budget would replace.
+                self.walks_per_node = max(
+                    self.walks_per_node, self._per_node_target()
+                )
+            self._bind_walks(store.per_node_view(problem.target, self.walks_per_node))
+        elif self.adaptive:
+            # θ escalation needs the budget, so the first bind is
+            # deferred to prepare_budget (or the first evaluation) — the
+            # default-θ view is never materialized just to be replaced.
+            self.walks = None
+            self.optimizer = None
+        else:
+            self._bind_walks(store.uniform_view(problem.target, self.theta))
+
+    def _ensure_bound(self) -> None:
+        """Bind the deferred initial walk view (adaptive sketch engines)."""
+        if self.walks is None:
+            self._bind_walks(
+                self.store.uniform_view(self.problem.target, self.theta)
+            )
+
+    def _bind_walks(self, walks) -> None:
+        """Adopt a walk view: rebuild the optimizer and pristine snapshot.
+
+        The snapshot shares the arrays (copy-on-write in ``add_seed``): a
+        reset is an O(1) pointer swap and only the first truncation after
+        it pays a copy, instead of every array being copied twice — once
+        here and once per restore.
+        """
+        from repro.core.random_walk import WalkGreedyOptimizer
+
+        problem = self.problem
+        self._bind_count += 1
+        self.walks = walks
         self.optimizer = WalkGreedyOptimizer(
-            self.walks,
+            walks,
             problem.score,
             None
             if isinstance(problem.score, CumulativeScore)
             else problem.others_by_user(),
-            grouping=grouping,
+            grouping=self.grouping,
         )
-        # Pristine truncation state for reset-and-replay evaluation.  The
-        # snapshot shares the arrays (copy-on-write in ``add_seed``): a
-        # reset is an O(1) pointer swap and only the first truncation after
-        # it pays a copy, instead of every array being copied twice — once
-        # here and once per restore.
         self._snapshot = self.walks.snapshot_state()
+
+    # ------------------------------------------------------------------
+    # Adaptive sampling and (ε, δ) accounting
+    # ------------------------------------------------------------------
+    def prepare_budget(self, k: int) -> bool:
+        """Escalate the sample for budget ``k`` and account the precision.
+
+        Idempotent per budget: re-preparing a smaller-or-equal ``k`` is
+        free, a larger one re-runs the ladder (reusing every walk drawn).
+        Returns True when escalation replaced the bound walk view.
+        """
+        k = int(k)
+        if self._prepared_k is not None and k <= self._prepared_k:
+            return False
+        before = self._bind_count
+        if self.adaptive:
+            self._escalate(k)
+        self._ensure_bound()
+        self._account_precision(k)
+        # Recorded only after escalation/accounting succeed: a failed
+        # escalation (worker death, allocation failure) must not mark the
+        # budget prepared, or a retry would silently run on the small
+        # sample with no precision accounting.
+        self._prepared_k = k
+        return self._bind_count != before
+
+    def _per_node_target(self) -> int:
+        """Escalated per-node walk count: the (capped) Hoeffding bound.
+
+        Theorem 10's count for ``|b̂ - b| < ε`` with probability ρ —
+        closed-form and budget-independent, so adaptive ``"start"``
+        engines bind it directly (no observation is made between
+        doublings that could change the target).
+        """
+        from repro.core.bounds import lambda_cumulative
+
+        eps = 0.1 if self.epsilon is None else self.epsilon
+        target = lambda_cumulative(eps, self.rho)
+        if self.lambda_cap is not None:
+            target = min(target, self.lambda_cap)
+        return int(target)
+
+    def _escalate(self, k: int) -> None:
+        from repro.core.bounds import theta_cumulative
+
+        eps = 0.1 if self.epsilon is None else self.epsilon
+        q = self.problem.target
+        if self.grouping == "start":
+            target = self._per_node_target()
+            if self.walks_per_node < target:
+                self.walks_per_node = target
+                self._bind_walks(self.store.per_node_view(q, self.walks_per_node))
+            return
+        from repro.core import sketch
+
+        if isinstance(self.problem.score, CumulativeScore):
+            # IMM-style martingale ladder (§VI-B): the OPT lower-bound
+            # rounds and the final θ all extend one store pool.
+            self._opt_lb = sketch.estimate_opt_cumulative(
+                self.problem,
+                k,
+                epsilon=eps,
+                ell=self.ell,
+                theta_cap=self.theta_cap,
+                rng=self._rng,
+                store=self.store,
+            )
+            theta = theta_cumulative(self.problem.n, k, self._opt_lb, eps, self.ell)
+        else:
+            # §VI-E heuristic for the rank scores: double θ to convergence.
+            theta = sketch.converge_theta(
+                self.problem,
+                k,
+                theta_start=self.theta,
+                theta_max=self.theta_cap,
+                rng=self._rng,
+                store=self.store,
+            )
+        if self.theta_cap is not None:
+            theta = min(int(theta), self.theta_cap)
+        if int(theta) > self.theta:
+            self.theta = int(theta)
+            # Invalidate any currently bound view; the _ensure_bound that
+            # follows escalation binds once at the final θ.
+            self.walks = None
+            self.optimizer = None
+
+    def _account_precision(self, k: int) -> None:
+        from repro.core.bounds import delta_achieved, epsilon_achieved_cumulative
+
+        requested = self.epsilon
+        achieved: float | None
+        if self.grouping == "start":
+            # Certified per-user quantity: opinion error δ (Theorem 10)
+            # and rank margin γ (Theorem 11) share this formula; it is
+            # conservative for Copeland's one-sided Theorem 12.  The
+            # score-level guarantee for rank scores lives at the "walk"
+            # grouping, where it has no closed form and warns instead.
+            achieved = delta_achieved(self.walks_per_node, self.rho)
+        elif isinstance(self.problem.score, CumulativeScore):
+            lb = self._opt_lb if self._opt_lb is not None else float(max(k, 1))
+            achieved = epsilon_achieved_cumulative(
+                self.problem.n, k, lb, self.walks.num_walks, self.ell
+            )
+        else:
+            achieved = None  # no closed form for the rank scores (§VI-E)
+        self.stats.requested_epsilon = 0.0 if requested is None else requested
+        self.stats.achieved_epsilon = 0.0 if achieved is None else achieved
+        if requested is not None and (
+            achieved is None or achieved > requested + 1e-12
+        ):
+            self.stats.precision_unmet += 1
+            if achieved is None:
+                detail = (
+                    "no closed-form (ε,δ) guarantee exists for this score; "
+                    "the sample followed the §VI-E convergence heuristic"
+                )
+            else:
+                detail = f"the sample budget only certifies ε≈{achieved:.4g}"
+            warnings.warn(
+                EstimatorPrecisionWarning(
+                    f"requested ε={requested:g} for budget k={k}, but {detail} "
+                    f"({self.walks.num_walks} walks); raise the sample caps "
+                    "or use an exact DM engine"
+                ),
+                stacklevel=3,
+            )
+
+    def close(self) -> None:
+        """Release the private store's generation workers, if any."""
+        if self._owns_store:
+            self.store.close()
 
     # ------------------------------------------------------------------
     def open_session(self, base: SeedSet = ()) -> WalkSession:
@@ -937,6 +1213,7 @@ class WalkEngine(ObjectiveEngine):
             self.walks.add_seed(v)
 
     def evaluate(self, seed_sets: Iterable[SeedSet]) -> np.ndarray:
+        self._ensure_bound()
         sets = list(seed_sets)
         self.stats.evaluate_calls += 1
         self.stats.sets_evaluated += len(sets)
@@ -953,6 +1230,7 @@ class WalkEngine(ObjectiveEngine):
         *,
         base_objective: float | None = None,
     ) -> np.ndarray:
+        self._ensure_bound()
         candidates = np.asarray(candidates, dtype=np.int64)
         # The optimizer's vectorized pass scores every node at once; for a
         # handful of candidates (CELF stale-entry refreshes) per-candidate
@@ -987,6 +1265,17 @@ def _make_sketch(problem, rng, **kwargs):
     return WalkEngine(problem, grouping="walk", rng=rng, **kwargs)
 
 
+def _make_rw_store(problem, rng, **kwargs):
+    # The shared-walk-store estimator: rw semantics (per-node grouping) on
+    # a sharded store, with IMM-style adaptive sample escalation on by
+    # default.  ``adaptive=False`` with matching fixed counts reproduces
+    # the plain ``rw`` engine byte for byte at every shard count.
+    kwargs.setdefault("grouping", "start")
+    kwargs.setdefault("adaptive", True)
+    kwargs.setdefault("epsilon", 0.1)
+    return WalkEngine(problem, rng=rng, **kwargs)
+
+
 #: Registry behind :func:`make_engine`; the single source of truth for
 #: :data:`ENGINE_NAMES`, the CLI ``--engine`` choices/help text, and the
 #: unknown-spec error message.
@@ -996,6 +1285,7 @@ _ENGINE_FACTORIES = {
     "dm-mp": _make_dm_mp,
     "rw": _make_rw,
     "sketch": _make_sketch,
+    "rw-store": _make_rw_store,
 }
 
 #: Engine spec names accepted by :func:`make_engine` (and ``--engine``).
@@ -1004,6 +1294,9 @@ ENGINE_NAMES = tuple(_ENGINE_FACTORIES)
 #: Exact DM backends: deterministic, parity-checked against each other.
 EXACT_DM_NAMES = ("dm", "dm-batched", "dm-mp")
 
+#: Parameterized spec forms: ``<name>:<positive int>`` maps to a kwarg.
+_SPEC_PARAMS = {"dm-mp": "workers", "rw-store": "shards"}
+
 #: One-line description per engine spec, rendered into the CLI help.
 ENGINE_HELP = {
     "dm": "legacy per-set exact DM",
@@ -1011,6 +1304,9 @@ ENGINE_HELP = {
     "dm-mp": "exact DM fanned out over worker processes (dm-mp:<workers>)",
     "rw": "random-walk estimator",
     "sketch": "sketch estimator",
+    "rw-store": (
+        "shared-walk-store estimator, adaptive sampling (rw-store:<shards>)"
+    ),
 }
 
 
@@ -1018,26 +1314,28 @@ def parse_engine_spec(spec: object) -> tuple[str, dict[str, object]]:
     """Split an engine spec string into ``(registry name, spec kwargs)``.
 
     Accepts every bare name in :data:`ENGINE_NAMES` plus the parameterized
-    ``dm-mp:<workers>`` form (a positive worker count).  Anything else —
-    unknown names, non-strings, malformed or non-positive worker counts
-    like ``"dm-mp:"`` / ``"dm-mp:0"`` / ``"dm-mp:-2"`` — raises the
-    registry's single ``ValueError``, whose message the CLI ``--engine``
-    option surfaces verbatim.
+    ``dm-mp:<workers>`` and ``rw-store:<shards>`` forms (positive counts).
+    Anything else — unknown names, non-strings, malformed or non-positive
+    counts like ``"dm-mp:"`` / ``"rw-store:0"`` / ``"dm-mp:-2"`` — raises
+    the registry's single ``ValueError``, whose message the CLI
+    ``--engine`` option surfaces verbatim.
     """
     if isinstance(spec, str):
         if spec in _ENGINE_FACTORIES:
             return spec, {}
         name, sep, arg = spec.partition(":")
-        if sep and name == "dm-mp":
+        key = _SPEC_PARAMS.get(name)
+        if sep and key is not None:
             try:
-                workers = int(arg)
+                value = int(arg)
             except ValueError:
-                workers = 0
-            if workers >= 1:
-                return name, {"workers": workers}
+                value = 0
+            if value >= 1:
+                return name, {key: value}
     raise ValueError(
         f"unknown engine {spec!r}; expected one of {ENGINE_NAMES} "
-        "(dm-mp also accepts 'dm-mp:<workers>' with workers >= 1)"
+        "(parameterized forms: 'dm-mp:<workers>', 'rw-store:<shards>', "
+        "both >= 1)"
     )
 
 

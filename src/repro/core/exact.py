@@ -69,7 +69,11 @@ def submodularity_violations(
             continue
         y = rng.choice(n, size=size_y, replace=False)
         size_x = int(rng.integers(0, size_y))
-        x = rng.choice(y, size=size_x, replace=False) if size_x else np.empty(0, np.int64)
+        x = (
+            rng.choice(y, size=size_x, replace=False)
+            if size_x
+            else np.empty(0, np.int64)
+        )
         outside = np.setdiff1d(np.arange(n), y)
         if outside.size == 0:
             continue

@@ -146,7 +146,9 @@ class TruncatedWalks:
         """
         num, width = self.walks.shape
         pos_grid = np.broadcast_to(np.arange(width, dtype=np.int64), (num, width))
-        walk_grid = np.broadcast_to(np.arange(num, dtype=np.int64)[:, None], (num, width))
+        walk_grid = np.broadcast_to(
+            np.arange(num, dtype=np.int64)[:, None], (num, width)
+        )
         valid = self.walks >= 0
         nodes = self.walks[valid].astype(np.int64)
         pos = pos_grid[valid]
@@ -220,6 +222,37 @@ class TruncatedWalks:
             self.values = self.values.copy()
             self._b0 = self._b0.copy()
             self._shared = False
+
+    def share(self) -> "TruncatedWalks":
+        """A clone sharing the walks and index, with private truncation state.
+
+        The padded walk matrices and the first-occurrence inverted index
+        are immutable after construction and are shared by reference — the
+        expensive parts (generation, the index lexsort) are paid once per
+        collection, however many clones serve concurrent selection
+        sessions.  The truncation state (``end_pos``, ``values``, ``b0``)
+        is handed over copy-on-write, exactly like :meth:`snapshot_state`:
+        the first ``add_seed`` on either side detaches it, so no clone can
+        corrupt the pristine walk-store master it was served from.
+        """
+        clone = TruncatedWalks.__new__(TruncatedWalks)
+        clone.walks = self.walks
+        clone.lengths = self.lengths
+        clone.n = self.n
+        clone.starts = self.starts
+        clone.num_walks = self.num_walks
+        clone.idx_node = self.idx_node
+        clone.idx_pos = self.idx_pos
+        clone.idx_walk = self.idx_walk
+        clone.node_ptr = self.node_ptr
+        clone.end_pos = self.end_pos
+        clone.values = self.values
+        clone._b0 = self._b0
+        clone._seeds = list(self._seeds)
+        clone._seed_set = set(self._seed_set)
+        clone._shared = True
+        self._shared = True
+        return clone
 
     def add_seed(self, node: int) -> None:
         """Truncate every walk containing ``node`` at ``node`` (Alg. 4 line 8)."""
@@ -331,8 +364,9 @@ class WalkGreedyOptimizer:
         b_hat = self.group_estimates()
         others_g = self.others[self.group_user]
         if self._is_copeland:
-            wins = ((b_hat[:, None] > others_g) * self.group_weight[:, None]).sum(axis=0)
-            losses = ((b_hat[:, None] < others_g) * self.group_weight[:, None]).sum(axis=0)
+            weight = self.group_weight[:, None]
+            wins = ((b_hat[:, None] > others_g) * weight).sum(axis=0)
+            losses = ((b_hat[:, None] < others_g) * weight).sum(axis=0)
             return float(np.sum(wins > losses))
         contrib = self.score.contributions(b_hat, others_g)
         return float(np.dot(self.group_weight, contrib))
@@ -509,6 +543,7 @@ def random_walk_select(
     walks_per_node: int | np.ndarray | None = None,
     probe_walks: int = 16,
     rng: int | np.random.Generator | None = None,
+    store=None,
 ) -> WalkSelectResult:
     """The RW method (Algorithm 4): greedy on walk-estimated scores.
 
@@ -520,16 +555,33 @@ def random_walk_select(
 
     Parameters mirror the paper's defaults (ρ = 0.9, δ = 0.1).  The exact
     objective of the returned seed set is evaluated via DM for reporting.
+
+    ``store`` (a :class:`~repro.core.walk_store.WalkStore`) reuses the
+    shared per-node walk pool for the probe *and* — when the per-node count
+    is uniform, i.e. the cumulative score or a scalar override — for the
+    selection walks themselves; per-node λ arrays fall back to private
+    generation (the pool serves whole per-node rounds only).
     """
     rng = ensure_rng(rng)
     k = check_seed_budget(k, problem.n)
+    if store is not None:
+        store.require_problem(problem)
     state = problem.state
     q = problem.target
     graph = state.graph(q)
-    sampler = AliasSampler(graph.csc)
+    if store is None:
+        sampler = AliasSampler(graph.csc)
+    else:
+        # The store pool's cached alias table also serves this function's
+        # private-generation fallback (per-node λ arrays), so a budget
+        # sweep never rebuilds the O(E) table.
+        from repro.core.walk_store import KIND_PER_NODE
+
+        sampler = store.pool(q, KIND_PER_NODE).sampler()
     d_q = state.stubbornness[q]
     b0_q = state.initial_opinions[q]
     n = problem.n
+    uniform_lambda = walks_per_node is None or np.ndim(walks_per_node) == 0
     if walks_per_node is not None:
         lam = np.broadcast_to(
             np.asarray(walks_per_node, dtype=np.int64), (n,)
@@ -539,15 +591,19 @@ def random_walk_select(
     else:
         # Probe walks give a cheap opinion estimate, from which per-user
         # margins γ*_v and then per-node walk counts follow (Theorems 11-12).
-        probe = TruncatedWalks.generate(
-            graph,
-            d_q,
-            b0_q,
-            problem.horizon,
-            np.repeat(np.arange(n, dtype=np.int64), max(probe_walks, 1)),
-            rng,
-            sampler=sampler,
-        )
+        uniform_lambda = False
+        if store is not None:
+            probe = store.per_node_view(q, max(probe_walks, 1))
+        else:
+            probe = TruncatedWalks.generate(
+                graph,
+                d_q,
+                b0_q,
+                problem.horizon,
+                np.repeat(np.arange(n, dtype=np.int64), max(probe_walks, 1)),
+                rng,
+                sampler=sampler,
+            )
         gamma = estimate_gamma_star(
             probe.estimated_opinions(), problem.others_by_user(), floor=gamma_floor
         )
@@ -555,14 +611,19 @@ def random_walk_select(
     if lambda_cap is not None:
         lam = np.minimum(lam, int(lambda_cap))
     lam = np.maximum(lam, 1)
-    starts = np.repeat(np.arange(n, dtype=np.int64), lam)
-    walks = TruncatedWalks.generate(
-        graph, d_q, b0_q, problem.horizon, starts, rng, sampler=sampler
-    )
+    if store is not None and uniform_lambda:
+        walks = store.per_node_view(q, int(lam.max()))
+    else:
+        starts = np.repeat(np.arange(n, dtype=np.int64), lam)
+        walks = TruncatedWalks.generate(
+            graph, d_q, b0_q, problem.horizon, starts, rng, sampler=sampler
+        )
     optimizer = WalkGreedyOptimizer(
         walks,
         problem.score,
-        None if isinstance(problem.score, CumulativeScore) else problem.others_by_user(),
+        None
+        if isinstance(problem.score, CumulativeScore)
+        else problem.others_by_user(),
         grouping="start",
     )
     result = optimizer.select(k)

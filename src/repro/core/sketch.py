@@ -45,25 +45,37 @@ def _run_sketch_greedy(
     k: int,
     theta: int,
     rng: np.random.Generator,
-    sampler: AliasSampler,
+    sampler: AliasSampler | None,
+    store=None,
 ) -> tuple[GreedyResult, TruncatedWalks]:
-    """One sketch phase: θ uniform-start walks + greedy selection (Alg. 5)."""
+    """One sketch phase: θ uniform-start walks + greedy selection (Alg. 5).
+
+    With a :class:`~repro.core.walk_store.WalkStore` the phase draws a
+    copy-on-write view over the store's shared uniform pool — successive
+    phases with growing θ *extend* one sample (the IMM martingale reuse)
+    instead of regenerating private walk sets.
+    """
     state = problem.state
     q = problem.target
-    starts = rng.integers(0, problem.n, size=theta)
-    walks = TruncatedWalks.generate(
-        state.graph(q),
-        state.stubbornness[q],
-        state.initial_opinions[q],
-        problem.horizon,
-        starts,
-        rng,
-        sampler=sampler,
-    )
+    if store is not None:
+        walks = store.uniform_view(q, theta)
+    else:
+        starts = rng.integers(0, problem.n, size=theta)
+        walks = TruncatedWalks.generate(
+            state.graph(q),
+            state.stubbornness[q],
+            state.initial_opinions[q],
+            problem.horizon,
+            starts,
+            rng,
+            sampler=sampler,
+        )
     optimizer = WalkGreedyOptimizer(
         walks,
         problem.score,
-        None if isinstance(problem.score, CumulativeScore) else problem.others_by_user(),
+        None
+        if isinstance(problem.score, CumulativeScore)
+        else problem.others_by_user(),
         grouping="walk",
     )
     return optimizer.select(k), walks
@@ -78,6 +90,7 @@ def estimate_opt_cumulative(
     theta_cap: int | None = None,
     rng: int | np.random.Generator | None = None,
     sampler: AliasSampler | None = None,
+    store=None,
 ) -> float:
     """Lower bound on OPT for the cumulative score (adapted IMM Alg. 2 test).
 
@@ -90,7 +103,7 @@ def estimate_opt_cumulative(
     rng = ensure_rng(rng)
     n = problem.n
     k = check_seed_budget(k, n)
-    if sampler is None:
+    if sampler is None and store is None:
         sampler = AliasSampler(problem.state.graph(problem.target).csc)
     eps_prime = float(np.sqrt(2.0) * epsilon)
     floor = max(k, 1)
@@ -99,7 +112,9 @@ def estimate_opt_cumulative(
         theta_i = theta_estimate_round(n, k, x, eps_prime, ell)
         if theta_cap is not None:
             theta_i = min(theta_i, int(theta_cap))
-        result, _ = _run_sketch_greedy(problem, k, max(theta_i, 1), rng, sampler)
+        result, _ = _run_sketch_greedy(
+            problem, k, max(theta_i, 1), rng, sampler, store=store
+        )
         if result.objective >= (1.0 + eps_prime) * x:
             return float(result.objective / (1.0 + eps_prime))
         x /= 2.0
@@ -115,6 +130,7 @@ def converge_theta(
     tolerance: float = 0.02,
     rng: int | np.random.Generator | None = None,
     sampler: AliasSampler | None = None,
+    store=None,
 ) -> int:
     """Heuristic θ for the plurality variants and Copeland (§VI-E).
 
@@ -127,12 +143,12 @@ def converge_theta(
     n = problem.n
     if theta_max is None:
         theta_max = n
-    if sampler is None:
+    if sampler is None and store is None:
         sampler = AliasSampler(problem.state.graph(problem.target).csc)
     theta = max(int(theta_start), 1)
     prev_score: float | None = None
     while True:
-        result, _ = _run_sketch_greedy(problem, k, theta, rng, sampler)
+        result, _ = _run_sketch_greedy(problem, k, theta, rng, sampler, store=store)
         score = problem.objective(result.seeds)
         if prev_score is not None:
             denom = max(abs(prev_score), 1e-12)
@@ -155,6 +171,7 @@ def sketch_select(
     theta_start: int = 256,
     convergence_tolerance: float = 0.02,
     rng: int | np.random.Generator | None = None,
+    store=None,
 ) -> SketchSelectResult:
     """The RS method (Algorithm 5): greedy on sketch-estimated scores.
 
@@ -171,10 +188,23 @@ def sketch_select(
         the millions).
     theta_start, convergence_tolerance:
         Controls for the §VI-E heuristic used by the non-cumulative scores.
+    store:
+        Optional :class:`~repro.core.walk_store.WalkStore`.  When given
+        (e.g. by the evaluation harness, shared across methods and
+        budgets), every phase — the OPT lower-bound rounds, the θ
+        convergence ladder, and the final selection — draws from one
+        extending uniform pool: a doubled θ reuses every walk already
+        generated rather than redrawing from scratch.
     """
     rng = ensure_rng(rng)
     k = check_seed_budget(k, problem.n)
-    sampler = AliasSampler(problem.state.graph(problem.target).csc)
+    if store is not None:
+        store.require_problem(problem)
+    sampler = (
+        None
+        if store is not None
+        else AliasSampler(problem.state.graph(problem.target).csc)
+    )
     opt_lb: float | None = None
     if theta is None:
         if isinstance(problem.score, CumulativeScore):
@@ -186,6 +216,7 @@ def sketch_select(
                 theta_cap=theta_cap,
                 rng=rng,
                 sampler=sampler,
+                store=store,
             )
             theta = theta_cumulative(problem.n, k, opt_lb, epsilon, ell)
         else:
@@ -197,11 +228,12 @@ def sketch_select(
                 tolerance=convergence_tolerance,
                 rng=rng,
                 sampler=sampler,
+                store=store,
             )
     if theta_cap is not None:
         theta = min(int(theta), int(theta_cap))
     theta = max(int(theta), 1)
-    result, walks = _run_sketch_greedy(problem, k, theta, rng, sampler)
+    result, walks = _run_sketch_greedy(problem, k, theta, rng, sampler, store=store)
     return SketchSelectResult(
         seeds=result.seeds,
         estimated_objective=result.objective,

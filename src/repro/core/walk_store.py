@@ -1,0 +1,572 @@
+"""Persistent sharded walk store behind every walk/sketch consumer (§V/§VI).
+
+One :class:`WalkStore` owns all reverse-walk material for a campaign state:
+walks are generated once per *block* (a fixed-width generation unit with its
+own deterministic seed), memoized per ``(candidate, kind, horizon)`` pool,
+and served to selection sessions as lightweight copy-on-write views that
+re-truncate incrementally on seed commits instead of regenerating.  The
+store is what lets the adaptive (IMM-style) sample-size escalation double θ
+while reusing every walk already drawn — the martingale-sampling trick of
+the RIS lineage the paper benchmarks against.
+
+Sharding
+--------
+A *block* is the canonical generation unit: ``block_walks`` uniform-start
+walks, or one walk per node for per-node pools.  Each block is seeded by
+``SeedSequence([root, candidate, kind, block_index])``, so the walks a pool
+produces are a pure function of the store seed and the walk count — *never*
+of the shard count.  ``shards`` only groups blocks into generation batches
+(the unit fanned out to worker processes when ``workers`` is set), which is
+what makes ``rw-store:1/2/4`` selections byte-identical and lets a future
+multi-host deployment split the same pools without re-deriving seeds.
+
+Serving
+-------
+``per_node_view`` / ``uniform_view`` return :meth:`TruncatedWalks.share`
+clones of a cached pristine master: the padded walk matrices and the
+first-occurrence index are shared read-only, the truncation state is
+copy-on-write.  A greedy session truncates its clone seed by seed
+(Post-Generation Truncation, Theorem 9) while the master — and every other
+live view — stays byte-identical to the freshly generated state.
+
+The store also pools the RR sets of the classic-IM baselines
+(:func:`repro.baselines.imm.imm` accepts an ``rr_pool``), so an IC/LT sweep
+over budgets draws from one extending sample instead of private walk sets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.core.random_walk import TruncatedWalks, generate_reverse_walks
+from repro.graph.alias import AliasSampler
+from repro.graph.digraph import InfluenceGraph
+from repro.opinion.state import CampaignState
+from repro.utils.rng import ensure_rng
+
+#: Pool kinds: ``per-node`` blocks hold one walk per node (Algorithm 4,
+#: grouping="start"); ``uniform`` blocks hold ``block_walks`` uniform-start
+#: sketch walks (Algorithm 5, grouping="walk").
+KIND_PER_NODE = "per-node"
+KIND_UNIFORM = "uniform"
+
+#: Stable integer codes mixed into per-block seeds; RR-set pools use the
+#: diffusion-model codes.  Never renumber — block seeds are part of the
+#: reproducibility contract.
+_KIND_CODES = {KIND_PER_NODE: 1, KIND_UNIFORM: 2, "ic": 11, "lt": 12}
+
+#: Default walks per uniform block.
+DEFAULT_BLOCK_WALKS = 1024
+
+#: Default RR sets per pool block.
+DEFAULT_RR_BLOCK = 256
+
+#: Materialized masters kept per pool (FIFO): an adaptive doubling ladder
+#: touches O(log θ) counts, each a concatenated copy of the block rows.
+_MASTER_CACHE_CAP = 8
+
+
+@dataclass
+class StoreStats:
+    """Deterministic walk-generation work counters (``store.stats``).
+
+    ``walk_steps_generated`` is the walk-store analogue of the engines'
+    evolution counters: one unit per reverse-walk step actually sampled,
+    immune to timer noise, identical across shard and worker counts.  The
+    ``*_reused`` counters make memoization visible: a second view over the
+    same pool serves cached blocks and costs zero generation work.
+    """
+
+    blocks_generated: int = 0
+    blocks_reused: int = 0
+    walks_generated: int = 0
+    walk_steps_generated: int = 0
+    index_builds: int = 0
+    views_served: int = 0
+    rr_sets_generated: int = 0
+    rr_sets_reused: int = 0
+
+    def reset(self) -> None:
+        for field in fields(self):
+            setattr(self, field.name, 0)
+
+    def generation_work(self) -> int:
+        """Total sampling work: walk steps plus RR-set draws."""
+        return self.walk_steps_generated + self.rr_sets_generated
+
+
+def _block_entropy(root: int, candidate: int, kind: str, index: int) -> list[int]:
+    """Entropy list for one block's ``SeedSequence`` (shard-invariant)."""
+    return [int(root), int(candidate), _KIND_CODES[kind], int(index)]
+
+
+def _generate_block(
+    graph: InfluenceGraph,
+    stubbornness: np.ndarray,
+    horizon: int,
+    kind: str,
+    block_walks: int,
+    entropy: list[int],
+    sampler: AliasSampler | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate one canonical block of reverse walks from its entropy."""
+    rng = np.random.default_rng(np.random.SeedSequence(entropy))
+    if kind == KIND_PER_NODE:
+        starts = np.arange(graph.n, dtype=np.int64)
+    else:
+        starts = rng.integers(0, graph.n, size=block_walks)
+    return generate_reverse_walks(
+        graph, stubbornness, horizon, starts, rng, sampler=sampler
+    )
+
+
+def _store_worker_main(conn, state: CampaignState, horizon: int) -> None:
+    """Worker loop: generate requested blocks, reply with the raw arrays.
+
+    The campaign state ships once at pool start (fork-inherited where
+    available, pickled otherwise — the same contract as the dm-mp pool);
+    per-request messages carry only block entropies.
+    """
+    samplers: dict[int, AliasSampler] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if message[0] == "stop":
+            break
+        try:
+            _, candidate, kind, block_walks, entropies = message
+            graph = state.graph(candidate)
+            sampler = samplers.get(candidate)
+            if sampler is None:
+                sampler = samplers[candidate] = AliasSampler(graph.csc)
+            blocks = [
+                _generate_block(
+                    graph,
+                    state.stubbornness[candidate],
+                    horizon,
+                    kind,
+                    block_walks,
+                    entropy,
+                    sampler,
+                )
+                for entropy in entropies
+            ]
+            conn.send(("ok", blocks))
+        except Exception as exc:  # pragma: no cover - worker-side failures
+            import traceback
+
+            conn.send(("err", f"{exc}\n{traceback.format_exc()}"))
+
+
+class RRSetPool:
+    """An extending pool of RR sets for one ``(candidate, model)`` pair.
+
+    Blocks of :data:`DEFAULT_RR_BLOCK` RR sets are generated with
+    deterministic per-block seeds, so any two consumers asking for ``m``
+    sets see the same prefix of the same sample — IMM's lower-bound rounds
+    and its final θ draw extend one martingale sample instead of redrawing.
+    """
+
+    def __init__(
+        self,
+        graph: InfluenceGraph,
+        model: str,
+        root: int,
+        candidate: int,
+        stats: StoreStats,
+        *,
+        block_size: int = DEFAULT_RR_BLOCK,
+    ) -> None:
+        if model not in ("ic", "lt"):
+            raise ValueError(f"model must be 'ic' or 'lt', got {model!r}")
+        self.graph = graph
+        self.model = model
+        self.block_size = int(block_size)
+        self._root = int(root)
+        self._candidate = int(candidate)
+        self._stats = stats
+        self._sets: list[np.ndarray] = []
+
+    def ensure(self, count: int) -> list[np.ndarray]:
+        """At least ``count`` RR sets; returns the (shared) prefix list."""
+        count = int(count)
+        from repro.baselines.rrset import rr_set_ic, rr_set_lt
+
+        make_rr = rr_set_ic if self.model == "ic" else rr_set_lt
+        self._stats.rr_sets_reused += min(len(self._sets), count)
+        while len(self._sets) < count:
+            block_index = len(self._sets) // self.block_size
+            entropy = _block_entropy(
+                self._root, self._candidate, self.model, block_index
+            )
+            rng = np.random.default_rng(np.random.SeedSequence(entropy))
+            for _ in range(self.block_size):
+                root_node = int(rng.integers(0, self.graph.n))
+                self._sets.append(make_rr(self.graph, root_node, rng))
+                self._stats.rr_sets_generated += 1
+        return self._sets[:count]
+
+
+class _WalkPool:
+    """All blocks of one ``(candidate, kind)`` pool plus cached masters."""
+
+    def __init__(self, store: "WalkStore", candidate: int, kind: str) -> None:
+        self.store = store
+        self.candidate = int(candidate)
+        self.kind = kind
+        n = store.state.n
+        self.block_walks = n if kind == KIND_PER_NODE else store.block_walks
+        self.blocks: list[tuple[np.ndarray, np.ndarray]] = []
+        self._sampler: AliasSampler | None = None
+        self._masters: dict[int, TruncatedWalks] = {}
+
+    # ------------------------------------------------------------------
+    def sampler(self) -> AliasSampler:
+        if self._sampler is None:
+            graph = self.store.state.graph(self.candidate)
+            self._sampler = AliasSampler(graph.csc)
+        return self._sampler
+
+    def _generate_inline(self, indices: list[int]) -> list[tuple]:
+        state = self.store.state
+        graph = state.graph(self.candidate)
+        return [
+            _generate_block(
+                graph,
+                state.stubbornness[self.candidate],
+                self.store.horizon,
+                self.kind,
+                self.block_walks,
+                _block_entropy(self.store.root, self.candidate, self.kind, i),
+                self.sampler(),
+            )
+            for i in indices
+        ]
+
+    def ensure_walks(self, num_walks: int) -> None:
+        """Generate the blocks still missing to cover ``num_walks`` walks.
+
+        Missing blocks are split into (at most) ``store.shards`` contiguous
+        shard batches; batches run on the store's worker pool when one is
+        configured, inline otherwise.  Either way the walks are identical:
+        every block is a pure function of its own seed.
+        """
+        stats = self.store.stats
+        have = len(self.blocks)
+        need = -(-int(num_walks) // self.block_walks)  # ceil division
+        if need <= have:
+            stats.blocks_reused += need
+            return
+        stats.blocks_reused += have
+        missing = list(range(have, need))
+        batches = [
+            batch.tolist()
+            for batch in np.array_split(
+                np.asarray(missing), min(self.store.shards, len(missing))
+            )
+            if batch.size
+        ]
+        generated: list[tuple] = []
+        workers = self.store._worker_handles()
+        if workers:
+            # The dm-mp pool contract: send everything, then drain every
+            # live reply even after a failure — an undrained pipe would
+            # pair a *stale* reply with a later request and silently
+            # append walks generated for a different (pool, block).  Any
+            # failure tears the pool down (it restarts lazily).
+            live: list[int] = []
+            try:
+                for i, batch in enumerate(batches):
+                    entropies = [
+                        _block_entropy(
+                            self.store.root, self.candidate, self.kind, index
+                        )
+                        for index in batch
+                    ]
+                    workers[i % len(workers)].conn.send(
+                        (
+                            "gen",
+                            self.candidate,
+                            self.kind,
+                            self.block_walks,
+                            entropies,
+                        )
+                    )
+                    live.append(i)
+            except (BrokenPipeError, OSError) as exc:
+                self.store.close()
+                raise RuntimeError(
+                    f"walk-store worker unreachable: {exc!r}"
+                ) from exc
+            failure: str | None = None
+            for i in live:
+                try:
+                    status, payload = workers[i % len(workers)].conn.recv()
+                except (EOFError, OSError) as exc:
+                    failure = f"walk-store worker died: {exc!r}"
+                    continue
+                if status != "ok":
+                    failure = f"walk-store worker failed:\n{payload}"
+                    continue
+                generated.extend(payload)
+            if failure is not None:
+                self.store.close()
+                raise RuntimeError(failure)
+        else:
+            for batch in batches:
+                generated.extend(self._generate_inline(batch))
+        for walks, lengths in generated:
+            self.blocks.append((walks, lengths))
+            stats.blocks_generated += 1
+            stats.walks_generated += walks.shape[0]
+            stats.walk_steps_generated += int(lengths.sum())
+
+    def master(self, num_walks: int) -> TruncatedWalks:
+        """Pristine memoized :class:`TruncatedWalks` over ``num_walks`` walks."""
+        num_walks = int(num_walks)
+        cached = self._masters.get(num_walks)
+        if cached is not None:
+            self.store.stats.blocks_reused += -(-num_walks // self.block_walks)
+            return cached
+        self.ensure_walks(num_walks)
+        # Only the covering prefix of blocks is materialized: a small view
+        # over a pool a larger consumer already escalated must not copy
+        # the whole pool.
+        need = -(-num_walks // self.block_walks)
+        walks = np.concatenate([b[0] for b in self.blocks[:need]])[:num_walks]
+        lengths = np.concatenate([b[1] for b in self.blocks[:need]])[:num_walks]
+        state = self.store.state
+        master = TruncatedWalks(
+            walks,
+            lengths,
+            state.initial_opinions[self.candidate],
+            state.n,
+        )
+        self.store.stats.index_builds += 1
+        while len(self._masters) >= _MASTER_CACHE_CAP:
+            self._masters.pop(next(iter(self._masters)))
+        self._masters[num_walks] = master
+        return master
+
+
+class _StoreWorkerHandle:
+    """One generation worker: the process and the parent pipe end."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+
+
+class WalkStore:
+    """Persistent, sharded, memoizing store of reverse walks and RR sets.
+
+    Parameters
+    ----------
+    state:
+        The multi-campaign instance; pools are keyed per candidate, so one
+        store can serve every target of a sweep.
+    horizon:
+        Walk length ``t`` — part of every pool's identity.
+    seed:
+        Root entropy (int, Generator, or ``None``).  A Generator is
+        consumed for one draw, which is how engine specs built from the
+        same ``rng`` land on the same pools.
+    block_walks:
+        Uniform-pool generation unit (per-node pools use ``n``).
+    shards:
+        Generation batches per ``ensure`` call — grouping only, never part
+        of a block seed, so walks are byte-identical for every value.
+    workers:
+        Optional worker-process count for parallel block generation (the
+        dm-mp pool contract: state ships once, messages carry seeds).
+    """
+
+    def __init__(
+        self,
+        state: CampaignState,
+        horizon: int,
+        *,
+        seed: int | np.random.Generator | None = 0,
+        block_walks: int = DEFAULT_BLOCK_WALKS,
+        shards: int = 1,
+        workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if int(shards) < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if block_walks < 1:
+            raise ValueError(f"block_walks must be >= 1, got {block_walks}")
+        self.state = state
+        self.horizon = int(horizon)
+        self.root = int(ensure_rng(seed).integers(0, np.iinfo(np.int64).max))
+        self.block_walks = int(block_walks)
+        self.shards = int(shards)
+        self.workers = None if workers is None else int(workers)
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = str(start_method)
+        self.stats = StoreStats()
+        self._pools: dict[tuple[int, str], _WalkPool] = {}
+        self._rr_pools: dict[tuple[int, str], RRSetPool] = {}
+        self._handles: list[_StoreWorkerHandle] | None = None
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle (optional, dm-mp-style)
+    # ------------------------------------------------------------------
+    def _worker_handles(self) -> list[_StoreWorkerHandle] | None:
+        if self.workers is None:
+            return None
+        if self._handles is None:
+            ctx = mp.get_context(self.start_method)
+            handles = []
+            for _ in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_store_worker_main,
+                    args=(child_conn, self.state, self.horizon),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                handles.append(_StoreWorkerHandle(process, parent_conn))
+            self._handles = handles
+        return self._handles
+
+    def close(self) -> None:
+        """Stop the generation workers (idempotent; pools stay cached)."""
+        handles, self._handles = self._handles, None
+        if not handles:
+            return
+        for handle in handles:
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout=10)
+            if handle.process.is_alive():  # pragma: no cover - hung worker
+                handle.process.terminate()
+                handle.process.join(timeout=10)
+            handle.conn.close()
+
+    def __enter__(self) -> "WalkStore":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Pools and views
+    # ------------------------------------------------------------------
+    def require_problem(self, problem) -> None:
+        """Raise unless ``problem`` is the instance this store samples.
+
+        Pools are keyed only by ``(candidate, kind)`` — the graph,
+        stubbornness and horizon are fixed at construction — so serving a
+        problem with different state would silently return walks drawn
+        from the wrong dynamics.  Every consumer that accepts an external
+        store calls this first.
+        """
+        if problem.state is not self.state or int(problem.horizon) != self.horizon:
+            raise ValueError(
+                "walk store is bound to a different campaign state or "
+                "horizon; build one with store_for_problem(problem)"
+            )
+
+    def pool(self, candidate: int, kind: str) -> _WalkPool:
+        """The walk pool for ``(candidate, kind)``, created on first use."""
+        if kind not in (KIND_PER_NODE, KIND_UNIFORM):
+            raise ValueError(
+                f"kind must be {KIND_PER_NODE!r} or {KIND_UNIFORM!r}, got {kind!r}"
+            )
+        candidate = int(candidate)
+        if not 0 <= candidate < self.state.r:
+            raise ValueError(f"unknown candidate index {candidate}")
+        key = (candidate, kind)
+        found = self._pools.get(key)
+        if found is None:
+            found = self._pools[key] = _WalkPool(self, candidate, kind)
+        return found
+
+    def _view(self, pool: _WalkPool, num_walks: int) -> TruncatedWalks:
+        master = pool.master(num_walks)
+        self.stats.views_served += 1
+        return master.share()
+
+    def per_node_view(self, candidate: int, walks_per_node: int) -> TruncatedWalks:
+        """A ``walks_per_node``-per-node view (Algorithm 4 grouping).
+
+        The view is a copy-on-write clone of the cached master: truncating
+        it (seed commits) never touches the stored blocks, so the next
+        session starts pristine without regenerating or re-indexing.
+        """
+        walks_per_node = max(int(walks_per_node), 1)
+        pool = self.pool(candidate, KIND_PER_NODE)
+        return self._view(pool, walks_per_node * self.state.n)
+
+    def uniform_view(self, candidate: int, theta: int) -> TruncatedWalks:
+        """A θ-walk uniform-start sketch view (Algorithm 5 grouping)."""
+        theta = max(int(theta), 1)
+        pool = self.pool(candidate, KIND_UNIFORM)
+        return self._view(pool, theta)
+
+    def rr_pool(self, candidate: int, model: str) -> RRSetPool:
+        """The RR-set pool for ``(candidate, model)`` (IC/LT baselines)."""
+        candidate = int(candidate)
+        if not 0 <= candidate < self.state.r:
+            raise ValueError(f"unknown candidate index {candidate}")
+        key = (candidate, model)
+        found = self._rr_pools.get(key)
+        if found is None:
+            found = self._rr_pools[key] = RRSetPool(
+                self.state.graph(candidate),
+                model,
+                self.root,
+                candidate,
+                self.stats,
+            )
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WalkStore(pools={len(self._pools)}, shards={self.shards}, "
+            f"blocks={sum(len(p.blocks) for p in self._pools.values())})"
+        )
+
+
+def store_for_problem(
+    problem,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    **kwargs: object,
+) -> WalkStore:
+    """Build a store bound to ``problem``'s state and horizon."""
+    return WalkStore(problem.state, problem.horizon, seed=seed, **kwargs)
+
+
+__all__ = [
+    "DEFAULT_BLOCK_WALKS",
+    "KIND_PER_NODE",
+    "KIND_UNIFORM",
+    "RRSetPool",
+    "StoreStats",
+    "WalkStore",
+    "store_for_problem",
+]

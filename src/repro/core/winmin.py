@@ -78,7 +78,9 @@ def min_seeds_to_win(
         raise ValueError(f"k_max must be in (0, {n}], got {k_max}")
     probes = 1
     if problem.target_wins(()):
-        return WinMinResult(seeds=np.empty(0, dtype=np.int64), k=0, found=True, probes=probes)
+        return WinMinResult(
+            seeds=np.empty(0, dtype=np.int64), k=0, found=True, probes=probes
+        )
     created: ObjectiveEngine | None = None
     try:
         if selector is None:
@@ -87,6 +89,9 @@ def min_seeds_to_win(
                 # Built from a spec: scoped to this search (closes dm-mp
                 # pools; a no-op for the in-process backends).
                 created = engine_obj
+            # Estimator backends escalate their sample for the full search
+            # budget *before* the session snapshots its base value.
+            engine_obj.prepare_budget(upper)
             session = engine_obj.open_session()
             # Mirrors greedy_dm's lazy="auto": CELF exactly for the
             # submodular cumulative score (Theorem 3).

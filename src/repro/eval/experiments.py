@@ -22,7 +22,7 @@ from repro.core.sandwich import sandwich_select
 from repro.core.sketch import _run_sketch_greedy, sketch_select
 from repro.core.winmin import min_seeds_to_win
 from repro.datasets.synth import Dataset
-from repro.eval.harness import MethodRun, run_methods, select_seeds
+from repro.eval.harness import run_methods, select_seeds
 from repro.eval.metrics import seed_overlap
 from repro.graph.alias import AliasSampler
 from repro.graph.build import induced_subgraph

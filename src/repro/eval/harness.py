@@ -15,16 +15,39 @@ import numpy as np
 from repro.baselines.centrality import degree_select, pagerank_select, rwr_select
 from repro.baselines.gedt import gedt_select
 from repro.baselines.imm import imm
-from repro.core.engine import ObjectiveEngine, make_engine, spec_is_exact_dm
+from repro.core.engine import (
+    ObjectiveEngine,
+    make_engine,
+    parse_engine_spec,
+    spec_is_exact_dm,
+)
 from repro.core.greedy import greedy_dm
 from repro.core.problem import FJVoteProblem
 from repro.core.random_walk import random_walk_select
 from repro.core.sketch import sketch_select
+from repro.core.walk_store import WalkStore
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
 
 #: Selection methods of §VIII-A: ours (DM, RW, RS) plus baselines.
 METHOD_NAMES = ("dm", "rw", "rs", "gedt", "ic", "lt", "pr", "rwr", "dc", "random")
+
+
+def _spec_reuses_state(engine: "str | ObjectiveEngine | None") -> bool:
+    """True for spec strings worth building once per method sweep.
+
+    Exact DM engines are deterministic shared inputs; ``rw-store`` engines
+    carry the shared walk store whose whole point is reuse across budgets.
+    """
+    if spec_is_exact_dm(engine):
+        return True
+    if not isinstance(engine, str):
+        return False
+    try:
+        name, _ = parse_engine_spec(engine)
+    except ValueError:
+        return False
+    return name == "rw-store"
 
 
 def select_seeds(
@@ -34,6 +57,7 @@ def select_seeds(
     rng: int | np.random.Generator | None = None,
     *,
     engine: "str | ObjectiveEngine | None" = None,
+    store: WalkStore | None = None,
     **kwargs: object,
 ) -> np.ndarray:
     """Select ``k`` seeds with the named method.
@@ -45,8 +69,15 @@ def select_seeds(
     prebuilt :class:`~repro.core.engine.ObjectiveEngine` instance whose
     sessions then share the problem's cached trajectories across budgets)
     and is ignored by the others, which carry their own estimators.
+
+    ``store`` (a :class:`~repro.core.walk_store.WalkStore`) is shared by
+    the sampling methods: RW and RS draw their walk pools from it and the
+    IC/LT baselines draw their RR sets, so a sweep over budgets reuses one
+    persistent sample instead of regenerating per call.
     """
     rng = ensure_rng(rng)
+    if store is not None:
+        store.require_problem(problem)
     if method == "dm":
         return greedy_dm(problem, k, engine=engine, rng=rng).seeds
     if not isinstance(engine, (str, type(None))):
@@ -54,14 +85,15 @@ def select_seeds(
             f"method {method!r} accepts only engine spec names, not instances"
         )
     if method == "rw":
-        return random_walk_select(problem, k, rng=rng, **kwargs).seeds
+        return random_walk_select(problem, k, rng=rng, store=store, **kwargs).seeds
     if method == "rs":
-        return sketch_select(problem, k, rng=rng, **kwargs).seeds
+        return sketch_select(problem, k, rng=rng, store=store, **kwargs).seeds
     if method == "gedt":
         return gedt_select(problem, k, engine=engine, rng=rng)
     if method in ("ic", "lt"):
         graph = problem.state.graph(problem.target)
-        return imm(graph, k, model=method, rng=rng, **kwargs).seeds
+        rr_pool = None if store is None else store.rr_pool(problem.target, method)
+        return imm(graph, k, model=method, rng=rng, rr_pool=rr_pool, **kwargs).seeds
     if method == "pr":
         return pagerank_select(problem, k, **kwargs)
     if method == "rwr":
@@ -92,6 +124,7 @@ def run_methods(
     *,
     method_kwargs: dict[str, dict[str, object]] | None = None,
     engine: str | None = None,
+    store: WalkStore | None = None,
 ) -> list[MethodRun]:
     """Run every (method, k) combination; timing covers seed selection only.
 
@@ -100,7 +133,9 @@ def run_methods(
     engine (a shared input too — it only wraps the problem) is built once
     per method sweep so every budget's selection session starts from the
     same cached trajectories.  ``engine`` selects the evaluation backend
-    for the greedy-based methods.
+    for the greedy-based methods; ``store`` hands the sampling methods
+    (RW, RS, IC, LT) one shared :class:`~repro.core.walk_store.WalkStore`
+    so every budget extends the same walk/RR-set pools.
     """
     rng = ensure_rng(rng)
     method_kwargs = method_kwargs or {}
@@ -109,17 +144,28 @@ def run_methods(
     for method in methods:
         kwargs = dict(method_kwargs.get(method, {}))
         method_engine: str | ObjectiveEngine | None = engine
-        if method == "dm" and spec_is_exact_dm(engine):
-            # Exact engines are deterministic shared inputs: build once per
+        if method == "dm" and _spec_reuses_state(engine):
+            # Engines with reusable state are shared inputs: build once per
             # method sweep so every budget's session reuses the cached
-            # trajectories (and, for dm-mp, one worker pool serves the
-            # whole sweep instead of spinning up per budget).
-            method_engine = make_engine(engine, problem)
+            # trajectories (dm-batched), one worker pool (dm-mp), or one
+            # walk store (rw-store) instead of rebuilding per budget.  An
+            # rw-store engine additionally draws from the caller's shared
+            # store, so the dm sweep and the rw/rs methods sample one pool.
+            engine_kwargs: dict[str, object] = {}
+            if store is not None and not spec_is_exact_dm(engine):
+                engine_kwargs["store"] = store
+            method_engine = make_engine(engine, problem, rng=rng, **engine_kwargs)
         try:
             for k in ks:
                 with Timer() as timer:
                     seeds = select_seeds(
-                        method, problem, k, rng, engine=method_engine, **kwargs
+                        method,
+                        problem,
+                        k,
+                        rng,
+                        engine=method_engine,
+                        store=store,
+                        **kwargs,
                     )
                 runs.append(
                     MethodRun(

@@ -14,7 +14,6 @@ from repro.core.greedy import greedy_dm
 from repro.core.problem import FJVoteProblem
 from repro.graph.build import graph_from_edges
 from repro.voting.scores import CumulativeScore, PluralityScore
-from tests.conftest import random_instance
 
 
 def test_pagerank_sums_to_one():

@@ -138,7 +138,18 @@ def test_make_engine_specs():
     assert make_engine(engine, problem) is engine
     with pytest.raises(ValueError):
         make_engine("warp-drive", problem)
-    assert set(ENGINE_NAMES) == {"dm", "dm-batched", "dm-mp", "rw", "sketch"}
+    assert set(ENGINE_NAMES) == {
+        "dm",
+        "dm-batched",
+        "dm-mp",
+        "rw",
+        "sketch",
+        "rw-store",
+    }
+    rw_store = make_engine("rw-store:2", problem, rng=0, walks_per_node=2)
+    assert isinstance(rw_store, WalkEngine)
+    assert rw_store.store.shards == 2
+    assert rw_store.adaptive
 
 
 def test_parse_engine_spec_and_exactness():

@@ -1,0 +1,448 @@
+"""Tests for the persistent sharded walk store (repro.core.walk_store).
+
+The central contracts:
+
+* **Shard invariance** — walks are a pure function of the store seed and
+  the walk count, never of the shard count, so ``rw-store:1/2/4``
+  selections are byte-identical to each other *and* to the plain ``rw``
+  engine built from the same rng (hypothesis parity suite).
+* **Isolation** — served views are copy-on-write: a session committing
+  seeds truncates its own view only; the cached shard masters stay
+  pristine for the next consumer.
+* **Reuse** — a second view over the same pool generates zero new blocks,
+  and the adaptive θ ladder extends one sample instead of redrawing.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.imm import imm
+from repro.core.engine import (
+    EstimatorPrecisionWarning,
+    make_engine,
+    parse_engine_spec,
+    spec_is_exact_dm,
+)
+from repro.core.greedy import greedy_engine
+from repro.core.problem import FJVoteProblem
+from repro.core.sketch import sketch_select
+from repro.core.walk_store import (
+    KIND_PER_NODE,
+    KIND_UNIFORM,
+    WalkStore,
+    store_for_problem,
+)
+from repro.voting.scores import CumulativeScore, PluralityScore
+from tests.conftest import random_instance
+
+
+def make_problem(seed, score=None, *, n=14, r=3, horizon=3):
+    state = random_instance(n=n, r=r, seed=seed)
+    return FJVoteProblem(state, 0, horizon, score or PluralityScore())
+
+
+# ----------------------------------------------------------------------
+# Parity: rw-store == rw, byte-identical, at shard counts 1/2/4
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 30),
+    rng_seed=st.integers(0, 1000),
+    score_name=st.sampled_from(["plurality", "cumulative"]),
+    k=st.integers(1, 4),
+)
+def test_rw_store_matches_rw_at_every_shard_count(seed, rng_seed, score_name, k):
+    """Fixed-count rw-store selections must equal the rw engine byte for
+    byte at shards 1, 2 and 4 — same walks, same gains, same seeds."""
+    score = CumulativeScore() if score_name == "cumulative" else PluralityScore()
+    problem = make_problem(seed, score, n=12, r=2)
+    ref_engine = make_engine("rw", problem, rng=rng_seed, walks_per_node=6)
+    reference = greedy_engine(ref_engine, k)
+    for shards in (1, 2, 4):
+        engine = make_engine(
+            f"rw-store:{shards}",
+            problem,
+            rng=rng_seed,
+            walks_per_node=6,
+            adaptive=False,
+            epsilon=None,
+        )
+        result = greedy_engine(engine, k)
+        assert result.seeds.tolist() == reference.seeds.tolist()
+        np.testing.assert_array_equal(result.gains, reference.gains)
+        assert result.objective == reference.objective
+        # The raw walk matrices themselves must coincide with the rw
+        # engine's — byte parity, not coincidental selection agreement.
+        np.testing.assert_array_equal(engine.walks.walks, ref_engine.walks.walks)
+        np.testing.assert_array_equal(engine.walks.lengths, ref_engine.walks.lengths)
+
+
+@pytest.mark.parametrize("k", [3])
+def test_rw_store_default_adaptive_is_shard_invariant(k):
+    """The default (adaptive) rw-store engine must still be byte-identical
+    across shard counts: escalation decisions depend only on the walks,
+    and the walks depend only on the store seed."""
+    problem = make_problem(4, n=12, r=2)
+    results = []
+    for shards in (1, 2, 4):
+        engine = make_engine(f"rw-store:{shards}", problem, rng=11)
+        results.append(greedy_engine(engine, k))
+    assert results[0].seeds.tolist() == results[1].seeds.tolist()
+    assert results[1].seeds.tolist() == results[2].seeds.tolist()
+    np.testing.assert_array_equal(results[0].gains, results[1].gains)
+    np.testing.assert_array_equal(results[1].gains, results[2].gains)
+
+
+def test_store_walks_identical_across_shard_counts():
+    """Raw pool content (not just selections) is shard-invariant."""
+    problem = make_problem(2, n=10, r=2)
+    views = []
+    for shards in (1, 2, 4):
+        store = WalkStore(problem.state, problem.horizon, seed=7, shards=shards)
+        views.append(store.per_node_view(0, 5))
+    for other in views[1:]:
+        np.testing.assert_array_equal(views[0].walks, other.walks)
+        np.testing.assert_array_equal(views[0].lengths, other.lengths)
+        np.testing.assert_array_equal(views[0].values, other.values)
+
+
+# ----------------------------------------------------------------------
+# Isolation: commits truncate views, never the cached shard masters
+# ----------------------------------------------------------------------
+def test_view_commits_do_not_invalidate_store_master():
+    """Shard-cache invalidation contract: a session committing seeds gets
+    a detached truncation state (copy-on-write), so the master — and any
+    later view — still serves the pristine sample."""
+    problem = make_problem(5, n=12, r=2)
+    store = store_for_problem(problem, seed=3)
+    first = store.per_node_view(0, 4)
+    pristine = (first.end_pos.copy(), first.values.copy())
+    first.add_seed(7)  # a committed seed truncates the *view*
+    first.add_seed(2)
+    assert first.seeds == [7, 2]
+    second = store.per_node_view(0, 4)
+    assert second.seeds == []
+    np.testing.assert_array_equal(second.end_pos, pristine[0])
+    np.testing.assert_array_equal(second.values, pristine[1])
+    # The two views never share mutated state.
+    assert not np.shares_memory(first.values, second.values)
+    # And the immutable parts are genuinely shared, not copied.
+    assert np.shares_memory(first.walks, second.walks)
+    master = store.pool(0, KIND_PER_NODE).master(4 * problem.n)
+    np.testing.assert_array_equal(master.values, pristine[1])
+    assert master.seeds == []
+
+
+def test_engine_sessions_share_store_without_leaks():
+    """Two engines on one shared store run interleaved sessions without
+    corrupting each other or the store."""
+    problem = make_problem(6, n=12, r=2)
+    store = store_for_problem(problem, seed=9)
+    a = make_engine("rw-store", problem, store=store, adaptive=False, epsilon=None)
+    b = make_engine("rw-store", problem, store=store, adaptive=False, epsilon=None)
+    base_a = a.evaluate_one(())
+    base_b = b.evaluate_one(())
+    assert base_a == base_b  # identical pristine walks
+    sess = a.open_session()
+    sess.commit(3)
+    sess.commit(8)
+    # b's empty-set estimate is untouched by a's commits.
+    assert b.evaluate_one(()) == base_b
+    assert a.evaluate_one(()) == base_a  # reset-and-replay still pristine
+
+
+# ----------------------------------------------------------------------
+# Reuse: memoized blocks, extending ladders, RR-set pools
+# ----------------------------------------------------------------------
+def test_second_view_generates_no_new_blocks():
+    problem = make_problem(7, n=10, r=2)
+    store = store_for_problem(problem, seed=1)
+    store.per_node_view(0, 6)
+    generated = store.stats.blocks_generated
+    steps = store.stats.walk_steps_generated
+    store.per_node_view(0, 6)
+    store.per_node_view(0, 3)  # prefix of the same pool
+    assert store.stats.blocks_generated == generated
+    assert store.stats.walk_steps_generated == steps
+    assert store.stats.blocks_reused > 0
+
+
+def test_uniform_ladder_extends_instead_of_redrawing():
+    """Doubling θ must only generate the missing blocks, and smaller views
+    must be prefixes of larger ones (the martingale-reuse contract)."""
+    problem = make_problem(8, n=10, r=2)
+    store = WalkStore(problem.state, problem.horizon, seed=2, block_walks=32)
+    small = store.uniform_view(0, 48)
+    generated = store.stats.blocks_generated
+    big = store.uniform_view(0, 96)
+    assert store.stats.blocks_generated == generated + 1
+    np.testing.assert_array_equal(big.walks[:48], small.walks)
+    np.testing.assert_array_equal(big.lengths[:48], small.lengths)
+
+
+def test_sketch_select_with_store_reuses_walks():
+    problem = make_problem(9, CumulativeScore(), n=12, r=2)
+    store = WalkStore(problem.state, problem.horizon, seed=4, block_walks=64)
+    result = sketch_select(
+        problem, 2, epsilon=0.3, theta_cap=500, rng=5, store=store
+    )
+    assert result.seeds.size == 2
+    assert store.stats.blocks_generated > 0
+    # A second budget extends the same pool: nothing regenerated below cap.
+    generated = store.stats.walks_generated
+    sketch_select(problem, 2, epsilon=0.3, theta_cap=500, rng=6, store=store)
+    assert store.stats.walks_generated == generated
+
+
+def test_imm_draws_from_store_rr_pool():
+    problem = make_problem(10, n=12, r=2)
+    store = store_for_problem(problem, seed=8)
+    graph = problem.state.graph(problem.target)
+    pool = store.rr_pool(problem.target, "ic")
+    first = imm(graph, 2, model="ic", rng=0, theta_cap=400, rr_pool=pool)
+    assert first.seeds.size == 2
+    drawn = store.stats.rr_sets_generated
+    assert drawn > 0
+    second = imm(graph, 2, model="ic", rng=99, theta_cap=400, rr_pool=pool)
+    # Same pooled sample -> same seeds, zero fresh RR sets, reuse counted.
+    assert second.seeds.tolist() == first.seeds.tolist()
+    assert store.stats.rr_sets_generated == drawn
+    assert store.stats.rr_sets_reused > 0
+    with pytest.raises(ValueError):
+        imm(graph, 2, model="lt", rr_pool=pool)
+    other_graph = make_problem(11, n=12, r=2).state.graph(0)
+    with pytest.raises(ValueError, match="different graph"):
+        imm(other_graph, 2, model="ic", rr_pool=pool)
+
+
+def test_dead_generation_worker_fails_loudly_and_pool_recovers():
+    """A killed worker must fail the request (no silently mispaired stale
+    replies), tear the pool down, and let the next call restart it with
+    byte-identical blocks."""
+    import os
+    import signal
+    import time
+
+    problem = make_problem(12, n=10, r=2)
+    reference = WalkStore(problem.state, problem.horizon, seed=5)
+    expected = reference.per_node_view(0, 6)
+    with WalkStore(
+        problem.state, problem.horizon, seed=5, shards=2, workers=2
+    ) as store:
+        handles = store._worker_handles()
+        os.kill(handles[1].process.pid, signal.SIGKILL)
+        time.sleep(0.2)
+        with pytest.raises(RuntimeError, match="walk-store worker"):
+            store.per_node_view(0, 6)
+        assert store._handles is None  # torn down, not half-alive
+        view = store.per_node_view(0, 6)  # pool restarts lazily
+        np.testing.assert_array_equal(view.walks, expected.walks)
+        np.testing.assert_array_equal(view.values, expected.values)
+
+
+def test_parallel_generation_matches_inline():
+    """Worker-pool block generation must be byte-identical to inline."""
+    problem = make_problem(11, n=10, r=2)
+    inline = WalkStore(problem.state, problem.horizon, seed=6, shards=4)
+    a = inline.per_node_view(0, 8)
+    with WalkStore(
+        problem.state, problem.horizon, seed=6, shards=4, workers=2
+    ) as parallel:
+        b = parallel.per_node_view(0, 8)
+        np.testing.assert_array_equal(a.walks, b.walks)
+        np.testing.assert_array_equal(a.lengths, b.lengths)
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+# ----------------------------------------------------------------------
+# Adaptive sampling and (ε, δ) accounting
+# ----------------------------------------------------------------------
+def test_prepare_budget_records_achieved_epsilon_and_warns():
+    """Fixed sample counts must surface the precision they actually buy
+    (the old estimators had no (ε,δ) accounting at all)."""
+    problem = make_problem(12, n=12, r=2)
+    engine = make_engine(
+        "rw", problem, rng=1, walks_per_node=4, epsilon=0.05
+    )
+    with pytest.warns(EstimatorPrecisionWarning, match="certifies"):
+        engine.prepare_budget(2)
+    assert engine.stats.requested_epsilon == 0.05
+    assert engine.stats.achieved_epsilon > 0.05
+    assert engine.stats.precision_unmet == 1
+    # Re-preparing the same budget is idempotent: no duplicate warning.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        engine.prepare_budget(2)
+    assert engine.stats.precision_unmet == 1
+
+
+def test_adaptive_escalation_meets_requested_precision():
+    problem = make_problem(13, n=10, r=2)
+    engine = make_engine(
+        "rw-store", problem, rng=2, walks_per_node=2, epsilon=0.25
+    )
+    # The per-node target is closed-form, so the escalated sample is bound
+    # once, at construction — no throwaway small view is ever indexed.
+    assert engine.walks_per_node > 2
+    assert engine.store.stats.index_builds == 1
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # escalation must satisfy the bound
+        engine.prepare_budget(2)
+    assert 0 < engine.stats.achieved_epsilon <= 0.25
+    assert engine.stats.precision_unmet == 0
+    # A second engine on the same store reuses the pool outright.
+    generated = engine.store.stats.blocks_generated
+    again = make_engine(
+        "rw-store", problem, store=engine.store, walks_per_node=2, epsilon=0.25
+    )
+    assert again.store.stats.blocks_generated == generated
+    assert again.store.stats.blocks_reused > 0
+
+
+def test_adaptive_cumulative_theta_ladder_warns_at_cap():
+    problem = make_problem(14, CumulativeScore(), n=12, r=2)
+    engine = make_engine(
+        "rw-store:2",
+        problem,
+        rng=3,
+        grouping="walk",
+        theta=32,
+        theta_cap=256,
+        epsilon=0.1,
+    )
+    with pytest.warns(EstimatorPrecisionWarning):
+        engine.prepare_budget(2)
+    assert engine.theta == 256  # escalated to the cap
+    assert engine.stats.achieved_epsilon > 0.1
+    assert engine._opt_lb is not None and engine._opt_lb >= 2
+
+
+def test_rank_scores_without_guarantee_warn_when_epsilon_requested():
+    problem = make_problem(15, n=12, r=3)
+    engine = make_engine(
+        "rw-store",
+        problem,
+        rng=4,
+        grouping="walk",
+        theta=64,
+        theta_cap=128,
+        epsilon=0.2,
+    )
+    with pytest.warns(EstimatorPrecisionWarning, match="no closed-form"):
+        engine.prepare_budget(2)
+    assert engine.stats.achieved_epsilon == 0.0  # not computable
+    assert engine.stats.precision_unmet == 1
+
+
+def test_greedy_rebases_presnapshotted_session_after_escalation():
+    """A caller-opened session predating an adaptive escalation must be
+    rebased: the committed value and the gains have to come from the same
+    (escalated) sample, so value == sum(base, gains) exactly.  Only the
+    θ ladder escalates mid-call — it needs the budget — so that is the
+    path driven here."""
+    problem = make_problem(16, CumulativeScore(), n=12, r=2)
+    engine = make_engine(
+        "rw-store",
+        problem,
+        rng=7,
+        grouping="walk",
+        theta=32,
+        theta_cap=256,
+        epsilon=0.1,
+    )
+    session = engine.open_session()  # snapshots the θ=32 base
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EstimatorPrecisionWarning)
+        result = greedy_engine(engine, 2, session=session)
+    assert engine.theta > 32  # escalation happened mid-call
+    # Base implied by the result must match the *escalated* sample's
+    # empty-set estimate — the pre-escalation snapshot was rebased away.
+    rebased_base = result.objective - float(np.sum(result.gains))
+    assert rebased_base == pytest.approx(engine.evaluate_one(()), abs=1e-12)
+    assert session.value == result.objective
+    # rebase() itself refuses sessions with commits.
+    with pytest.raises(ValueError):
+        session.rebase()
+
+
+# ----------------------------------------------------------------------
+# Spec parsing and validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "bad",
+    ["rw-store:", "rw-store:0", "rw-store:-3", "rw-store:two", "rw-store:1:1"],
+)
+def test_malformed_rw_store_specs_rejected(bad):
+    """Malformed rw-store:<shards> forms fail with the registry's single
+    ValueError, naming every spec and both parameterized forms."""
+    with pytest.raises(ValueError) as excinfo:
+        parse_engine_spec(bad)
+    message = str(excinfo.value)
+    assert "rw-store:<shards>" in message
+    assert "dm-mp:<workers>" in message
+    assert not spec_is_exact_dm(bad)
+
+
+def test_rw_store_spec_is_not_exact():
+    for spec in ("rw-store", "rw-store:2"):
+        assert not spec_is_exact_dm(spec)
+
+
+def test_mismatched_store_rejected_everywhere():
+    """A store built for another state/horizon must be refused, never
+    silently served: pools are keyed only by (candidate, kind)."""
+    from repro.core.random_walk import random_walk_select
+    from repro.eval.harness import select_seeds
+
+    problem = make_problem(3, n=10, r=2, horizon=3)
+    other_horizon = store_for_problem(make_problem(3, n=10, r=2, horizon=5))
+    other_state = store_for_problem(make_problem(4, n=10, r=2, horizon=3))
+    for store in (other_horizon, other_state):
+        with pytest.raises(ValueError, match="different campaign state"):
+            make_engine("rw-store", problem, store=store)
+        with pytest.raises(ValueError, match="different campaign state"):
+            random_walk_select(problem, 2, store=store)
+        with pytest.raises(ValueError, match="different campaign state"):
+            sketch_select(problem, 2, theta=50, store=store)
+        with pytest.raises(ValueError, match="different campaign state"):
+            select_seeds("rw", problem, 2, rng=0, store=store)
+    matching = store_for_problem(problem)
+    matching.require_problem(problem)  # no raise
+
+
+def test_store_validation():
+    problem = make_problem(0, n=8, r=2)
+    with pytest.raises(ValueError):
+        WalkStore(problem.state, problem.horizon, shards=0)
+    with pytest.raises(ValueError):
+        WalkStore(problem.state, problem.horizon, block_walks=0)
+    with pytest.raises(ValueError):
+        WalkStore(problem.state, problem.horizon, workers=0)
+    store = store_for_problem(problem)
+    with pytest.raises(ValueError):
+        store.pool(0, "sideways")
+    with pytest.raises(ValueError):
+        store.pool(99, KIND_UNIFORM)
+    with pytest.raises(ValueError):
+        store.rr_pool(0, "sir")
+    with pytest.raises(ValueError):
+        make_engine("rw-store", problem, store=store, shards=4)
+
+
+def test_engine_close_only_closes_private_store():
+    problem = make_problem(1, n=8, r=2)
+    shared = store_for_problem(problem, seed=0, workers=1)
+    engine = make_engine(
+        "rw-store", problem, store=shared, adaptive=False, epsilon=None
+    )
+    shared._worker_handles()  # spin the pool up
+    engine.close()
+    assert shared._handles is not None  # shared store left running
+    shared.close()
+    assert shared._handles is None

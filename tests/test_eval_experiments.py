@@ -1,6 +1,5 @@
 """Integration tests: every experiment function runs and returns sane shapes."""
 
-import numpy as np
 import pytest
 
 from repro.datasets.twitter import twitter_mask
