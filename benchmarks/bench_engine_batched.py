@@ -4,9 +4,16 @@ One exhaustive greedy round (all ``n`` single-seed candidate extensions of
 the empty set, plurality score) evaluated through :class:`DMEngine` (the
 legacy per-set path: one full FJ evolution per candidate) and through
 :class:`BatchedDMEngine` (one chunked delta evolution for the whole round)
-on the Fig.-17 synthetic graphs.  Emits per-size wall times and speedups so
-future BENCH_*.json files track the trajectory, and asserts the engine's
-contract: identical gains to 1e-10 and >= 5x speedup at n >= 2000.
+on the Fig.-17 synthetic graphs.  Emits per-size wall times and speedups,
+and asserts the engine's contract: identical gains to 1e-10 and >= 5x
+speedup at n >= 2000.
+
+The perf-trajectory record (``BENCH_engine_batched[.tiny].json``) is
+counter-based, not timed: a per-set round costs exactly ``n * horizon``
+dense column-steps (one full evolution per candidate), so the batched
+engine's deterministic ``EngineStats.evolution_work`` yields a timer-free
+work-reduction ratio that ``scripts/check_bench_regression.py`` gates
+against the committed baseline.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_engine_batched.py``.
 Set ``REPRO_BENCH_TINY=1`` for the CI smoke variant: one tiny size, parity
@@ -56,24 +63,51 @@ def _one_round(n: int) -> dict[str, float]:
     )
     # An extra rep for the short batched runs: transient scheduler noise
     # costs them relatively more than the ~20s per-set runs.
+    batched_reps = 3
+    batch_engine.stats.reset()
     batched_time, batched = _best_of(
-        lambda: batch_engine.marginal_gains((), candidates), reps=3
+        lambda: batch_engine.marginal_gains((), candidates), reps=batched_reps
     )
     np.testing.assert_allclose(batched, per_set, atol=1e-10, rtol=0)
+    # Deterministic work model: the per-set path evolves every candidate
+    # through the full horizon — n+1 sets (n extensions + the base), one
+    # dense column each — while the batched engine's counters report what
+    # it actually spent (accumulated over the timing reps).
+    per_set_work = float((n + 1) * HORIZON)
+    batched_work = batch_engine.stats.evolution_work(n) / batched_reps
     return {
         "per_set": per_set_time,
         "batched": batched_time,
         "speedup": per_set_time / batched_time,
+        "batched_work": batched_work,
+        "work_reduction": per_set_work / max(batched_work, 1e-12),
     }
 
 
-def test_engine_batched_speedup(benchmark, save_result):
+def test_engine_batched_speedup(benchmark, save_result, save_bench_json):
     rounds = run_once(benchmark, lambda: [_one_round(n) for n in SIZES])
     series = {
         "per-set (s)": [r["per_set"] for r in rounds],
         "batched (s)": [r["batched"] for r in rounds],
         "speedup (x)": [r["speedup"] for r in rounds],
+        "work reduction (x)": [r["work_reduction"] for r in rounds],
     }
+    # Perf-trajectory record: deterministic counters of the first size
+    # (the only one the CI smoke runs).
+    first = rounds[0]
+    save_bench_json(
+        "engine_batched",
+        {
+            "evolution_work_reduction_x": {
+                "value": first["work_reduction"],
+                "higher_is_better": True,
+            },
+            "batched_evolution_work": {
+                "value": first["batched_work"],
+                "higher_is_better": False,
+            },
+        },
+    )
     if not TINY:
         save_result(
             "engine_batched",

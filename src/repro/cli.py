@@ -13,22 +13,36 @@ Engine selection (``--engine``)
 The greedy-based methods evaluate the objective through a pluggable
 backend (:mod:`repro.core.engine`):
 
-===============  =====  =========================================================
-spec             exact  backend
-===============  =====  =========================================================
-``dm``           yes    legacy per-set DM, one FJ evolution per seed set
-``dm-batched``   yes    vectorized DM, all candidates in one evolution (default)
-``dm-mp[:W]``    yes    ``dm-batched`` sharded over ``W`` worker processes
-``rw``           no     random-walk estimator (Algorithm 4)
-``sketch``       no     sketch estimator (Algorithm 5)
-``rw-store[:S]`` no     shared sharded walk store, adaptive sampling
-===============  =====  =========================================================
+==========================  =====  ================================================
+spec                        exact  backend
+==========================  =====  ================================================
+``dm``                      yes    legacy per-set DM, one FJ evolution per seed set
+``dm-batched``              yes    vectorized DM, all candidates at once (default)
+``dm-mp[:W][:shm]``         yes    ``dm-batched`` over ``W`` worker processes;
+                                   ``:shm`` = zero-copy shared-memory transport
+``rw``                      no     random-walk estimator (Algorithm 4)
+``sketch``                  no     sketch estimator (Algorithm 5)
+``rw-store[:S][:mmap=DIR]`` no     shared sharded walk store, adaptive sampling;
+                                   ``:mmap=DIR`` = persistent on-disk shards
+==========================  =====  ================================================
 
 All exact specs produce byte-identical selections; ``dm-mp`` pays off on
 multi-core hosts where candidate chunks evolve in parallel memory domains.
 ``rw-store`` persists walks in an ``S``-shard store and escalates the
 sample IMM-style until the requested (ε, δ) bound holds, reusing every
 walk across greedy rounds, budgets and win-min probes.
+
+Data-plane suffixes: ``dm-mp:<W>:shm`` maps problem matrices, score rows
+and commit broadcasts through shared memory so only array descriptors
+cross the worker pipes, and ``rw-store:<S>:mmap=<DIR>`` spills walk
+blocks to memory-mapped shards under ``DIR``.  ``--store-dir DIR`` is the
+convenience form of the latter: it rewrites an ``rw-store`` engine spec
+to ``...:mmap=DIR`` and hands the sampling methods one shared store
+rooted at ``DIR``, so a second invocation with the same ``--seed``
+re-opens the pools and regenerates **zero** walk blocks (the ``store:``
+line printed after selection shows the cold/warm counters).  Persistence
+covers *walk* pools (rw/rs); the ic/lt RR-set pools share the store
+within one invocation but are in-memory only.
 """
 
 from __future__ import annotations
@@ -74,6 +88,22 @@ def _build_dataset(args: argparse.Namespace) -> Dataset:
     return maker(n=args.users, rng=args.seed, horizon=args.horizon)
 
 
+class _SpecSafeFormatter(argparse.HelpFormatter):
+    """Help formatter that never splits an engine spec across lines.
+
+    The default formatter wraps on hyphens, which would render
+    ``dm-mp:<workers>[:shm]`` as ``dm- mp:...`` depending on where the
+    registry-derived help happens to wrap.
+    """
+
+    def _split_lines(self, text: str, width: int) -> list[str]:
+        import textwrap
+
+        return textwrap.wrap(
+            text, width, break_on_hyphens=False, break_long_words=False
+        )
+
+
 def _engine_spec(value: str) -> str:
     # Validation *and* the error message come from the engine registry
     # (parse_engine_spec's single ValueError), so malformed specs like
@@ -114,6 +144,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--p", type=int, default=2, help="p for p-approval")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     _add_engine_option(parser)
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="persist walk pools as memory-mapped shards under DIR "
+        "(rw-store engines gain :mmap=DIR; rw/rs re-open them, so "
+        "rerunning with the same --seed regenerates zero walk blocks; "
+        "ic/lt RR-set pools stay in-memory)",
+    )
 
 
 def _make_score(args: argparse.Namespace):
@@ -122,14 +161,66 @@ def _make_score(args: argparse.Namespace):
     return make_score(args.score)
 
 
+#: Methods drawing samples from the shared :class:`WalkStore` of
+#: ``--store-dir`` (walk pools for rw/rs, RR-set pools for ic/lt).
+_STORE_METHODS = ("rw", "rs", "ic", "lt")
+
+
+def _wire_store_dir(args: argparse.Namespace, problem) -> "WalkStore | None":
+    """Apply ``--store-dir``: spec rewrite plus a shared persistent store.
+
+    Engine specs naming ``rw-store`` gain the ``:mmap=DIR`` suffix (their
+    private store persists); the sampling methods get one shared
+    :class:`~repro.core.walk_store.WalkStore` rooted at ``DIR`` and seeded
+    by ``--seed``, so repeat invocations re-open the same pools.
+    """
+    if not getattr(args, "store_dir", None):
+        return None
+    name, kwargs = parse_engine_spec(args.engine)
+    if name == "rw-store":
+        spec_dir = kwargs.get("store_dir")
+        if spec_dir is None:
+            args.engine = f"{args.engine}:mmap={args.store_dir}"
+        elif str(spec_dir) != str(args.store_dir):
+            raise SystemExit(
+                f"--store-dir {args.store_dir!r} conflicts with the engine "
+                f"spec's mmap directory {spec_dir!r}"
+            )
+    if args.method not in _STORE_METHODS:
+        return None
+    from repro.core.walk_store import store_for_problem
+
+    return store_for_problem(problem, seed=args.seed, store_dir=args.store_dir)
+
+
+def _print_store_stats(store: "WalkStore | None") -> None:
+    """One deterministic counters line (the warm-store smoke greps it)."""
+    if store is None:
+        return
+    stats = store.stats
+    print(
+        f"store: blocks generated={stats.blocks_generated} "
+        f"written={stats.blocks_written} loaded={stats.blocks_loaded} "
+        f"reused={stats.blocks_reused} rr-sets generated="
+        f"{stats.rr_sets_generated}"
+    )
+
+
 def cmd_select(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
     problem = dataset.problem(_make_score(args))
     problem.others_by_user()
     kwargs = _FAST_KWARGS.get(args.method, {})
+    store = _wire_store_dir(args, problem)
     with Timer() as timer:
         seeds = select_seeds(
-            args.method, problem, args.k, rng=args.seed, engine=args.engine, **kwargs
+            args.method,
+            problem,
+            args.k,
+            rng=args.seed,
+            engine=args.engine,
+            store=store,
+            **kwargs,
         )
     before = problem.objective(())
     after = problem.objective(seeds)
@@ -140,6 +231,7 @@ def cmd_select(args: argparse.Namespace) -> int:
     print(f"method={args.method} k={args.k}: score {before:.2f} -> {after:.2f} "
           f"({timer.elapsed:.2f}s)")
     print("seeds:", " ".join(str(int(s)) for s in seeds))
+    _print_store_stats(store)
     return 0
 
 
@@ -147,6 +239,7 @@ def cmd_winmin(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
     problem = dataset.problem(_make_score(args))
     kwargs = _FAST_KWARGS.get(args.method, {})
+    store = _wire_store_dir(args, problem)
     if args.method == "dm":
         result = min_seeds_to_win(
             problem, k_max=args.kmax, engine=args.engine, rng=args.seed
@@ -156,9 +249,10 @@ def cmd_winmin(args: argparse.Namespace) -> int:
             problem,
             k_max=args.kmax,
             selector=lambda k: select_seeds(
-                args.method, problem, k, rng=args.seed, **kwargs
+                args.method, problem, k, rng=args.seed, store=store, **kwargs
             ),
         )
+    _print_store_stats(store)
     if result.found:
         print(f"target wins with k* = {result.k} seeds ({result.probes} probes)")
     else:
@@ -203,19 +297,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_select = sub.add_parser("select", help="select k seeds")
+    p_select = sub.add_parser(
+        "select", help="select k seeds", formatter_class=_SpecSafeFormatter
+    )
     _add_common(p_select)
     p_select.add_argument("--method", choices=METHOD_NAMES, default="rs")
     p_select.add_argument("-k", type=int, default=20, help="seed budget")
     p_select.set_defaults(func=cmd_select)
 
-    p_win = sub.add_parser("winmin", help="minimum seeds to win (Problem 2)")
+    p_win = sub.add_parser(
+        "winmin",
+        help="minimum seeds to win (Problem 2)",
+        formatter_class=_SpecSafeFormatter,
+    )
     _add_common(p_win)
     p_win.add_argument("--method", choices=("dm", "rw", "rs"), default="dm")
     p_win.add_argument("--kmax", type=int, default=300)
     p_win.set_defaults(func=cmd_winmin)
 
-    p_case = sub.add_parser("case-study", help="ACM election case study")
+    p_case = sub.add_parser(
+        "case-study",
+        help="ACM election case study",
+        formatter_class=_SpecSafeFormatter,
+    )
     p_case.add_argument("--users", type=int, default=2000)
     p_case.add_argument("--horizon", type=int, default=20)
     p_case.add_argument("--seed", type=int, default=0)

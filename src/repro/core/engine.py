@@ -55,7 +55,11 @@ Backends
     worker processes — candidate chunks evolve concurrently, session
     commits are broadcast so workers fold the committed trajectory
     locally, and selections stay byte-identical to the single-process
-    engine for every worker count.
+    engine for every worker count.  The ``dm-mp:<W>:shm`` suffix swaps the
+    pickle-per-message pipe transport for a shared-memory data plane
+    (:mod:`repro.core.shm`): problem matrices, score rows and commit
+    broadcasts are mapped once and only array descriptors cross the pipe
+    (``EngineStats.ipc_bytes`` measures the difference).
 :class:`WalkEngine`
     Routes the §V/§VI walk estimators (random-walk and sketch) through the
     same interface via :class:`~repro.core.random_walk.WalkGreedyOptimizer`.
@@ -64,7 +68,26 @@ Backends
     Walks come from a :class:`~repro.core.walk_store.WalkStore` — private
     for the ``rw``/``sketch`` specs, shared and sharded for ``rw-store``,
     which also turns on IMM-style adaptive sample-size escalation (see
-    :meth:`WalkEngine.prepare_budget`).
+    :meth:`WalkEngine.prepare_budget`).  The ``rw-store:<S>:mmap=<DIR>``
+    suffix (CLI ``--store-dir``) makes the store out-of-core: blocks
+    persist as memory-mapped ``.npy`` shards under ``DIR``, a warm
+    re-open (second process, restart) regenerates zero blocks, and an LRU
+    bounds the resident shards so pools scale past RAM.
+
+Data plane
+----------
+Both parallel backends separate *control* (tiny pipe messages) from
+*data* (bulk arrays).  ``dm-mp``'s shm arena pays one mapping at pool
+start and wins on every subsequent round — worth it whenever more than a
+handful of rounds run, and essential under ``forkserver``/``spawn`` where
+the problem would otherwise be pickled per worker.  ``rw-store``'s mmap
+shards pay one ``np.save`` per generated block and win on every re-open —
+worth it for sweeps, win-min searches and any workflow that restarts.
+Lifecycle caveats: shm segments are unlinked by ``close()`` (guarded by
+``weakref.finalize``, so garbage collection and interpreter exit also
+clean up after crashes); mmap stores are plain directories — delete them
+to reclaim disk, and keep the store seed fixed so a re-open finds the
+same deterministic block identities.
 
 Adding a backend
 ----------------
@@ -137,6 +160,12 @@ class EngineStats:
     repin_steps: int = 0
     repin_inserted: int = 0
     repin_rebuilds: int = 0
+    #: Exact serialized bytes moved through worker pipes, both directions
+    #: (the multiprocess backends frame their own messages, so this is a
+    #: measurement, not an estimate).  The zero-copy shm transport
+    #: (``dm-mp:<W>:shm``) shrinks it to descriptor tuples —
+    #: ``benchmarks/bench_data_plane.py`` gates the reduction.
+    ipc_bytes: int = 0
     #: Estimator (ε, δ) accounting, filled by ``prepare_budget`` on the
     #: walk backends: the precision the caller asked for, the precision
     #: the sample budget actually certifies (0.0 = not computable — no
@@ -927,6 +956,12 @@ class WalkEngine(ObjectiveEngine):
     store, shards:
         A shared :class:`~repro.core.walk_store.WalkStore` to draw from,
         or (when building a private store) its generation-shard count.
+    store_dir:
+        Directory for a private *memory-mapped* store (the
+        ``rw-store:<S>:mmap=<DIR>`` spec / CLI ``--store-dir``): blocks
+        persist as ``.npy`` shards and a re-opened store regenerates
+        nothing.  Mutually exclusive with ``store`` — a supplied store
+        already decided where its blocks live.
     adaptive:
         Enable IMM-style adaptive sample-size escalation in
         :meth:`prepare_budget`: the sample grows in reuse-friendly
@@ -968,6 +1003,7 @@ class WalkEngine(ObjectiveEngine):
         rng: int | np.random.Generator | None = None,
         store=None,
         shards: int | None = None,
+        store_dir=None,
         adaptive: bool = False,
         epsilon: float | None = None,
         rho: float = 0.9,
@@ -988,6 +1024,7 @@ class WalkEngine(ObjectiveEngine):
                 problem.horizon,
                 seed=rng,
                 shards=1 if shards is None else int(shards),
+                store_dir=store_dir,
             )
             self._owns_store = True
         else:
@@ -997,6 +1034,15 @@ class WalkEngine(ObjectiveEngine):
                     f"shards={shards} conflicts with the supplied store "
                     f"(shards={store.shards})"
                 )
+            if store_dir is not None:
+                from pathlib import Path
+
+                if store.store_dir is None or Path(store_dir) != store.store_dir:
+                    raise ValueError(
+                        "store_dir conflicts with the supplied store; "
+                        "persist by building the shared store with "
+                        "store_dir instead"
+                    )
             self._owns_store = False
         self.store = store
         self.grouping = grouping
@@ -1301,11 +1347,15 @@ _SPEC_PARAMS = {"dm-mp": "workers", "rw-store": "shards"}
 ENGINE_HELP = {
     "dm": "legacy per-set exact DM",
     "dm-batched": "vectorized exact DM, the default",
-    "dm-mp": "exact DM fanned out over worker processes (dm-mp:<workers>)",
+    "dm-mp": (
+        "exact DM fanned out over worker processes "
+        "(dm-mp:<workers>[:shm] — shm = zero-copy shared-memory transport)"
+    ),
     "rw": "random-walk estimator",
     "sketch": "sketch estimator",
     "rw-store": (
-        "shared-walk-store estimator, adaptive sampling (rw-store:<shards>)"
+        "shared-walk-store estimator, adaptive sampling "
+        "(rw-store:<shards>[:mmap=<DIR>] — mmap = persistent on-disk shards)"
     ),
 }
 
@@ -1314,28 +1364,48 @@ def parse_engine_spec(spec: object) -> tuple[str, dict[str, object]]:
     """Split an engine spec string into ``(registry name, spec kwargs)``.
 
     Accepts every bare name in :data:`ENGINE_NAMES` plus the parameterized
-    ``dm-mp:<workers>`` and ``rw-store:<shards>`` forms (positive counts).
-    Anything else — unknown names, non-strings, malformed or non-positive
-    counts like ``"dm-mp:"`` / ``"rw-store:0"`` / ``"dm-mp:-2"`` — raises
-    the registry's single ``ValueError``, whose message the CLI
-    ``--engine`` option surfaces verbatim.
+    forms: a positive count first (``dm-mp:<workers>`` /
+    ``rw-store:<shards>``), then an optional data-plane suffix —
+    ``dm-mp[:W]:shm`` selects the shared-memory transport and
+    ``rw-store[:S]:mmap=<DIR>`` the memory-mapped on-disk store (the
+    directory is taken verbatim to the end of the spec, so paths may
+    contain colons).  Anything else — unknown names, non-strings,
+    malformed or non-positive counts like ``"dm-mp:"`` / ``"rw-store:0"``
+    / ``"dm-mp:-2"``, suffixes on the wrong engine, out-of-order or
+    repeated segments — raises the registry's single ``ValueError``,
+    whose message the CLI ``--engine`` option surfaces verbatim.
     """
     if isinstance(spec, str):
         if spec in _ENGINE_FACTORIES:
             return spec, {}
-        name, sep, arg = spec.partition(":")
-        key = _SPEC_PARAMS.get(name)
-        if sep and key is not None:
-            try:
-                value = int(arg)
-            except ValueError:
-                value = 0
-            if value >= 1:
-                return name, {key: value}
+        name, sep, rest = spec.partition(":")
+        count_key = _SPEC_PARAMS.get(name)
+        if sep and count_key is not None and rest:
+            kwargs: dict[str, object] = {}
+            valid = True
+            while rest and valid:
+                if name == "rw-store" and rest.startswith("mmap="):
+                    path = rest[len("mmap=") :]
+                    rest = ""
+                    if path and "store_dir" not in kwargs:
+                        kwargs["store_dir"] = path
+                    else:
+                        valid = False
+                    continue
+                segment, _, rest = rest.partition(":")
+                if name == "dm-mp" and segment == "shm" and rest == "":
+                    kwargs["transport"] = "shm"
+                elif segment.isdigit() and int(segment) >= 1 and not kwargs:
+                    kwargs[count_key] = int(segment)
+                else:
+                    valid = False
+            if valid and kwargs:
+                return name, kwargs
     raise ValueError(
         f"unknown engine {spec!r}; expected one of {ENGINE_NAMES} "
         "(parameterized forms: 'dm-mp:<workers>', 'rw-store:<shards>', "
-        "both >= 1)"
+        "both >= 1, plus the data-plane suffixes 'dm-mp[:W]:shm' and "
+        "'rw-store[:S]:mmap=<DIR>')"
     )
 
 

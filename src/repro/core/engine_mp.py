@@ -19,16 +19,48 @@ the ``Process`` arguments.  Each worker builds its own private
 :class:`BatchedDMEngine` from it — per-round messages then carry only seed
 id chunks and score vectors, never matrices.
 
+Transports (the data plane)
+---------------------------
+Every message still rides a pipe, but *what* rides it is transport-
+dependent:
+
+``"pipe"`` (default)
+    Arrays are pickled into the message: candidate chunks out, score
+    vectors back.  Zero setup cost, pays the serialization tax per round.
+``"shm"`` (``dm-mp:<W>:shm``)
+    A :class:`~repro.core.shm.ShmArena` maps the data plane once: the
+    problem's CSR matrices and shareable caches are written to shared
+    memory at pool start (workers rebuild the problem from zero-copy
+    views via :meth:`~repro.core.problem.FJVoteProblem.from_shared_arrays`),
+    request arrays land in per-worker slabs, workers write score vectors
+    and dense ``target_opinion_rows`` blocks straight into preallocated
+    reply slabs, and each session commit publishes the parent's committed
+    trajectory through a single shared slab that every worker adopts by
+    one memcpy instead of replaying the extension.  Messages shrink to
+    ``(segment, dtype, shape, offset)`` tuples.
+
+The serialization tax is measured, not guessed:
+:attr:`~repro.core.engine.EngineStats.ipc_bytes` counts every byte the
+parent actually moves through worker pipes (both directions; the engine
+frames messages itself, so the counter is exact and deterministic).
+``benchmarks/bench_data_plane.py`` asserts the shm transport cuts it
+>= 5x per greedy round at n=2000 — in practice the reduction is orders of
+magnitude, since shm messages no longer scale with ``n``.  Segment
+lifecycle is guarded three ways (explicit ``close``, ``weakref.finalize``
+on garbage collection, interpreter-exit finalization), so crashed rounds
+cannot leak ``/dev/shm`` segments.
+
 Selection sessions fan out too: :class:`MultiprocessDMSession` keeps the
 parent-side committed trajectory (for values and win-min prefix probes)
 exactly like its base class, and *broadcasts* every ``commit`` to the pool
 so each worker folds the chosen seed into a worker-local committed
-trajectory by the same one-column extension the parent performs — bitwise
-the same state, built once per worker instead of shipped per round.  A
-worker that missed a broadcast (e.g. the pool started mid-session)
-rebuilds the committed trajectory lazily from the ``(base, seeds)`` pair
-every fan-out message carries, replaying the commit sequence so the
-rebuilt trajectory is still bitwise identical.
+trajectory — by the same one-column extension the parent performs under
+``pipe``, or by adopting the parent's trajectory from the commit slab
+under ``shm``; bitwise the same state either way.  A worker that missed a
+broadcast (e.g. the pool started mid-session) rebuilds the committed
+trajectory lazily from the ``(base, seeds)`` pair every fan-out message
+carries, replaying the commit sequence so the rebuilt trajectory is still
+bitwise identical.
 
 On a single-core host the fan-out cannot beat the in-process engine on
 wall-clock — IPC overhead buys nothing — but the sharding itself is
@@ -42,7 +74,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from dataclasses import asdict
+import pickle
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -54,12 +86,14 @@ from repro.core.engine import (
     SeedSet,
 )
 from repro.core.problem import FJVoteProblem
+from repro.utils.workers import stop_worker_pool
 
 #: Work counters folded from worker deltas into the parent's ``stats``
 #: (and per-worker into ``worker_stats``).  Probe accounting
 #: (``evaluate_calls`` / ``sets_evaluated``) is *not* in this list: the
 #: parent counts probes itself, exactly as the single-process engine
-#: would, so the counters stay comparable across worker counts.
+#: would, so the counters stay comparable across worker counts.  Workers
+#: reply with these counters as a plain tuple in this order.
 _EVOLUTION_COUNTERS = (
     "sparse_steps",
     "sparse_nnz",
@@ -73,6 +107,69 @@ _EVOLUTION_COUNTERS = (
 #: Worker-local committed trajectories kept per worker (FIFO eviction);
 #: mirrors ``FJVoteProblem.SEEDED_TRAJECTORY_CACHE``.
 _WORKER_SESSION_CACHE = 8
+
+#: Supported message transports (the ``dm-mp:<W>:shm`` spec suffix).
+TRANSPORTS = ("pipe", "shm")
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+_STOP_BYTES = pickle.dumps(("stop",), _PICKLE_PROTOCOL)
+
+#: Tag marking a message field as a shared-memory array reference
+#: ``("@shm", segment, dtype, shape, offset)`` instead of inline data.
+_SHM_TAG = "@shm"
+
+
+def _send_message(conn, message: tuple) -> int:
+    """Frame and send one message; returns its exact serialized size.
+
+    The engine pickles messages itself (``send_bytes``) so the
+    ``ipc_bytes`` accounting measures precisely what crosses the pipe.
+    """
+    payload = pickle.dumps(message, _PICKLE_PROTOCOL)
+    conn.send_bytes(payload)
+    return len(payload)
+
+
+def _recv_message(conn) -> tuple[tuple, int]:
+    """Receive one framed message; returns ``(message, serialized size)``."""
+    payload = conn.recv_bytes()
+    return pickle.loads(payload), len(payload)
+
+
+def _flatten_sets(sets: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack a list of (normalized) seed-id arrays into two flat arrays.
+
+    Pickling many tiny ndarrays costs ~150 bytes of framing *each*; one
+    ``(lengths, values)`` pair costs two headers however many sets ride
+    along — and maps into a request slab as two contiguous writes.
+    """
+    lengths = np.array([s.size for s in sets], dtype=np.int64)
+    if sets:
+        values = np.concatenate(sets).astype(np.int64, copy=False)
+    else:
+        values = np.empty(0, dtype=np.int64)
+    return lengths, values
+
+
+def _split_sets(lengths: np.ndarray, values: np.ndarray) -> list[np.ndarray]:
+    """Inverse of :func:`_flatten_sets` (copies: slabs are reused)."""
+    bounds = np.cumsum(np.asarray(lengths, dtype=np.int64))[:-1]
+    return [
+        np.array(chunk, dtype=np.int64)
+        for chunk in np.split(np.asarray(values, dtype=np.int64), bounds)
+    ]
+
+
+def _resolve(value, attach):
+    """Materialize a message field: shm refs become views, data passes."""
+    if (
+        attach is not None
+        and isinstance(value, tuple)
+        and value
+        and value[0] == _SHM_TAG
+    ):
+        return attach.array(value[1:])
+    return value
 
 
 def _rebuild_session(engine: BatchedDMEngine, base: tuple, seeds: tuple) -> dict:
@@ -95,6 +192,14 @@ def _rebuild_session(engine: BatchedDMEngine, base: tuple, seeds: tuple) -> dict
     return {"seeds": list(seeds), "traj": traj}
 
 
+def _store_session(sessions: dict, sid: int, state: dict) -> None:
+    """Insert session state with the FIFO eviction cap."""
+    evict = [k for k in sessions if k != sid]
+    while len(evict) + 1 > _WORKER_SESSION_CACHE:
+        sessions.pop(evict.pop(0))
+    sessions[sid] = state
+
+
 def _worker_session(
     engine: BatchedDMEngine, sessions: dict, sid: int, base: tuple, seeds: tuple
 ) -> dict:
@@ -102,67 +207,120 @@ def _worker_session(
     state = sessions.get(sid)
     if state is None or state["seeds"] != list(seeds) or state["traj"] is None:
         state = _rebuild_session(engine, base, seeds)
-        evict = [k for k in sessions if k != sid]
-        while len(evict) + 1 > _WORKER_SESSION_CACHE:
-            sessions.pop(evict.pop(0))
-        sessions[sid] = state
+        _store_session(sessions, sid, state)
     return state
 
 
-def _worker_main(conn, problem: FJVoteProblem, engine_kwargs: dict) -> None:
+def _worker_main(conn, problem_payload, engine_kwargs: dict, shm_info=None) -> None:
     """Worker loop: one private :class:`BatchedDMEngine`, commands via pipe.
 
-    Every command reply carries the delta of the worker engine's
-    :class:`EngineStats` counters so the parent can account the evolution
-    work each worker actually performed.
+    ``problem_payload`` is the problem itself (pipe transport) or the
+    ``(skeleton, array refs)`` pair of
+    :meth:`FJVoteProblem.share_arrays` (shm transport: the worker maps the
+    arrays and rebuilds the problem around zero-copy views).  Every reply
+    carries the delta of the worker engine's evolution counters (as a
+    tuple ordered like ``_EVOLUTION_COUNTERS``) so the parent can account
+    the work each worker actually performed; payload arrays are written
+    into the reply slab the request names (shm) or pickled into the ack
+    (pipe).
     """
+    attach = None
+    commit_view = None
+    if shm_info is not None:
+        from repro.core.shm import ShmAttachments
+
+        attach = ShmAttachments()
+        skeleton, refs = problem_payload
+        arrays = {key: attach.array(ref) for key, ref in refs.items()}
+        problem = FJVoteProblem.from_shared_arrays(skeleton, arrays)
+        commit_view = attach.array(shm_info["commit"])
+    else:
+        problem = problem_payload
     engine = BatchedDMEngine(problem, **engine_kwargs)
     sessions: dict[int, dict] = {}
     while True:
         try:
-            message = conn.recv()
-        except (EOFError, KeyboardInterrupt):
+            message = pickle.loads(conn.recv_bytes())
+        except (EOFError, KeyboardInterrupt, OSError):
             break
         op = message[0]
         if op == "stop":
             break
         try:
             engine.stats.reset()
+            result = None
+            payload = None
+            reply_ref = None
             if op == "ping":
                 result = (os.getpid(), mp.current_process().name)
             elif op == "eval":
-                result = engine._chunked_scores(message[1])
+                _, lengths, values, reply_ref = message
+                sets = _split_sets(_resolve(lengths, attach), _resolve(values, attach))
+                payload = engine._chunked_scores(sets)
             elif op == "ext":
-                _, sid, base, seeds, chunk = message
+                _, sid, base, seeds, cand, reply_ref = message
+                cand = np.asarray(_resolve(cand, attach), dtype=np.int64)
                 state = _worker_session(engine, sessions, sid, base, seeds)
-                result = engine.extension_values(
-                    state["traj"], np.asarray(seeds, dtype=np.int64), chunk
+                payload = engine.extension_values(
+                    state["traj"], np.asarray(seeds, dtype=np.int64), cand
                 )
+            elif op == "rows":
+                _, lengths, values, reply_ref = message
+                sets = _split_sets(_resolve(lengths, attach), _resolve(values, attach))
+                payload = engine.target_opinion_rows(sets)
             elif op == "commit":
                 _, sid, base, before, seed = message
-                state = sessions.get(sid)
-                if state is not None and state["seeds"] == list(before):
-                    state["traj"] = engine.extend_trajectory(
-                        state["traj"],
-                        np.asarray(before, dtype=np.int64),
-                        np.array([seed], dtype=np.int64),
+                if commit_view is not None:
+                    # The slab holds the parent's full committed
+                    # trajectory: adopting it by copy is bitwise the
+                    # parent's state and heals missed broadcasts too.
+                    _store_session(
+                        sessions,
+                        sid,
+                        {
+                            "seeds": list(before) + [int(seed)],
+                            "traj": commit_view.copy(),
+                        },
                     )
-                    state["seeds"].append(int(seed))
                 else:
-                    # Missed or out-of-order broadcast: remember the seed
-                    # sequence, rebuild lazily on the next fan-out.
-                    sessions[sid] = {
-                        "seeds": list(before) + [int(seed)],
-                        "traj": None,
-                    }
-                result = None
+                    state = sessions.get(sid)
+                    if state is not None and state["seeds"] == list(before):
+                        state["traj"] = engine.extend_trajectory(
+                            state["traj"],
+                            np.asarray(before, dtype=np.int64),
+                            np.array([seed], dtype=np.int64),
+                        )
+                        state["seeds"].append(int(seed))
+                    else:
+                        # Missed or out-of-order broadcast: remember the
+                        # seed sequence, rebuild lazily on the next
+                        # fan-out.
+                        sessions[sid] = {
+                            "seeds": list(before) + [int(seed)],
+                            "traj": None,
+                        }
             else:
                 raise ValueError(f"unknown dm-mp worker op {op!r}")
-            conn.send(("ok", result, asdict(engine.stats)))
+            stats = tuple(
+                int(getattr(engine.stats, name)) for name in _EVOLUTION_COUNTERS
+            )
+            if payload is not None and reply_ref is not None and attach is not None:
+                view = attach.array(reply_ref[1:])
+                view[...] = payload
+                payload = None
+            out = result if payload is None else payload
+            conn.send_bytes(pickle.dumps(("ok", out, stats), _PICKLE_PROTOCOL))
         except Exception as exc:  # pragma: no cover - worker-side failures
             import traceback
 
-            conn.send(("err", f"{exc}\n{traceback.format_exc()}", None))
+            conn.send_bytes(
+                pickle.dumps(
+                    ("err", f"{exc}\n{traceback.format_exc()}", None),
+                    _PICKLE_PROTOCOL,
+                )
+            )
+    if attach is not None:
+        attach.close()
 
 
 class _WorkerHandle:
@@ -183,7 +341,9 @@ class MultiprocessDMSession(BatchedDMSession):
     prefix probes are single-column work, cheapest done locally); each
     round's ``marginal_gains`` fans the candidate chunks out with the
     session id, and each ``commit`` tells every worker to fold the chosen
-    seed into its local copy of the committed trajectory.
+    seed into its local copy of the committed trajectory (under the shm
+    transport the parent's trajectory is published through the commit
+    slab, so workers adopt it by one memcpy).
     """
 
     def __init__(self, engine: "MultiprocessDMEngine", base: SeedSet = ()) -> None:
@@ -200,7 +360,9 @@ class MultiprocessDMSession(BatchedDMSession):
     def commit(self, seed: int, *, gain: float | None = None) -> float:
         before = tuple(self._seeds)
         value = super().commit(seed, gain=gain)
-        self.engine.broadcast_commit(self._sid, self._base, before, int(seed))
+        self.engine.broadcast_commit(
+            self._sid, self._base, before, int(seed), self._traj
+        )
         return value
 
 
@@ -216,7 +378,16 @@ class MultiprocessDMEngine(BatchedDMEngine):
     start_method:
         ``multiprocessing`` start method: ``"fork"`` (default where
         available — matrices are inherited for free), ``"forkserver"`` or
-        ``"spawn"`` (the problem is pickled to the worker instead).
+        ``"spawn"`` (the problem is pickled to the worker instead, or
+        mapped from shared memory under the shm transport).
+    transport:
+        ``"pipe"`` (default) pickles payload arrays into the messages;
+        ``"shm"`` (the ``dm-mp:<W>:shm`` spec suffix) maps the problem,
+        request/reply payloads and commit broadcasts through a
+        :class:`~repro.core.shm.ShmArena` so only array descriptors cross
+        the pipe — see the module docstring.  Results are bitwise
+        identical either way; :attr:`EngineStats.ipc_bytes` measures the
+        difference.
     min_fanout:
         Below this many seed sets per call the parent — itself a full
         batched engine holding the same state — evaluates locally: a CELF
@@ -227,10 +398,13 @@ class MultiprocessDMEngine(BatchedDMEngine):
         worker (``batch_rows``, ``densify_threshold``, ``repin``, ...).
 
     The pool starts lazily on the first fanned-out call and is released by
-    :meth:`close` (also via ``with`` or garbage collection).  The engine
-    keeps per-worker :class:`EngineStats` in ``worker_stats`` — the max
-    dense-column-step share across workers is the round's critical path,
-    the deterministic scaling metric of ``benchmarks/bench_engine_mp.py``.
+    :meth:`close` (also via ``with``, garbage collection, or interpreter
+    exit — shared-memory segments are additionally guarded by
+    ``weakref.finalize``, so a crashed worker or an abandoned engine never
+    leaks ``/dev/shm``).  The engine keeps per-worker
+    :class:`EngineStats` in ``worker_stats`` — the max dense-column-step
+    share across workers is the round's critical path, the deterministic
+    scaling metric of ``benchmarks/bench_engine_mp.py``.
     """
 
     def __init__(
@@ -240,13 +414,19 @@ class MultiprocessDMEngine(BatchedDMEngine):
         workers: int = 2,
         start_method: str | None = None,
         min_fanout: int | None = None,
+        transport: str = "pipe",
         **kwargs: object,
     ) -> None:
         super().__init__(problem, **kwargs)
         workers = int(workers)
         if workers < 1:
             raise ValueError(f"dm-mp needs at least one worker, got {workers}")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
         self.workers = workers
+        self.transport = str(transport)
         if start_method is None:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -258,6 +438,10 @@ class MultiprocessDMEngine(BatchedDMEngine):
         self._engine_kwargs = dict(kwargs)
         self._handles: list[_WorkerHandle] | None = None
         self._session_counter = 0
+        self._arena = None
+        self._request_slabs = None
+        self._reply_slabs = None
+        self._commit_view: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -265,12 +449,32 @@ class MultiprocessDMEngine(BatchedDMEngine):
     def _ensure_pool(self) -> list[_WorkerHandle]:
         if self._handles is None:
             ctx = mp.get_context(self.start_method)
+            problem_payload = self.problem
+            shm_info = None
+            if self.transport == "shm":
+                from repro.core.shm import ShmArena, ShmSlab
+
+                arena = ShmArena()
+                skeleton, arrays = self.problem.share_arrays()
+                refs = {key: arena.share_array(a) for key, a in arrays.items()}
+                problem_payload = (skeleton, refs)
+                shape = (self.problem.horizon + 1, self.problem.n)
+                segment = arena.create(8 * shape[0] * shape[1])
+                self._commit_view = np.ndarray(
+                    shape, dtype=np.float64, buffer=segment.buf
+                )
+                shm_info = {
+                    "commit": (segment.name, np.dtype(np.float64).str, shape, 0)
+                }
+                self._arena = arena
+                self._request_slabs = [ShmSlab(arena) for _ in range(self.workers)]
+                self._reply_slabs = [ShmSlab(arena) for _ in range(self.workers)]
             handles = []
             for _ in range(self.workers):
                 parent_conn, child_conn = ctx.Pipe()
                 process = ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, self.problem, self._engine_kwargs),
+                    args=(child_conn, problem_payload, self._engine_kwargs, shm_info),
                     daemon=True,
                 )
                 process.start()
@@ -280,21 +484,28 @@ class MultiprocessDMEngine(BatchedDMEngine):
         return self._handles
 
     def close(self) -> None:
-        """Stop the worker pool (idempotent; restarts lazily if used again)."""
+        """Stop the pool and unlink its shm segments (idempotent).
+
+        Robust to workers that died mid-round: sends are guarded, joins
+        escalate ``join -> terminate -> kill`` with bounded timeouts so a
+        dead or wedged pipe can never hang the caller, and the arena
+        teardown runs in a ``finally`` (it is additionally guarded by
+        ``weakref.finalize``, so even a close that never runs cannot leak
+        segments).  The engine restarts lazily if used again.
+        """
         handles, self._handles = self._handles, None
-        if not handles:
-            return
-        for handle in handles:
-            try:
-                handle.conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for handle in handles:
-            handle.process.join(timeout=10)
-            if handle.process.is_alive():  # pragma: no cover - hung worker
-                handle.process.terminate()
-                handle.process.join(timeout=10)
-            handle.conn.close()
+        arena, self._arena = self._arena, None
+        self._request_slabs = None
+        self._reply_slabs = None
+        self._commit_view = None
+        try:
+            if handles:
+                stop_worker_pool(
+                    handles, lambda conn: conn.send_bytes(_STOP_BYTES)
+                )
+        finally:
+            if arena is not None:
+                arena.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
         try:
@@ -309,18 +520,23 @@ class MultiprocessDMEngine(BatchedDMEngine):
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def _run(self, messages: Sequence[tuple]) -> list:
+    def _run(self, messages: Sequence[tuple], pending: Sequence | None = None) -> list:
         """Send one message per worker (at most), gather replies in order.
 
         Workers compute concurrently — all sends complete before the first
         receive — and replies are folded into ``stats`` / ``worker_stats``.
+        ``pending[i]``, when set, names the reply-slab region worker ``i``
+        fills instead of pickling its payload (the shm transport); the
+        result is copied out of the slab on receipt.  Every byte actually
+        crossing a pipe, in either direction, lands in
+        ``stats.ipc_bytes``.
         """
         handles = self._ensure_pool()
         live: list[tuple[int, _WorkerHandle]] = []
         try:
             for index, message in enumerate(messages):
                 handle = handles[index]
-                handle.conn.send(message)
+                self.stats.ipc_bytes += _send_message(handle.conn, message)
                 live.append((index, handle))
         except (BrokenPipeError, OSError) as exc:
             # A dead worker mid-send would leave already-messaged workers
@@ -335,18 +551,21 @@ class MultiprocessDMEngine(BatchedDMEngine):
         failure: str | None = None
         for index, handle in live:
             try:
-                status, result, stats = handle.conn.recv()
+                reply, nbytes = _recv_message(handle.conn)
             except (EOFError, OSError) as exc:
                 failure = f"dm-mp worker {index} died: {exc!r}"
                 continue
+            self.stats.ipc_bytes += nbytes
+            status, result, stats = reply
             if status != "ok":
                 failure = f"dm-mp worker {index} failed:\n{result}"
                 continue
-            for name in _EVOLUTION_COUNTERS:
-                value = stats.get(name, 0)
+            for name, value in zip(_EVOLUTION_COUNTERS, stats):
                 setattr(self.stats, name, getattr(self.stats, name) + value)
                 worker = self.worker_stats[index]
                 setattr(worker, name, getattr(worker, name) + value)
+            if pending is not None and pending[index] is not None:
+                result = np.array(self._reply_slabs[index].view(pending[index]))
             out.append(result)
         if failure is not None:
             self.close()
@@ -360,6 +579,50 @@ class MultiprocessDMEngine(BatchedDMEngine):
             for idx in np.array_split(np.arange(count), self.workers)
             if idx.size
         ]
+
+    def _slab_request(
+        self,
+        worker: int,
+        arrays: list[np.ndarray],
+        reply_shape: tuple[int, ...],
+    ) -> tuple[list[tuple], tuple]:
+        """One shm request: write ``arrays`` to the worker's request slab
+        and reserve its float64 reply region.
+
+        Returns the tagged array refs (message fields, in order) and the
+        reserved reply ref — the single place the slab protocol (begin,
+        pre-``ensure`` of the full message, aligned writes, reservation)
+        is spelled out for every fan-out op.
+        """
+        self._ensure_pool()
+        request = self._request_slabs[worker]
+        request.begin()
+        request.ensure(sum(a.nbytes for a in arrays) + 8 * len(arrays))
+        refs = [(_SHM_TAG, *request.write(a)) for a in arrays]
+        reply = self._reply_slabs[worker]
+        reply.begin()
+        reply.ensure(8 * int(np.prod(reply_shape, dtype=np.int64)))
+        return refs, reply.reserve(np.float64, reply_shape)
+
+    def _sets_message(
+        self, op: str, chunk_sets: list[np.ndarray], worker: int
+    ) -> tuple[tuple, tuple | None]:
+        """Build an ``eval``/``rows`` request; returns ``(message, pending)``.
+
+        Seed sets travel flattened as ``(lengths, values)``; under the shm
+        transport both land in the worker's request slab and the reply
+        payload region is reserved up front, so the message itself is a
+        few descriptor tuples.
+        """
+        lengths, values = _flatten_sets(chunk_sets)
+        if op == "rows":
+            shape: tuple[int, ...] = (len(chunk_sets), self.problem.n)
+        else:
+            shape = (len(chunk_sets),)
+        if self.transport != "shm":
+            return (op, lengths, values, None), None
+        refs, payload_ref = self._slab_request(worker, [lengths, values], shape)
+        return (op, refs[0], refs[1], (_SHM_TAG, *payload_ref)), payload_ref
 
     # ------------------------------------------------------------------
     # Engine interface
@@ -380,10 +643,39 @@ class MultiprocessDMEngine(BatchedDMEngine):
         if len(sets) < self.min_fanout:
             return self._chunked_scores(sets)
         chunks = self._chunk_indices(len(sets))
-        results = self._run(
-            [("eval", [sets[i] for i in idx]) for idx in chunks]
-        )
-        return np.concatenate(results)
+        messages, pending = [], []
+        for worker, idx in enumerate(chunks):
+            message, reply_ref = self._sets_message(
+                "eval", [sets[i] for i in idx], worker
+            )
+            messages.append(message)
+            pending.append(reply_ref)
+        return np.concatenate(self._run(messages, pending))
+
+    def target_opinion_rows(self, seed_sets: Iterable[SeedSet]) -> np.ndarray:
+        """``(C, n)`` horizon opinion rows, fanned out across the pool.
+
+        Chunks of seed sets evolve concurrently and each worker writes its
+        dense block straight into its reply slab under the shm transport —
+        the canonical "dense payload" case the zero-copy data plane
+        exists for.  Small requests run locally, like ``evaluate``.
+        """
+        sets = self._normalize_sets(seed_sets)
+        if len(sets) < self.min_fanout:
+            return super().target_opinion_rows(sets)
+        chunks = self._chunk_indices(len(sets))
+        messages, pending = [], []
+        for worker, idx in enumerate(chunks):
+            message, reply_ref = self._sets_message(
+                "rows", [sets[i] for i in idx], worker
+            )
+            messages.append(message)
+            pending.append(reply_ref)
+        results = self._run(messages, pending)
+        rows = np.empty((len(sets), self.problem.n), dtype=np.float64)
+        for idx, block in zip(chunks, results):
+            rows[idx[0] : idx[-1] + 1] = block
+        return rows
 
     def session_extension_values(
         self,
@@ -406,19 +698,43 @@ class MultiprocessDMEngine(BatchedDMEngine):
                 traj, np.asarray(seeds, dtype=np.int64), cand
             )
         chunks = self._chunk_indices(cand.size)
-        results = self._run(
-            [("ext", sid, base, seeds, cand[idx]) for idx in chunks]
-        )
-        return np.concatenate(results)
+        messages, pending = [], []
+        for worker, idx in enumerate(chunks):
+            part = cand[idx]
+            if self.transport == "shm":
+                refs, payload_ref = self._slab_request(
+                    worker, [part], (int(part.size),)
+                )
+                messages.append(
+                    ("ext", sid, base, seeds, refs[0], (_SHM_TAG, *payload_ref))
+                )
+                pending.append(payload_ref)
+            else:
+                messages.append(("ext", sid, base, seeds, part, None))
+                pending.append(None)
+        return np.concatenate(self._run(messages, pending))
 
     def broadcast_commit(
-        self, sid: int, base: tuple, before: tuple, seed: int
+        self,
+        sid: int,
+        base: tuple,
+        before: tuple,
+        seed: int,
+        traj: np.ndarray | None = None,
     ) -> None:
         """Tell every worker to fold ``seed`` into session ``sid``'s state.
 
-        A no-op while the pool has not started: the first fan-out message
-        carries the full seed sequence and workers rebuild from it.
+        ``traj`` is the parent's post-commit committed trajectory; under
+        the shm transport it is published through the commit slab so
+        workers adopt it by one copy (no per-worker re-extension, nothing
+        dense pickled).  A no-op while the pool has not started: the first
+        fan-out message carries the full seed sequence and workers rebuild
+        from it.
         """
         if self._handles is None:
             return
+        if self._commit_view is not None:
+            if traj is None:
+                raise ValueError("shm commit broadcasts need the committed trajectory")
+            self._commit_view[...] = traj
         self._run([("commit", sid, base, before, seed)] * self.workers)

@@ -1,0 +1,271 @@
+"""Shared-memory arena: the zero-copy transport of the dm-mp data plane.
+
+``multiprocessing`` pipes pickle every message, so a fan-out engine that
+ships dense score rows (or whole ``target_opinion_rows`` blocks) per round
+pays a serialization tax proportional to the payload.  The classes here
+let :class:`~repro.core.engine_mp.MultiprocessDMEngine` map the payloads
+once instead: the parent owns an :class:`ShmArena` of named
+``multiprocessing.shared_memory`` segments, workers attach by name through
+an :class:`ShmAttachments` cache, and per-round messages carry only
+``(segment, dtype, shape, offset)`` tuples — see
+:data:`ArrayRef` — while the arrays themselves live in the mapped slabs.
+
+Lifecycle is the hard part of POSIX shared memory: a segment leaks until
+someone calls ``unlink``.  The arena therefore guarantees cleanup three
+ways — an explicit :meth:`ShmArena.close`, a ``weakref.finalize`` that
+fires on garbage collection *and* at interpreter exit, and idempotent
+bookkeeping so any combination of the above (including after a worker
+crash tore the pool down mid-round) unlinks every segment exactly once.
+Workers must never be the ones tracking segments: attaching registers the
+segment with the attaching process's ``resource_tracker``, whose exit-time
+cleanup would unlink arenas the parent still uses (the long-standing
+CPython pitfall), so :func:`attach_segment` immediately unregisters (or
+passes ``track=False`` on Python 3.13+).
+"""
+
+from __future__ import annotations
+
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: How a message refers to an array living in a mapped segment:
+#: ``(segment name, dtype string, shape, byte offset)``.
+ArrayRef = tuple[str, str, tuple[int, ...], int]
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting cleanup responsibility.
+
+    The creator's resource tracker is the single cleanup authority.  An
+    attaching process must not register the segment at all: a spawned
+    worker's own tracker would unlink arenas the parent still maps when
+    the worker exits, and a forked worker shares the parent's tracker, so
+    unregister-after-attach would strip the parent's leak protection.
+    Python 3.13 exposes ``track=False`` for exactly this; earlier
+    versions need the register call suppressed around the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13 fallback below
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _destroy_segments(segments: dict[str, shared_memory.SharedMemory]) -> None:
+    """Close and unlink every segment (the arena's finalizer body).
+
+    Module-level (not a bound method) so the ``weakref.finalize`` guard
+    holds no reference to the arena itself; idempotent because it drains
+    the shared dict in place.
+    """
+    while segments:
+        _, segment = segments.popitem()
+        for release in (segment.close, segment.unlink):
+            try:
+                release()
+            except (FileNotFoundError, OSError):  # pragma: no cover - raced
+                pass
+
+
+class ShmArena:
+    """Owner of a set of shared-memory segments with guaranteed unlink.
+
+    Every segment created through the arena is unlinked when the arena is
+    closed, garbage collected, or the interpreter exits — whichever comes
+    first (``weakref.finalize`` covers the latter two).  ``close`` is
+    idempotent and safe to call from ``finally`` blocks after a worker
+    crash.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._finalizer = weakref.finalize(self, _destroy_segments, self._segments)
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        """Allocate a fresh tracked segment of at least ``nbytes`` bytes."""
+        segment = shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+        self._segments[segment.name] = segment
+        return segment
+
+    def share_array(self, array: np.ndarray) -> ArrayRef:
+        """Copy ``array`` into its own segment; returns the attach ref."""
+        array = np.ascontiguousarray(array)
+        segment = self.create(array.nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        return (segment.name, array.dtype.str, tuple(array.shape), 0)
+
+    def release(self, name: str) -> None:
+        """Unlink one segment early (e.g. a slab outgrown by reallocation)."""
+        segment = self._segments.pop(name, None)
+        if segment is not None:
+            _destroy_segments({name: segment})
+
+    def close(self) -> None:
+        """Unlink every segment now (idempotent; detaches the finalizer)."""
+        self._finalizer.detach()
+        _destroy_segments(self._segments)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Names of the live segments (test/diagnostic hook)."""
+        return tuple(self._segments)
+
+
+class ShmSlab:
+    """A grow-on-demand scratch region inside an arena.
+
+    One slab backs one message direction of one worker: the writer calls
+    :meth:`begin` per message, bump-allocates arrays with :meth:`write`
+    (returning the refs the message carries), and :meth:`ensure` replaces
+    the segment with a larger one when a round outgrows it — the old
+    segment is unlinked immediately; readers that mapped it stay valid
+    until they drop their attachment, and every message names its segment
+    explicitly so no reader ever looks at a stale slab.
+    """
+
+    def __init__(self, arena: ShmArena, nbytes: int = 0) -> None:
+        self.arena = arena
+        self._segment: shared_memory.SharedMemory | None = None
+        self._cursor = 0
+        if nbytes:
+            self.ensure(nbytes)
+
+    def ensure(self, nbytes: int) -> None:
+        """Guarantee capacity for ``nbytes`` (reallocates when exceeded).
+
+        Reallocation at least doubles the segment: a workload whose
+        payloads grow a little every round would otherwise reallocate per
+        round, and since readers cache attachments by name, each stale
+        segment stays mapped in every worker — doubling bounds the stale
+        mappings at O(log max payload) instead of one per round.
+        """
+        nbytes = int(nbytes)
+        if self._segment is not None and self._segment.size >= nbytes:
+            return
+        if self._segment is not None:
+            nbytes = max(nbytes, 2 * self._segment.size)
+            self.arena.release(self._segment.name)
+        self._segment = self.arena.create(nbytes)
+
+    @property
+    def name(self) -> str:
+        if self._segment is None:
+            raise RuntimeError("slab has no segment; call ensure() first")
+        return self._segment.name
+
+    def begin(self) -> None:
+        """Reset the bump cursor (one message's writes per begin)."""
+        self._cursor = 0
+
+    def _grow_for(self, end: int) -> None:
+        """Capacity for a cursor reaching ``end`` — before the first write.
+
+        A reallocation swaps segment *names*, which would orphan any ref
+        already handed out for the current message, so growth is only
+        legal while the cursor sits at the start: callers that pack
+        several arrays per message pre-``ensure`` the total size.
+        """
+        if self._segment is not None and self._segment.size >= end:
+            return
+        if self._cursor:
+            raise RuntimeError(
+                "slab outgrown mid-message; ensure() the full message "
+                "size before begin()"
+            )
+        self.ensure(end)
+
+    def write(self, array: np.ndarray) -> ArrayRef:
+        """Copy ``array`` at the cursor; returns its ref, 8-byte aligned."""
+        array = np.ascontiguousarray(array)
+        offset = self._cursor
+        end = offset + array.nbytes
+        self._grow_for(end)
+        segment = self._segment
+        assert segment is not None
+        view = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf, offset=offset
+        )
+        view[...] = array
+        self._cursor = -(-end // 8) * 8
+        return (segment.name, array.dtype.str, tuple(array.shape), offset)
+
+    def reserve(self, dtype: np.dtype | str, shape: tuple[int, ...]) -> ArrayRef:
+        """Reserve space for a reader-written array; returns its ref.
+
+        Used for reply payloads: the parent sizes and names the region, the
+        worker fills it, and the parent reads it back with :meth:`view`.
+        """
+        dtype = np.dtype(dtype)
+        nbytes = int(dtype.itemsize * int(np.prod(shape, dtype=np.int64)))
+        offset = self._cursor
+        self._grow_for(offset + nbytes)
+        self._cursor = -(-(offset + nbytes) // 8) * 8
+        segment = self._segment
+        assert segment is not None
+        return (segment.name, dtype.str, tuple(int(s) for s in shape), offset)
+
+    def view(self, ref: ArrayRef) -> np.ndarray:
+        """A live ndarray over ``ref`` (which must be in this slab)."""
+        name, dtype, shape, offset = ref
+        segment = self._segment
+        if segment is None or segment.name != name:
+            raise ValueError(f"ref {ref!r} does not belong to this slab")
+        return np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset
+        )
+
+
+class ShmAttachments:
+    """Reader-side cache of attached segments (one per worker process).
+
+    Attachments are cached by name — a slab that grew mid-session simply
+    shows up under a new name — and are closed (never unlinked: the arena
+    owns that) by :meth:`close` or garbage collection.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def segment(self, name: str) -> shared_memory.SharedMemory:
+        found = self._segments.get(name)
+        if found is None:
+            found = self._segments[name] = attach_segment(name)
+        return found
+
+    def array(self, ref: ArrayRef) -> np.ndarray:
+        """A zero-copy ndarray view of the referenced region."""
+        name, dtype, shape, offset = ref
+        return np.ndarray(
+            shape,
+            dtype=np.dtype(dtype),
+            buffer=self.segment(name).buf,
+            offset=offset,
+        )
+
+    def close(self) -> None:
+        """Detach every cached segment (idempotent)."""
+        while self._segments:
+            _, segment = self._segments.popitem()
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+
+__all__ = [
+    "ArrayRef",
+    "ShmArena",
+    "ShmAttachments",
+    "ShmSlab",
+    "attach_segment",
+]

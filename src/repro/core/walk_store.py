@@ -29,15 +29,34 @@ copy-on-write.  A greedy session truncates its clone seed by seed
 (Post-Generation Truncation, Theorem 9) while the master — and every other
 live view — stays byte-identical to the freshly generated state.
 
+Persistence (``store_dir``)
+---------------------------
+Passing ``store_dir`` makes the store *out-of-core*: every generated block
+is persisted as a pair of plain ``.npy`` files named by the deterministic
+``(store seed, candidate, kind, horizon, block index)`` identity, next to
+a versioned ``manifest.json`` that pins the identity parameters.  Blocks
+are re-opened lazily as read-only memory maps, and an LRU bounds how many
+stay resident, so pools scale past RAM.  Because block content is a pure
+function of its identity, a second process — or a restart — that opens
+the same directory with the same seed serves **byte-identical** walks
+while regenerating *zero* blocks (``StoreStats.blocks_loaded`` counts the
+mmap re-opens; ``blocks_generated`` stays 0 on a warm open).  Writes are
+atomic (tmp + rename) and idempotent across concurrent writers: any two
+stores can only ever write the same bytes for the same identity.
+
 The store also pools the RR sets of the classic-IM baselines
 (:func:`repro.baselines.imm.imm` accepts an ``rr_pool``), so an IC/LT sweep
 over budgets draws from one extending sample instead of private walk sets.
+RR-set pools are in-memory only — persistence covers the walk blocks.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
+import os
 from dataclasses import dataclass, fields
+from pathlib import Path
 
 import numpy as np
 
@@ -46,6 +65,7 @@ from repro.graph.alias import AliasSampler
 from repro.graph.digraph import InfluenceGraph
 from repro.opinion.state import CampaignState
 from repro.utils.rng import ensure_rng
+from repro.utils.workers import stop_worker_pool
 
 #: Pool kinds: ``per-node`` blocks hold one walk per node (Algorithm 4,
 #: grouping="start"); ``uniform`` blocks hold ``block_walks`` uniform-start
@@ -68,6 +88,12 @@ DEFAULT_RR_BLOCK = 256
 #: touches O(log θ) counts, each a concatenated copy of the block rows.
 _MASTER_CACHE_CAP = 8
 
+#: On-disk shard format version (bumped on any layout/naming change).
+STORE_FORMAT = 1
+
+#: Default cap on memory-mapped blocks kept resident per store.
+DEFAULT_RESIDENT_BLOCKS = 64
+
 
 @dataclass
 class StoreStats:
@@ -82,6 +108,11 @@ class StoreStats:
 
     blocks_generated: int = 0
     blocks_reused: int = 0
+    #: Out-of-core traffic (``store_dir`` stores): blocks persisted to and
+    #: memory-mapped back from disk.  A warm re-open serves every block
+    #: through ``blocks_loaded`` with ``blocks_generated == 0``.
+    blocks_written: int = 0
+    blocks_loaded: int = 0
     walks_generated: int = 0
     walk_steps_generated: int = 0
     index_builds: int = 0
@@ -213,7 +244,14 @@ class RRSetPool:
 
 
 class _WalkPool:
-    """All blocks of one ``(candidate, kind)`` pool plus cached masters."""
+    """All blocks of one ``(candidate, kind)`` pool plus cached masters.
+
+    ``blocks[i]`` is the resident ``(walks, lengths)`` pair of block ``i``
+    or ``None`` for a block that lives on disk only (``store_dir``
+    stores): a ``None`` entry still counts as *covered* — it never
+    regenerates — and is re-opened lazily as a read-only memory map by
+    :meth:`block`, with the store-wide LRU bounding residency.
+    """
 
     def __init__(self, store: "WalkStore", candidate: int, kind: str) -> None:
         self.store = store
@@ -221,9 +259,14 @@ class _WalkPool:
         self.kind = kind
         n = store.state.n
         self.block_walks = n if kind == KIND_PER_NODE else store.block_walks
-        self.blocks: list[tuple[np.ndarray, np.ndarray]] = []
+        self.blocks: list[tuple[np.ndarray, np.ndarray] | None] = []
         self._sampler: AliasSampler | None = None
         self._masters: dict[int, TruncatedWalks] = {}
+        if store.store_dir is not None:
+            # Adopt the contiguous prefix of blocks a previous open (or
+            # another process) already persisted: they are covered, not
+            # regenerated, and load lazily on first use.
+            self.blocks = [None] * store._disk_prefix(self.candidate, kind)
 
     # ------------------------------------------------------------------
     def sampler(self) -> AliasSampler:
@@ -320,11 +363,26 @@ class _WalkPool:
         else:
             for batch in batches:
                 generated.extend(self._generate_inline(batch))
-        for walks, lengths in generated:
+        for index, (walks, lengths) in zip(missing, generated):
             self.blocks.append((walks, lengths))
             stats.blocks_generated += 1
             stats.walks_generated += walks.shape[0]
             stats.walk_steps_generated += int(lengths.sum())
+            if self.store.store_dir is not None:
+                self.store._write_block(
+                    self.candidate, self.kind, index, walks, lengths
+                )
+                self.store._touch_resident(self, index)
+
+    def block(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Block ``index``, memory-mapping it back from disk if evicted."""
+        entry = self.blocks[index]
+        if entry is None:
+            entry = self.store._load_block(self.candidate, self.kind, index)
+            self.blocks[index] = entry
+        if self.store.store_dir is not None:
+            self.store._touch_resident(self, index)
+        return entry
 
     def master(self, num_walks: int) -> TruncatedWalks:
         """Pristine memoized :class:`TruncatedWalks` over ``num_walks`` walks."""
@@ -338,8 +396,9 @@ class _WalkPool:
         # over a pool a larger consumer already escalated must not copy
         # the whole pool.
         need = -(-num_walks // self.block_walks)
-        walks = np.concatenate([b[0] for b in self.blocks[:need]])[:num_walks]
-        lengths = np.concatenate([b[1] for b in self.blocks[:need]])[:num_walks]
+        parts = [self.block(i) for i in range(need)]
+        walks = np.concatenate([b[0] for b in parts])[:num_walks]
+        lengths = np.concatenate([b[1] for b in parts])[:num_walks]
         state = self.store.state
         master = TruncatedWalks(
             walks,
@@ -386,6 +445,18 @@ class WalkStore:
     workers:
         Optional worker-process count for parallel block generation (the
         dm-mp pool contract: state ships once, messages carry seeds).
+    store_dir:
+        Optional directory for memory-mapped persistence (the
+        ``rw-store:<S>:mmap=<DIR>`` spec / CLI ``--store-dir``): generated
+        blocks are written as versioned ``.npy`` shards and re-opened
+        lazily as read-only memmaps, so the pools survive process
+        restarts and scale past RAM.  The directory pins the store
+        identity in ``manifest.json``; re-opening with a different seed,
+        horizon or block size raises instead of silently serving walks
+        drawn from different dynamics.
+    resident_blocks:
+        LRU cap on memory-mapped blocks kept resident at once (only
+        meaningful with ``store_dir``); evicted blocks re-open on demand.
     """
 
     def __init__(
@@ -398,11 +469,15 @@ class WalkStore:
         shards: int = 1,
         workers: int | None = None,
         start_method: str | None = None,
+        store_dir: str | os.PathLike | None = None,
+        resident_blocks: int = DEFAULT_RESIDENT_BLOCKS,
     ) -> None:
         if int(shards) < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if block_walks < 1:
             raise ValueError(f"block_walks must be >= 1, got {block_walks}")
+        if int(resident_blocks) < 1:
+            raise ValueError(f"resident_blocks must be >= 1, got {resident_blocks}")
         self.state = state
         self.horizon = int(horizon)
         self.root = int(ensure_rng(seed).integers(0, np.iinfo(np.int64).max))
@@ -416,9 +491,112 @@ class WalkStore:
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = str(start_method)
         self.stats = StoreStats()
+        self.store_dir = None if store_dir is None else Path(store_dir)
+        self.resident_blocks = int(resident_blocks)
+        self._resident: dict[tuple[int, str, int], _WalkPool] = {}
         self._pools: dict[tuple[int, str], _WalkPool] = {}
         self._rr_pools: dict[tuple[int, str], RRSetPool] = {}
         self._handles: list[_StoreWorkerHandle] | None = None
+        if self.store_dir is not None:
+            self._open_store_dir()
+
+    # ------------------------------------------------------------------
+    # Memory-mapped persistence (``store_dir``)
+    # ------------------------------------------------------------------
+    def _manifest(self) -> dict:
+        """The identity parameters every block file name/content derives from."""
+        return {
+            "format": STORE_FORMAT,
+            "root": self.root,
+            "horizon": self.horizon,
+            "block_walks": self.block_walks,
+            "n": self.state.n,
+        }
+
+    def _open_store_dir(self) -> None:
+        """Create or validate the on-disk store (atomic manifest write)."""
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        manifest = self._manifest()
+        path = self.store_dir / "manifest.json"
+        if path.exists():
+            existing = json.loads(path.read_text())
+            if existing != manifest:
+                diffs = ", ".join(
+                    f"{key}: disk={existing.get(key)!r} != ours={value!r}"
+                    for key, value in manifest.items()
+                    if existing.get(key) != value
+                )
+                raise ValueError(
+                    f"store at {self.store_dir} was created with a different "
+                    f"identity ({diffs}); reuse the original seed/horizon/"
+                    "block_walks or point at a fresh directory"
+                )
+        else:
+            tmp = path.with_name(f"manifest.json.tmp{os.getpid()}")
+            tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+
+    def _block_path(self, candidate: int, kind: str, index: int, part: str) -> Path:
+        """Deterministic shard file name: one identity, one path, forever."""
+        return self.store_dir / (
+            f"c{int(candidate)}-k{_KIND_CODES[kind]}-h{self.horizon}"
+            f"-b{int(index):06d}.{part}.npy"
+        )
+
+    def _disk_prefix(self, candidate: int, kind: str) -> int:
+        """Number of contiguous complete blocks already on disk."""
+        count = 0
+        while all(
+            self._block_path(candidate, kind, count, part).exists()
+            for part in ("walks", "lengths")
+        ):
+            count += 1
+        return count
+
+    def _write_block(
+        self,
+        candidate: int,
+        kind: str,
+        index: int,
+        walks: np.ndarray,
+        lengths: np.ndarray,
+    ) -> None:
+        """Persist one block atomically (tmp + rename; idempotent bytes)."""
+        for part, array in (("walks", walks), ("lengths", lengths)):
+            path = self._block_path(candidate, kind, index, part)
+            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+            with open(tmp, "wb") as handle:
+                np.save(handle, array)
+            os.replace(tmp, path)
+        self.stats.blocks_written += 1
+
+    def _load_block(
+        self, candidate: int, kind: str, index: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Re-open one persisted block as read-only memory maps."""
+        walks = np.load(
+            self._block_path(candidate, kind, index, "walks"), mmap_mode="r"
+        )
+        lengths = np.load(
+            self._block_path(candidate, kind, index, "lengths"), mmap_mode="r"
+        )
+        self.stats.blocks_loaded += 1
+        return walks, lengths
+
+    def _touch_resident(self, pool: _WalkPool, index: int) -> None:
+        """LRU-track a resident block; evict the coldest past the cap.
+
+        Eviction only drops the pool's reference (the entry goes back to
+        ``None``); any master or caller still holding the arrays keeps
+        them alive, so eviction is always safe mid-materialization.
+        """
+        key = (pool.candidate, pool.kind, int(index))
+        self._resident.pop(key, None)
+        self._resident[key] = pool
+        while len(self._resident) > self.resident_blocks:
+            (cand, kind, evicted), owner = next(iter(self._resident.items()))
+            del self._resident[(cand, kind, evicted)]
+            owner.blocks[evicted] = None
 
     # ------------------------------------------------------------------
     # Worker-pool lifecycle (optional, dm-mp-style)
@@ -443,21 +621,16 @@ class WalkStore:
         return self._handles
 
     def close(self) -> None:
-        """Stop the generation workers (idempotent; pools stay cached)."""
+        """Stop the generation workers (idempotent; pools stay cached).
+
+        Robust to workers that died mid-request: sends are guarded and
+        the teardown escalates ``join -> terminate -> kill`` with bounded
+        timeouts, so a dead or wedged pipe can never hang the caller.
+        """
         handles, self._handles = self._handles, None
         if not handles:
             return
-        for handle in handles:
-            try:
-                handle.conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for handle in handles:
-            handle.process.join(timeout=10)
-            if handle.process.is_alive():  # pragma: no cover - hung worker
-                handle.process.terminate()
-                handle.process.join(timeout=10)
-            handle.conn.close()
+        stop_worker_pool(handles, lambda conn: conn.send(("stop",)))
 
     def __enter__(self) -> "WalkStore":
         return self

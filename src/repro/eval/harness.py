@@ -125,6 +125,7 @@ def run_methods(
     method_kwargs: dict[str, dict[str, object]] | None = None,
     engine: str | None = None,
     store: WalkStore | None = None,
+    store_dir: "str | None" = None,
 ) -> list[MethodRun]:
     """Run every (method, k) combination; timing covers seed selection only.
 
@@ -135,10 +136,36 @@ def run_methods(
     same cached trajectories.  ``engine`` selects the evaluation backend
     for the greedy-based methods; ``store`` hands the sampling methods
     (RW, RS, IC, LT) one shared :class:`~repro.core.walk_store.WalkStore`
-    so every budget extends the same walk/RR-set pools.
+    so every budget extends the same walk/RR-set pools.  ``store_dir``
+    (no effect when ``store`` is supplied) builds that shared store as a
+    persistent memory-mapped one rooted at the directory, with a fixed
+    seed so re-running the sweep re-opens the same pools and regenerates
+    nothing.
     """
     rng = ensure_rng(rng)
     method_kwargs = method_kwargs or {}
+    if store is None and store_dir is not None:
+        from repro.core.walk_store import store_for_problem
+
+        # The shared store must agree with whatever the engine spec pins:
+        # its shard count (a parameterized ``rw-store:<S>``), and — when
+        # the spec also carries ``:mmap=<DIR>`` — the same directory, or
+        # the engine build below would reject the pairing.
+        shards = 1
+        if isinstance(engine, str):
+            try:
+                spec_name, spec_kwargs = parse_engine_spec(engine)
+            except ValueError:
+                spec_name, spec_kwargs = None, {}
+            if spec_name == "rw-store":
+                shards = int(spec_kwargs.get("shards", 1))
+                spec_dir = spec_kwargs.get("store_dir")
+                if spec_dir is not None and str(spec_dir) != str(store_dir):
+                    raise ValueError(
+                        f"store_dir={store_dir!r} conflicts with the engine "
+                        f"spec's mmap directory {spec_dir!r}"
+                    )
+        store = store_for_problem(problem, store_dir=store_dir, shards=shards)
     problem.others_by_user()  # warm the shared cache outside the timers
     runs: list[MethodRun] = []
     for method in methods:

@@ -1,0 +1,43 @@
+"""Shared teardown for persistent worker pools (dm-mp, walk store).
+
+One escalation ladder, used by every engine that owns a pipe-per-worker
+pool: send a guarded stop, then ``join -> terminate -> kill`` with bounded
+timeouts so a worker that died mid-round (or wedged) can never hang the
+caller, and close the parent pipe ends last.  Keeping it here means a fix
+to the timeouts or the exception classes applies to every pool at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: Per-stage join timeout (seconds); worst case a close takes three of
+#: these per worker before giving up on an unkillable process.
+_JOIN_TIMEOUT = 5
+
+
+def stop_worker_pool(handles, send_stop: Callable[[object], None]) -> None:
+    """Stop every worker in ``handles``; never raises, never hangs.
+
+    ``handles`` are objects with ``process`` and ``conn`` attributes;
+    ``send_stop(conn)`` delivers the pool's stop message (failures on a
+    dead pipe are swallowed — the join ladder below reaps the process
+    either way).
+    """
+    for handle in handles:
+        try:
+            send_stop(handle.conn)
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+    for handle in handles:
+        handle.process.join(timeout=_JOIN_TIMEOUT)
+        if handle.process.is_alive():  # pragma: no cover - wedged worker
+            handle.process.terminate()
+            handle.process.join(timeout=_JOIN_TIMEOUT)
+        if handle.process.is_alive():  # pragma: no cover - wedged worker
+            handle.process.kill()
+            handle.process.join(timeout=_JOIN_TIMEOUT)
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass

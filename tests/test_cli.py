@@ -172,3 +172,82 @@ def test_engine_help_renders_from_registry():
         help_text = " ".join(sub.choices[command].format_help().split())
         for name in ENGINE_NAMES:
             assert f"{name}: {ENGINE_HELP[name]}" in help_text
+
+
+def test_select_store_dir_warm_rerun_regenerates_nothing(capsys, tmp_path):
+    """--store-dir: a rerun with the same seed re-opens the on-disk pools
+    and regenerates zero blocks (the CI warm-store smoke's contract)."""
+    argv = [
+        "select",
+        "--dataset", "yelp",
+        "--users", "100",
+        "--horizon", "3",
+        "--method", "rw",
+        "--score", "cumulative",
+        "-k", "2",
+        "--seed", "1",
+        "--store-dir", str(tmp_path / "pools"),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "store: blocks generated=" in cold
+    assert "generated=0 " not in cold  # the cold run generated something
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "generated=0 " in warm
+    assert "loaded=0 " not in warm  # served from the memory-mapped shards
+    # Identical pools -> identical selections across the two invocations.
+    seeds = [
+        line for line in (cold + warm).splitlines() if line.startswith("seeds:")
+    ]
+    assert seeds[0] == seeds[1]
+
+
+def test_select_store_dir_rewrites_rw_store_engine_spec(capsys, tmp_path):
+    """--store-dir on an rw-store engine persists its private store."""
+    argv = [
+        "select",
+        "--dataset", "yelp",
+        "--users", "100",
+        "--horizon", "3",
+        "--method", "dm",
+        "--engine", "rw-store:2",
+        "-k", "2",
+        "--seed", "1",
+        "--store-dir", str(tmp_path / "engine-pools"),
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert (tmp_path / "engine-pools" / "manifest.json").exists()
+    # Warm rerun succeeds against the persisted store (same identity).
+    assert main(argv) == 0
+    assert "seeds:" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "engine", ["dm-mp:2:shm", "rw-store:2"]
+)
+def test_select_data_plane_engine_specs_run(capsys, engine):
+    code = main(
+        [
+            "select",
+            "--dataset", "yelp",
+            "--users", "100",
+            "--horizon", "3",
+            "--method", "dm",
+            "--engine", engine,
+            "-k", "2",
+            "--seed", "1",
+        ]
+    )
+    assert code == 0
+    assert "seeds:" in capsys.readouterr().out
+
+
+def test_malformed_data_plane_specs_rejected():
+    parser = build_parser()
+    for bad in ("dm-mp:shm:2", "rw-store:mmap=", "dm-mp:mmap=/x"):
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["select", "--engine", bad, "--method", "dm", "-k", "1"]
+            )

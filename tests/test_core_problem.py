@@ -76,3 +76,80 @@ def test_seeded_objective_monotone_in_seed_count(random_state):
     problem = FJVoteProblem(random_state, 0, 4, CumulativeScore())
     values = [problem.objective(np.arange(k)) for k in range(5)]
     assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+# ----------------------------------------------------------------------
+# Pickle budget and shared-array views (the dm-mp data plane's inputs)
+# ----------------------------------------------------------------------
+def test_getstate_drops_seeded_trajectories_within_byte_budget(random_state):
+    """Regression: ``__getstate__`` must keep dropping session/trajectory
+    caches.  A problem that evaluated many seeded trajectories has to
+    pickle to (essentially) the same bytes as one that evaluated none —
+    the budget is the warmed baseline plus loose change, nowhere near the
+    dense ``(horizon+1, n)`` arrays the seeded cache holds — and the
+    unpickled copy must rebuild those trajectories lazily with identical
+    values."""
+    import pickle
+
+    problem = FJVoteProblem(random_state, 0, 6, CumulativeScore())
+    problem.others_by_user()  # warm the shareable caches (these do ship)
+    problem.target_trajectory()
+    budget = len(pickle.dumps(problem)) + 512
+    seeded = [(1,), (2, 3), (4,), (1, 5), (6,), (0, 7), (8,), (2, 9)]
+    for seeds in seeded:
+        problem.target_trajectory(seeds)
+    assert problem._seeded_trajectories  # the cache is genuinely populated
+    payload = pickle.dumps(problem)
+    assert len(payload) <= budget, (
+        f"pickled problem grew to {len(payload)} bytes (budget {budget}): "
+        "a session cache is leaking into __getstate__"
+    )
+    clone = pickle.loads(payload)
+    assert clone._seeded_trajectories == {}
+    for seeds in seeded:
+        np.testing.assert_array_equal(
+            clone.target_trajectory(seeds), problem.target_trajectory(seeds)
+        )
+
+
+def test_share_arrays_round_trip_is_zero_copy(random_state):
+    """share_arrays/from_shared_arrays must rebuild an equivalent problem
+    whose heavy state *views* the supplied arrays (the shm contract)."""
+    problem = FJVoteProblem(
+        random_state,
+        0,
+        4,
+        PluralityScore(),
+        competitor_seeds={1: np.array([2, 3])},
+    )
+    problem.others_by_user()
+    problem.target_trajectory()
+    skeleton, arrays = problem.share_arrays()
+    clone = FJVoteProblem.from_shared_arrays(skeleton, arrays)
+    for seeds in ((), (1, 2), (4,)):
+        assert clone.objective(np.asarray(seeds, dtype=np.int64)) == problem.objective(
+            np.asarray(seeds, dtype=np.int64)
+        )
+    assert np.shares_memory(clone.state.initial_opinions, arrays["initial_opinions"])
+    assert np.shares_memory(clone.state.graph(0).csc.data, arrays["g0.csc.data"])
+    assert clone._base_trajectory is arrays["cache_base_trajectory"]
+    assert clone.state.candidates == problem.state.candidates
+    assert clone.competitor_seeds.keys() == problem.competitor_seeds.keys()
+
+
+def test_share_arrays_dedupes_shared_graphs():
+    """Candidates sharing one influence matrix must ship it once."""
+    state = random_instance(n=8, r=3, seed=3)
+    shared_graph_state = type(state)(
+        graphs=(state.graphs[0],) * 3,
+        initial_opinions=state.initial_opinions,
+        stubbornness=state.stubbornness,
+        candidates=state.candidates,
+    )
+    problem = FJVoteProblem(shared_graph_state, 0, 3, CumulativeScore())
+    skeleton, arrays = problem.share_arrays()
+    assert skeleton["graph_of_candidate"] == [0, 0, 0]
+    assert not any(key.startswith("g1.") for key in arrays)
+    clone = FJVoteProblem.from_shared_arrays(skeleton, arrays)
+    assert clone.state.graph(0) is clone.state.graph(2)
+    assert clone.objective(np.array([1])) == problem.objective(np.array([1]))

@@ -1,0 +1,177 @@
+"""Tests for the shared-memory arena (repro.core.shm).
+
+The lifecycle contract is the point: segments created through an arena
+must be unlinked exactly once no matter how the arena dies — explicit
+``close``, garbage collection, or teardown after a crashed worker — and
+attaching processes must never adopt cleanup responsibility.
+"""
+
+from __future__ import annotations
+
+import gc
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.shm import ShmArena, ShmAttachments, ShmSlab, attach_segment
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        segment = attach_segment(name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+def test_share_array_round_trip_and_close_unlinks():
+    arena = ShmArena()
+    data = np.arange(12, dtype=np.float64).reshape(3, 4)
+    ref = arena.share_array(data)
+    attach = ShmAttachments()
+    view = attach.array(ref)
+    np.testing.assert_array_equal(view, data)
+    assert view.dtype == data.dtype
+    name = ref[0]
+    assert _segment_exists(name)
+    attach.close()
+    arena.close()
+    assert not _segment_exists(name)
+    arena.close()  # idempotent
+
+
+def test_garbage_collected_arena_unlinks_segments():
+    """The weakref.finalize guard must clean up an arena nobody closed."""
+    arena = ShmArena()
+    ref = arena.share_array(np.ones(16))
+    name = ref[0]
+    assert _segment_exists(name)
+    del arena
+    gc.collect()
+    assert not _segment_exists(name)
+
+
+def test_slab_reuses_segment_and_grows_by_reallocation():
+    arena = ShmArena()
+    try:
+        slab = ShmSlab(arena, 64)
+        first = slab.name
+        slab.begin()
+        ref_a = slab.write(np.arange(4, dtype=np.int64))
+        ref_b = slab.write(np.arange(3, dtype=np.float64))
+        assert ref_a[0] == ref_b[0] == first
+        assert ref_b[3] % 8 == 0  # aligned offsets
+        np.testing.assert_array_equal(slab.view(ref_a), np.arange(4))
+        # A bigger message reallocates (new name), old name is unlinked.
+        slab.begin()
+        slab.ensure(4096)
+        assert slab.name != first
+        assert not _segment_exists(first)
+    finally:
+        arena.close()
+
+
+def test_slab_refuses_midmessage_reallocation():
+    """Growth after a write would orphan the refs already handed out."""
+    arena = ShmArena()
+    try:
+        slab = ShmSlab(arena, 32)
+        slab.begin()
+        slab.write(np.arange(4, dtype=np.int64))
+        with pytest.raises(RuntimeError, match="mid-message"):
+            slab.write(np.zeros(1024, dtype=np.float64))
+    finally:
+        arena.close()
+
+
+def test_slab_view_rejects_foreign_refs():
+    arena = ShmArena()
+    try:
+        slab = ShmSlab(arena, 64)
+        slab.begin()
+        ref = slab.write(np.arange(2, dtype=np.int64))
+        other = ShmSlab(arena, 64)
+        with pytest.raises(ValueError, match="does not belong"):
+            other.view(ref)
+    finally:
+        arena.close()
+
+
+def test_attach_segment_does_not_adopt_cleanup():
+    """An attach followed by close must leave the segment linked: only the
+    creator's arena unlinks (the resource-tracker pitfall)."""
+    arena = ShmArena()
+    ref = arena.share_array(np.arange(8))
+    name = ref[0]
+    segment = attach_segment(name)
+    segment.close()
+    assert _segment_exists(name)  # still linked after attacher closed
+    arena.close()
+    assert not _segment_exists(name)
+
+
+def test_reserve_round_trip_through_attachment():
+    """A reserved region written through an attachment (the worker's path)
+    reads back through the slab view (the parent's path)."""
+    arena = ShmArena()
+    try:
+        slab = ShmSlab(arena, 256)
+        slab.begin()
+        ref = slab.reserve(np.float64, (2, 5))
+        attach = ShmAttachments()
+        writer = attach.array(ref)
+        writer[...] = np.arange(10, dtype=np.float64).reshape(2, 5)
+        np.testing.assert_array_equal(
+            slab.view(ref), np.arange(10).reshape(2, 5)
+        )
+        attach.close()
+    finally:
+        arena.close()
+
+
+def test_arena_release_single_segment():
+    arena = ShmArena()
+    keep = arena.share_array(np.ones(4))
+    drop = arena.share_array(np.ones(4))
+    arena.release(drop[0])
+    assert not _segment_exists(drop[0])
+    assert _segment_exists(keep[0])
+    arena.close()
+
+
+def test_attach_missing_segment_raises():
+    with pytest.raises(FileNotFoundError):
+        attach_segment("psm_repro_definitely_missing")
+
+
+def test_arena_names_reflect_live_segments():
+    arena = ShmArena()
+    assert arena.names == ()
+    ref = arena.share_array(np.ones(2))
+    assert ref[0] in arena.names
+    arena.close()
+    assert arena.names == ()
+
+
+def test_segment_contents_survive_creator_view_release():
+    """Data written through share_array persists for later attachments
+    (the worker may attach well after the parent wrote)."""
+    arena = ShmArena()
+    try:
+        payload = np.linspace(0.0, 1.0, 17)
+        ref = arena.share_array(payload)
+        gc.collect()
+        attach = ShmAttachments()
+        np.testing.assert_array_equal(attach.array(ref), payload)
+        attach.close()
+    finally:
+        arena.close()
+
+
+def test_shared_memory_available():
+    """The data plane assumes functional POSIX shared memory."""
+    segment = shared_memory.SharedMemory(create=True, size=64)
+    segment.close()
+    segment.unlink()

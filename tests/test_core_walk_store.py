@@ -435,6 +435,137 @@ def test_store_validation():
         make_engine("rw-store", problem, store=store, shards=4)
 
 
+# ----------------------------------------------------------------------
+# Memory-mapped persistence (store_dir / rw-store:<S>:mmap=<DIR>)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_mmap_store_selections_match_in_ram(tmp_path, shards):
+    """mmap-backed stores must serve byte-identical walks — and therefore
+    byte-identical selections — to the in-RAM store at shards 1/2/4."""
+    problem = make_problem(20, n=12, r=2)
+    ram_engine = make_engine(
+        f"rw-store:{shards}",
+        problem,
+        rng=31,
+        walks_per_node=6,
+        adaptive=False,
+        epsilon=None,
+    )
+    reference = greedy_engine(ram_engine, 3)
+    engine = make_engine(
+        f"rw-store:{shards}:mmap={tmp_path / 'pool'}",
+        problem,
+        rng=31,
+        walks_per_node=6,
+        adaptive=False,
+        epsilon=None,
+    )
+    assert engine.store.store_dir == tmp_path / "pool"
+    result = greedy_engine(engine, 3)
+    assert result.seeds.tolist() == reference.seeds.tolist()
+    np.testing.assert_array_equal(result.gains, reference.gains)
+    np.testing.assert_array_equal(engine.walks.walks, ram_engine.walks.walks)
+    np.testing.assert_array_equal(
+        engine.walks.lengths, ram_engine.walks.lengths
+    )
+
+
+def test_warm_reopen_regenerates_zero_blocks(tmp_path):
+    """A second store over the same directory (a restart, or another
+    process) must serve byte-identical walks while generating nothing."""
+    problem = make_problem(21, n=12, r=2)
+    cold = WalkStore(problem.state, problem.horizon, seed=5, store_dir=tmp_path)
+    view = cold.per_node_view(0, 4)
+    assert cold.stats.blocks_generated > 0
+    assert cold.stats.blocks_written == cold.stats.blocks_generated
+    warm = WalkStore(problem.state, problem.horizon, seed=5, store_dir=tmp_path)
+    reopened = warm.per_node_view(0, 4)
+    assert warm.stats.blocks_generated == 0
+    assert warm.stats.blocks_written == 0
+    assert warm.stats.blocks_loaded > 0
+    np.testing.assert_array_equal(reopened.walks, view.walks)
+    np.testing.assert_array_equal(reopened.lengths, view.lengths)
+    np.testing.assert_array_equal(reopened.values, view.values)
+    # Warm selections equal cold selections byte for byte.
+    cold_eng = make_engine(
+        "rw-store", problem, store=cold, adaptive=False, epsilon=None,
+        walks_per_node=4,
+    )
+    warm_eng = make_engine(
+        "rw-store", problem, store=warm, adaptive=False, epsilon=None,
+        walks_per_node=4,
+    )
+    a = greedy_engine(cold_eng, 2)
+    b = greedy_engine(warm_eng, 2)
+    assert a.seeds.tolist() == b.seeds.tolist()
+    np.testing.assert_array_equal(a.gains, b.gains)
+    assert warm.stats.blocks_generated == 0
+
+
+def test_mmap_manifest_mismatch_rejected(tmp_path):
+    """Re-opening with a different identity must fail loudly, never serve
+    walks drawn from different dynamics."""
+    problem = make_problem(22, n=10, r=2)
+    WalkStore(problem.state, problem.horizon, seed=1, store_dir=tmp_path)
+    with pytest.raises(ValueError, match="different identity"):
+        WalkStore(problem.state, problem.horizon, seed=2, store_dir=tmp_path)
+    with pytest.raises(ValueError, match="different identity"):
+        WalkStore(
+            problem.state, problem.horizon + 1, seed=1, store_dir=tmp_path
+        )
+    with pytest.raises(ValueError, match="different identity"):
+        WalkStore(
+            problem.state,
+            problem.horizon,
+            seed=1,
+            store_dir=tmp_path,
+            block_walks=7,
+        )
+    # The matching identity still opens fine.
+    WalkStore(problem.state, problem.horizon, seed=1, store_dir=tmp_path)
+
+
+def test_mmap_lru_bounds_resident_blocks(tmp_path):
+    """Pools must scale past the resident cap: evicted blocks re-open on
+    demand and every view stays byte-identical to the unbounded store."""
+    problem = make_problem(23, n=10, r=2)
+    unbounded = WalkStore(
+        problem.state, problem.horizon, seed=4, block_walks=8
+    )
+    reference = unbounded.uniform_view(0, 64)
+    store = WalkStore(
+        problem.state,
+        problem.horizon,
+        seed=4,
+        block_walks=8,
+        store_dir=tmp_path,
+        resident_blocks=2,
+    )
+    view = store.uniform_view(0, 64)  # 8 blocks through a 2-slot LRU
+    pool = store.pool(0, KIND_UNIFORM)
+    assert sum(block is not None for block in pool.blocks) <= 2
+    assert store.stats.blocks_loaded > 0
+    np.testing.assert_array_equal(view.walks, reference.walks)
+    np.testing.assert_array_equal(view.values, reference.values)
+    with pytest.raises(ValueError):
+        WalkStore(
+            problem.state, problem.horizon, store_dir=tmp_path, resident_blocks=0
+        )
+
+
+def test_mmap_spec_and_store_dir_conflicts():
+    problem = make_problem(24, n=10, r=2)
+    shared = store_for_problem(problem, seed=0)
+    with pytest.raises(ValueError, match="store_dir conflicts"):
+        make_engine("rw-store", problem, store=shared, store_dir="/tmp/x")
+    for bad in ("rw-store:mmap=", "rw-store:2:mmap=", "rw-store:mmap"):
+        with pytest.raises(ValueError):
+            parse_engine_spec(bad)
+    name, kwargs = parse_engine_spec("rw-store:2:mmap=/data/walks:v1")
+    assert name == "rw-store"
+    assert kwargs == {"shards": 2, "store_dir": "/data/walks:v1"}
+
+
 def test_engine_close_only_closes_private_store():
     problem = make_problem(1, n=8, r=2)
     shared = store_for_problem(problem, seed=0, workers=1)

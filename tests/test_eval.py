@@ -100,3 +100,40 @@ def test_case_study_structure():
 def test_case_study_requires_domains(small_dataset):
     with pytest.raises(ValueError):
         acm_election_case_study(small_dataset, k=5)
+
+
+def test_run_methods_store_dir_composes_with_parameterized_specs(tmp_path):
+    """Regression: run_methods(store_dir=...) must honor the engine spec's
+    shard count (and mmap directory) when building the shared store — the
+    naive shards=1 store was rejected by rw-store:<S> engines."""
+    import numpy as np
+
+    from repro.core.problem import FJVoteProblem
+    from repro.eval.harness import run_methods
+    from repro.voting.scores import PluralityScore
+    from tests.conftest import random_instance
+
+    state = random_instance(n=12, r=2, seed=9)
+    problem = FJVoteProblem(state, 0, 3, PluralityScore())
+    directory = str(tmp_path / "pools")
+    for spec in ("rw-store:2", f"rw-store:2:mmap={directory}"):
+        runs = run_methods(
+            problem,
+            [2],
+            ["dm"],
+            rng=1,
+            engine=spec,
+            store_dir=directory,
+        )
+        assert len(runs) == 1 and runs[0].seeds.size == 2
+    import pytest
+
+    with pytest.raises(ValueError, match="conflicts with the engine spec"):
+        run_methods(
+            problem,
+            [2],
+            ["dm"],
+            rng=1,
+            engine=f"rw-store:2:mmap={tmp_path / 'other'}",
+            store_dir=directory,
+        )
