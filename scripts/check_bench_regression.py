@@ -10,12 +10,19 @@ same numbers on every host — so any drift is a real code change, not noise.
 A metric fails when it moves more than ``--tolerance`` (default 10%) in
 its bad direction: down for ``higher_is_better`` metrics (speedups,
 reduction factors), up otherwise (work counters).  Improvements are
-reported so baselines can be re-pinned; a missing result file or metric is
-an error (the gate must never silently stop measuring).
+reported and tallied so baselines can be re-pinned; a missing result file
+or metric is an error (the gate must never silently stop measuring).
+
+``--update-baselines`` re-pins: after reporting the drift it copies every
+``benchmarks/results/BENCH_*.json`` over the matching baseline (creating
+baselines for brand-new benchmarks) and exits 0.  Use it when a counter
+moved on purpose — an optimisation landed, or a new benchmark needs its
+first pin — then commit the rewritten baseline files.
 
 Usage::
 
     python scripts/check_bench_regression.py [--tolerance 0.10]
+    python scripts/check_bench_regression.py --update-baselines
 """
 
 from __future__ import annotations
@@ -30,17 +37,26 @@ BASELINES = REPO / "benchmarks" / "baselines"
 RESULTS = REPO / "benchmarks" / "results"
 
 
-def compare(baseline_path: Path, tolerance: float) -> list[str]:
-    """Return failure messages for one baseline file (empty = pass)."""
+def compare(baseline_path: Path, tolerance: float) -> tuple[list[str], list[str]]:
+    """Return (failures, improvements) for one baseline file."""
     result_path = RESULTS / baseline_path.name
     if not result_path.exists():
         return [
             f"{baseline_path.name}: no result produced at {result_path} "
             "(did the benchmark smoke step run?)"
-        ]
+        ], []
     baseline = json.loads(baseline_path.read_text())["metrics"]
     result = json.loads(result_path.read_text())["metrics"]
-    failures = []
+    failures: list[str] = []
+    improvements: list[str] = []
+    for metric in sorted(set(result) - set(baseline)):
+        # A brand-new metric is not gated yet; surface it so the baseline
+        # gets re-pinned instead of silently never measuring it.
+        value = float(result[metric]["value"])
+        improvements.append(
+            f"{baseline_path.name}: new metric {metric} = {value:g} "
+            "(not in baseline)"
+        )
     for metric, spec in sorted(baseline.items()):
         if metric not in result:
             failures.append(f"{baseline_path.name}: metric {metric!r} vanished")
@@ -71,26 +87,59 @@ def compare(baseline_path: Path, tolerance: float) -> list[str]:
                 f"tolerance {tolerance:.0%})"
             )
         elif improved:
+            improvements.append(f"{baseline_path.name}: {metric} {arrow}")
             print(
                 f"  improvement: {baseline_path.name}: {metric} {arrow} "
                 "— consider re-pinning the baseline"
             )
         else:
             print(f"  ok: {baseline_path.name}: {metric} {arrow}")
-    return failures
+    return failures, improvements
+
+
+def update_baselines() -> int:
+    """Copy every result file over its baseline (pinning new ones too)."""
+    results = sorted(RESULTS.glob("BENCH_*.json"))
+    if not results:
+        print(f"error: no results under {RESULTS}", file=sys.stderr)
+        return 2
+    for result_path in results:
+        target = BASELINES / result_path.name
+        verb = "re-pinned" if target.exists() else "pinned (new)"
+        target.write_text(result_path.read_text())
+        print(f"  {verb}: {target.relative_to(REPO)}")
+    print(f"\n{len(results)} baselines written — commit benchmarks/baselines/")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="copy benchmarks/results/BENCH_*.json over the baselines "
+        "(creating baselines for new benchmarks) instead of gating",
+    )
     args = parser.parse_args(argv)
+    if args.update_baselines:
+        return update_baselines()
     baselines = sorted(BASELINES.glob("BENCH_*.json"))
     if not baselines:
         print(f"error: no baselines under {BASELINES}", file=sys.stderr)
         return 2
     failures: list[str] = []
+    improvements: list[str] = []
     for path in baselines:
-        failures.extend(compare(path, args.tolerance))
+        new_failures, new_improvements = compare(path, args.tolerance)
+        failures.extend(new_failures)
+        improvements.extend(new_improvements)
+    if improvements:
+        print(f"\n{len(improvements)} improvement(s) beyond tolerance:")
+        for improvement in improvements:
+            print(f"  better: {improvement}")
+        print("  re-pin with: python scripts/check_bench_regression.py "
+              "--update-baselines")
     if failures:
         print("\nperf-trajectory regressions:", file=sys.stderr)
         for failure in failures:

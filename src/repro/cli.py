@@ -43,6 +43,54 @@ re-opens the pools and regenerates **zero** walk blocks (the ``store:``
 line printed after selection shows the cold/warm counters).  Persistence
 covers *walk* pools (rw/rs); the ic/lt RR-set pools share the store
 within one invocation but are in-memory only.
+
+Incremental re-solve (``--apply-delta``)
+----------------------------------------
+``--apply-delta FILE`` replays graph/opinion churn against the freshly
+built problem *before* seeds are selected.  ``FILE`` holds one JSON delta
+step or a list of them::
+
+    [{"edges_added":   [[src, dst, weight], ...],
+      "edges_removed": [[src, dst], ...],
+      "opinions_changed": [[candidate, node, value], ...],
+      "candidate": 0}]
+
+Each step is forwarded through :meth:`FJVoteProblem.apply_delta`
+(``candidate`` picks whose graph the edge churn hits; default the
+target's) and its :class:`~repro.core.problem.DeltaReport` flows into the
+``--store-dir`` walk store, which re-draws **only the walks that crossed
+a touched node** instead of regenerating blocks — a warm store replayed
+against a delta keeps ``blocks generated=0`` and reports the surgical
+work in the ``invalidated=``/``walks patched=`` counters of the
+``store:`` line.  One ``delta:`` line per invocation prints the
+aggregated report (edges added/removed, opinion rewrites, touched nodes,
+whether sparsity structure changed).
+
+The file is a *journal*: the store's manifest remembers the graph
+versions its walks were drawn at, so re-running with the same file is a
+no-op for the store (every step's patches are already on disk), and
+*appending* steps to the file patches only the new churn.  Running a
+delta-patched store **without** its journal fails with the manifest
+version-mismatch error — the walks on disk answer for the mutated
+graphs, not the pristine ones.
+
+Which caches survive which delta kind:
+
+====================  ==========================  =========================
+layer                 edge churn                  opinion churn
+====================  ==========================  =========================
+problem caches        touched competitor rows     touched competitor rows
+                      recomputed, target          recomputed, target
+                      trajectories lazily         trajectories lazily
+                      rebuilt                     rebuilt
+warm engine sessions  trajectory patched (small   trajectory patched /
+                      deltas) or replayed         replayed, same rule
+walk-store blocks     walks crossing a touched    **all blocks survive**
+                      node re-drawn in place      (walks never read B⁰);
+                                                  only masters drop
+dm-mp worker pools    touched columns patched     opinion rows patched in
+                      in place / re-shared        shared memory
+====================  ==========================  =========================
 """
 
 from __future__ import annotations
@@ -153,6 +201,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "rerunning with the same --seed regenerates zero walk blocks; "
         "ic/lt RR-set pools stay in-memory)",
     )
+    parser.add_argument(
+        "--apply-delta",
+        default=None,
+        metavar="FILE",
+        help="replay a JSON delta file (graph/opinion churn) against the "
+        "problem before selecting; with --store-dir, a warm walk store "
+        "re-draws only the walks the delta invalidated (see the module "
+        "docstring for the file format)",
+    )
 
 
 def _make_score(args: argparse.Namespace):
@@ -186,15 +243,26 @@ def _wire_store_dir(args: argparse.Namespace, problem) -> "WalkStore | None":
                 f"--store-dir {args.store_dir!r} conflicts with the engine "
                 f"spec's mmap directory {spec_dir!r}"
             )
-    if args.method not in _STORE_METHODS:
+    # The dm method with an rw-store engine draws from the shared store
+    # too (mirroring run_methods): the store must exist *before* any
+    # --apply-delta replay so the delta can be forwarded through it.
+    dm_with_store = args.method == "dm" and name == "rw-store"
+    if args.method not in _STORE_METHODS and not dm_with_store:
         return None
     from repro.core.walk_store import store_for_problem
 
-    return store_for_problem(problem, seed=args.seed, store_dir=args.store_dir)
+    shards = int(kwargs.get("shards", 1)) if dm_with_store else 1
+    return store_for_problem(
+        problem, seed=args.seed, store_dir=args.store_dir, shards=shards
+    )
 
 
 def _print_store_stats(store: "WalkStore | None") -> None:
-    """One deterministic counters line (the warm-store smoke greps it)."""
+    """One deterministic counters line (the warm-store smoke greps it).
+
+    New counters go at the *end*: CI and user scripts grep stable prefixes
+    like ``"store: blocks generated=0 "``.
+    """
     if store is None:
         return
     stats = store.stats
@@ -202,8 +270,86 @@ def _print_store_stats(store: "WalkStore | None") -> None:
         f"store: blocks generated={stats.blocks_generated} "
         f"written={stats.blocks_written} loaded={stats.blocks_loaded} "
         f"reused={stats.blocks_reused} rr-sets generated="
-        f"{stats.rr_sets_generated}"
+        f"{stats.rr_sets_generated} invalidated={stats.blocks_invalidated} "
+        f"walks patched={stats.walks_patched}"
     )
+
+
+def _wire_store_and_delta(args: argparse.Namespace, problem) -> "WalkStore | None":
+    """Open the ``--store-dir`` store and replay the ``--apply-delta`` journal.
+
+    The delta file is a *journal*: a persistent store dir may already hold
+    the patches of any prefix of it (its manifest records the graph
+    versions it was written at), while a freshly built problem always
+    starts pristine.  The store is therefore opened at whichever point of
+    the journal matches its manifest — steps before that point only
+    advance the problem (the store already holds their patches), steps
+    after it are forwarded through :meth:`WalkStore.apply_delta` so only
+    the walks they invalidated are re-drawn.  A store that matches *no*
+    point of the journal raises the manifest version-mismatch error.
+
+    Prints one grep-able ``delta:`` line aggregating every step's
+    :class:`~repro.core.problem.DeltaReport`, mirroring the ``store:``
+    line's role for the warm-store smoke tests.
+    """
+    steps: list[dict] = []
+    if getattr(args, "apply_delta", None):
+        import json
+
+        with open(args.apply_delta) as handle:
+            loaded = json.load(handle)
+        steps = [loaded] if isinstance(loaded, dict) else list(loaded)
+    store = None
+    open_error: ValueError | None = None
+    try:
+        store = _wire_store_dir(args, problem)
+    except ValueError as exc:
+        if not steps:
+            raise
+        open_error = exc
+    added = removed = opinions = 0
+    touched: set[int] = set()
+    structural = False
+    refreshed = 0
+    for step in steps:
+        report = problem.apply_delta(
+            edges_added=[tuple(e) for e in step.get("edges_added", ())],
+            edges_removed=[tuple(e) for e in step.get("edges_removed", ())],
+            opinions_changed=[
+                tuple(o) for o in step.get("opinions_changed", ())
+            ],
+            candidate=step.get("candidate"),
+        )
+        if store is not None:
+            store.apply_delta(report)
+        elif open_error is not None:
+            # Store manifest is ahead of the pristine problem; retry now
+            # that this journal step has been replayed onto the problem.
+            try:
+                store = _wire_store_dir(args, problem)
+                open_error = None
+            except ValueError as exc:
+                open_error = exc
+        added += report.edges_added
+        removed += report.edges_removed
+        opinions += sum(
+            len(nodes) for nodes in report.opinions_by_candidate.values()
+        )
+        for nodes in report.touched_by_candidate.values():
+            touched.update(int(v) for v in nodes)
+        structural = structural or report.structural
+        refreshed += report.competitor_rows_refreshed
+    if open_error is not None:
+        raise open_error
+    if steps:
+        print(
+            f"delta: steps={len(steps)} edges added={added} "
+            f"removed={removed} opinions changed={opinions} "
+            f"touched nodes={len(touched)} "
+            f"structural={'yes' if structural else 'no'} "
+            f"competitor rows refreshed={refreshed}"
+        )
+    return store
 
 
 def cmd_select(args: argparse.Namespace) -> int:
@@ -211,17 +357,30 @@ def cmd_select(args: argparse.Namespace) -> int:
     problem = dataset.problem(_make_score(args))
     problem.others_by_user()
     kwargs = _FAST_KWARGS.get(args.method, {})
-    store = _wire_store_dir(args, problem)
-    with Timer() as timer:
-        seeds = select_seeds(
-            args.method,
-            problem,
-            args.k,
-            rng=args.seed,
-            engine=args.engine,
-            store=store,
-            **kwargs,
-        )
+    store = _wire_store_and_delta(args, problem)
+    engine: "str | ObjectiveEngine" = args.engine
+    if store is not None and args.method == "dm":
+        name, _ = parse_engine_spec(args.engine)
+        if name == "rw-store":
+            # Build the engine around the shared (possibly delta-patched)
+            # store instead of letting it open a private one.
+            from repro.core.engine import make_engine
+
+            engine = make_engine(args.engine, problem, rng=args.seed, store=store)
+    try:
+        with Timer() as timer:
+            seeds = select_seeds(
+                args.method,
+                problem,
+                args.k,
+                rng=args.seed,
+                engine=engine,
+                store=store,
+                **kwargs,
+            )
+    finally:
+        if not isinstance(engine, str):
+            engine.close()
     before = problem.objective(())
     after = problem.objective(seeds)
     print(
@@ -239,7 +398,7 @@ def cmd_winmin(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
     problem = dataset.problem(_make_score(args))
     kwargs = _FAST_KWARGS.get(args.method, {})
-    store = _wire_store_dir(args, problem)
+    store = _wire_store_and_delta(args, problem)
     if args.method == "dm":
         result = min_seeds_to_win(
             problem, k_max=args.kmax, engine=args.engine, rng=args.seed

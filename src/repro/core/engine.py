@@ -112,6 +112,7 @@ whose deterministic work counters back the benchmark assertions.
 from __future__ import annotations
 
 import warnings
+import weakref
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, fields
 from typing import Iterable, Sequence
@@ -119,7 +120,7 @@ from typing import Iterable, Sequence
 import numpy as np
 from scipy import sparse
 
-from repro.core.problem import FJVoteProblem
+from repro.core.problem import DeltaReport, FJVoteProblem
 from repro.voting.scores import CumulativeScore, SeparableScore
 
 SeedSet = Sequence[int] | np.ndarray | tuple
@@ -160,6 +161,10 @@ class EngineStats:
     repin_steps: int = 0
     repin_inserted: int = 0
     repin_rebuilds: int = 0
+    #: Committed session trajectories refreshed in place by a delta
+    #: correction (``apply_delta``'s fast path) instead of a full rebuild.
+    #: The correction work itself lands in ``sparse_steps``/``sparse_nnz``.
+    trajectories_patched: int = 0
     #: Exact serialized bytes moved through worker pipes, both directions
     #: (the multiprocess backends frame their own messages, so this is a
     #: measurement, not an estimate).  The zero-copy shm transport
@@ -208,6 +213,7 @@ class SelectionSession:
 
     def __init__(self, engine: "ObjectiveEngine", base: SeedSet = ()) -> None:
         self.engine = engine
+        engine._register_session(self)
         self._seeds: list[int] = [int(v) for v in base]
         self._value = float(engine.evaluate_one(tuple(self._seeds)))
         self._base_size = len(self._seeds)
@@ -266,6 +272,24 @@ class SelectionSession:
 
     def _apply_commit(self, seed: int) -> None:
         """Backend hook: update warm state before the seed is recorded."""
+
+    def _on_delta(self, report: DeltaReport, mode: str = "auto") -> None:
+        """Refresh session state after the problem absorbed ``report``.
+
+        The backend-agnostic fallback re-evaluates every committed prefix
+        against the engine's (already delta-patched) state — always
+        correct, no warm state to keep.  Backends with warm trajectories
+        override this (see :class:`BatchedDMSession`).
+        """
+        del mode
+        if report.empty:
+            return
+        values = [
+            float(self.engine.evaluate_one(tuple(self._seeds[:i])))
+            for i in range(self._base_size, len(self._seeds) + 1)
+        ]
+        self._prefix_values = values
+        self._value = values[-1]
 
     # ------------------------------------------------------------------
     # Nested-prefix probes (the win-min binary search)
@@ -326,6 +350,12 @@ class ObjectiveEngine(ABC):
     def __init__(self, problem: FJVoteProblem) -> None:
         self.problem = problem
         self.stats = EngineStats()
+        #: Live sessions, refreshed by :meth:`apply_delta`.  Weak so a
+        #: discarded session costs nothing.
+        self._sessions: "weakref.WeakSet[SelectionSession]" = weakref.WeakSet()
+
+    def _register_session(self, session: "SelectionSession") -> None:
+        self._sessions.add(session)
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -356,6 +386,28 @@ class ObjectiveEngine(ABC):
         bound), so the driver can rebase sessions opened beforehand.
         """
         return False
+
+    def apply_delta(self, report: DeltaReport, *, sessions: str = "auto") -> None:
+        """Absorb a :class:`~repro.core.problem.DeltaReport` into warm state.
+
+        Call after ``problem.apply_delta`` so engine caches derived from
+        the (now surgically updated) problem stay consistent.  The base
+        implementation refreshes every live session; backends with
+        problem-derived caches (the pre-scaled ``W^T`` of
+        :class:`BatchedDMEngine`, a :class:`~repro.core.walk_store.WalkStore`,
+        worker-pool replicas) extend it.
+
+        ``sessions`` selects how committed session trajectories are
+        refreshed: ``"patch"`` evolves only the delta correction seeded at
+        touched nodes, ``"rebuild"`` marks them for a lazy bitwise-exact
+        replay, ``"auto"`` patches when the touched set is small.
+        """
+        if sessions not in ("auto", "patch", "rebuild"):
+            raise ValueError(
+                f"sessions must be 'auto', 'patch' or 'rebuild', got {sessions!r}"
+            )
+        for session in list(self._sessions):
+            session._on_delta(report, sessions)
 
     def close(self) -> None:
         """Release backend resources (worker pools, device memory).
@@ -443,19 +495,29 @@ class BatchedDMSession(SelectionSession):
         # Deliberately skips SelectionSession.__init__: the base value is
         # read off the committed trajectory instead of a fresh evaluation.
         self.engine = engine
+        engine._register_session(self)
         self._seeds = [int(v) for v in base]
         self._traj = engine.problem.target_trajectory(tuple(self._seeds))
         self._value = float(engine.score_target_row(self._traj[-1]))
         self._base_size = len(self._seeds)
         self._prefix_values = [self._value]
         self._probe_cache: dict[int, np.ndarray] = {}
+        self._needs_rebuild = False
+        self._prefix_dirty = False
+
+    @property
+    def value(self) -> float:
+        self._ensure_fresh()
+        return self._value
 
     def marginal_gains(self, candidates: SeedSet) -> np.ndarray:
+        self._ensure_fresh()
         committed = np.asarray(self._seeds, dtype=np.int64)
         values = self.engine.extension_values(self._traj, committed, candidates)
         return values - self._value
 
     def commit(self, seed: int, *, gain: float | None = None) -> float:
+        self._ensure_fresh()
         seed = int(seed)
         self._traj = self.engine.extend_trajectory(
             self._traj,
@@ -468,6 +530,182 @@ class BatchedDMSession(SelectionSession):
         self._value += float(gain)
         self._prefix_values.append(self._value)
         return self._value
+
+    # ------------------------------------------------------------------
+    # Delta refresh (engine.apply_delta)
+    # ------------------------------------------------------------------
+    def _on_delta(self, report: DeltaReport, mode: str = "auto") -> None:
+        """Patch or lazily rebuild the committed trajectory after a delta.
+
+        Graph/opinion churn that touches the *target* invalidates the
+        committed trajectory: the fast path evolves only the correction
+        term seeded at the touched nodes and adds it on
+        (:meth:`_patch_trajectory`), the fallback marks the session for a
+        lazy full replay of its commits — bitwise identical to a session
+        built from scratch on the patched problem.  Churn that touches
+        only competitors leaves the trajectory valid; just the scores are
+        refreshed.  Prefix-probe caches never survive a delta.
+        """
+        problem = self.engine.problem
+        dirty = set(report.touched_by_candidate) | set(report.opinions_by_candidate)
+        if not dirty:
+            return
+        self._probe_cache.clear()
+        target = problem.target
+        target_dirty = target in dirty
+        if not target_dirty:
+            # Competitor-only churn: trajectory (target dynamics) intact,
+            # but every stored score was computed against stale rivals.
+            self._value = float(self.engine.score_target_row(self._traj[-1]))
+            self._prefix_values[-1] = self._value
+            self._prefix_dirty = len(self._seeds) > self._base_size
+            return
+        touched = report.target_touched(target)
+        opinion_nodes = report.opinions_by_candidate.get(
+            target, np.empty(0, dtype=np.int64)
+        )
+        n = problem.n
+        if mode == "patch" or (
+            mode == "auto"
+            and touched.size + opinion_nodes.size <= max(8, n // 8)
+        ):
+            self._patch_trajectory(report)
+        else:
+            self._needs_rebuild = True
+
+    def _ensure_fresh(self) -> None:
+        if self._needs_rebuild:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Full replay of the committed seeds — the bitwise-exact fallback.
+
+        Reproduces exactly what a fresh session would hold after the same
+        commit sequence: the base-seed trajectory plus one
+        :meth:`BatchedDMEngine.extend_trajectory` per committed seed, with
+        each prefix value read off its horizon row.
+        """
+        self._needs_rebuild = False
+        engine = self.engine
+        traj = engine.problem.target_trajectory(tuple(self._seeds[: self._base_size]))
+        values = [float(engine.score_target_row(traj[-1]))]
+        for i in range(self._base_size, len(self._seeds)):
+            traj = engine.extend_trajectory(
+                traj,
+                np.asarray(self._seeds[:i], dtype=np.int64),
+                np.array([self._seeds[i]], dtype=np.int64),
+            )
+            values.append(float(engine.score_target_row(traj[-1])))
+        self._traj = traj
+        self._value = values[-1]
+        self._prefix_values = values
+        self._prefix_dirty = False
+
+    def _patch_trajectory(self, report: DeltaReport) -> None:
+        """Evolve the delta correction and add it onto the trajectory.
+
+        Write the committed trajectory as ``b_old`` and the post-delta one
+        as ``b_old + e``.  The correction obeys
+
+        ``e(s+1) = (1-d)·(Wₙᵀ e(s)) + (1-d)·(ΔWᵀ b_old(s)) + d·Δb⁰``
+
+        with ``e`` zeroed at pinned (committed/base) seeds.  ``ΔWᵀ`` has
+        nonzero rows exactly at the touched nodes, so the forcing term is
+        evaluated only there — ``(1-d)·(W_oldᵀ b_old(s))`` is recovered
+        from the stored trajectory itself (``b_old(s+1) - d·b⁰_old`` off
+        the pins), no copy of the pre-delta matrix needed.  ``e`` is
+        carried sparsely; its footprint (and ``stats.sparse_nnz``) scales
+        with how far the touched set's influence has spread, not with
+        ``n``.  Values match the rebuild to machine precision (the
+        bitwise-exact path is :meth:`_rebuild`).
+        """
+        engine = self.engine
+        problem = engine.problem
+        n = problem.n
+        target = problem.target
+        horizon = self._traj.shape[0] - 1
+        d = problem.state.stubbornness[target]
+        touched = report.target_touched(target)
+        nodes, shift = report.opinion_deltas.get(
+            target, (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        )
+        pins = np.unique(np.asarray(self._seeds, dtype=np.int64))
+        pin_mask = np.zeros(n, dtype=bool)
+        pin_mask[pins] = True
+        # d·Δb⁰ forcing (constant across steps), zero at pins.
+        op_force = sparse.csr_matrix((n, 1), dtype=np.float64)
+        if nodes.size:
+            keep = ~pin_mask[nodes]
+            op_force = sparse.csr_matrix(
+                (d[nodes[keep]] * shift[keep], (nodes[keep], np.zeros(keep.sum(), dtype=np.int64))),
+                shape=(n, 1),
+            )
+        wt = engine._wt_scaled
+        old = self._traj
+        new = old.copy()
+        # e(0) = Δb⁰ off the pins.
+        e = sparse.csr_matrix((n, 1), dtype=np.float64)
+        if nodes.size:
+            keep = ~pin_mask[nodes]
+            e = sparse.csr_matrix(
+                (shift[keep], (nodes[keep], np.zeros(keep.sum(), dtype=np.int64))),
+                shape=(n, 1),
+            )
+            dense0 = np.zeros(n)
+            dense0[nodes[keep]] = shift[keep]
+            new[0] = old[0] + dense0
+        b0_old = problem.state.initial_opinions[target].astype(np.float64).copy()
+        if nodes.size:
+            b0_old[nodes] -= shift
+        free_touched = touched[~pin_mask[touched]] if touched.size else touched
+        for s in range(horizon):
+            engine.stats.sparse_steps += 1
+            engine.stats.sparse_nnz += e.nnz
+            e = wt @ e
+            # Forcing at touched rows: (1-d)(Wₙᵀ b_old(s)) − (1-d)(W_oldᵀ b_old(s)).
+            if free_touched.size:
+                new_rows = np.asarray(
+                    wt[free_touched] @ old[s], dtype=np.float64
+                ).ravel()
+                old_rows = old[s + 1][free_touched] - d[free_touched] * b0_old[free_touched]
+                force = sparse.csr_matrix(
+                    (
+                        new_rows - old_rows,
+                        (free_touched, np.zeros(free_touched.size, dtype=np.int64)),
+                    ),
+                    shape=(n, 1),
+                )
+                e = e + force
+            if op_force.nnz:
+                e = e + op_force
+            if pins.size:
+                e = e.tolil()
+                e[pins, 0] = 0.0
+                e = e.tocsr()
+                e.eliminate_zeros()
+            new[s + 1] = old[s + 1] + e.toarray().ravel()
+        engine.stats.trajectories_patched += 1
+        self._traj = new
+        self._value = float(engine.score_target_row(new[-1]))
+        self._prefix_values[-1] = self._value
+        self._prefix_dirty = len(self._seeds) > self._base_size
+        self._needs_rebuild = False
+
+    def _refresh_prefix_values(self) -> None:
+        """Recompute committed-prefix values from warm probe rows."""
+        values = [
+            float(self.engine.score_target_row(self._prefix_horizon_row(k)))
+            for k in range(self._base_size, len(self._seeds) + 1)
+        ]
+        self._prefix_values = values
+        self._value = values[-1]
+        self._prefix_dirty = False
+
+    def prefix_values(self, sizes: Iterable[int]) -> np.ndarray:
+        self._ensure_fresh()
+        if self._prefix_dirty:
+            self._refresh_prefix_values()
+        return super().prefix_values(sizes)
 
     # ------------------------------------------------------------------
     def _prefix_horizon_row(self, k: int) -> np.ndarray:
@@ -499,6 +737,7 @@ class BatchedDMSession(SelectionSession):
         return traj[-1]
 
     def prefix_wins(self, k: int) -> bool:
+        self._ensure_fresh()
         return self.engine.problem.target_wins_from_row(
             self._prefix_horizon_row(k)
         )
@@ -576,8 +815,11 @@ class BatchedDMEngine(ObjectiveEngine):
         if self.batch_rows < 1:
             raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
         self.densify_threshold = float(densify_threshold)
-        state = problem.state
-        q = problem.target
+        self._build_wt_scaled()
+
+    def _build_wt_scaled(self) -> None:
+        state = self.problem.state
+        q = self.problem.target
         d = state.stubbornness[q]
         # W^T with rows pre-scaled by (1 - d): one sparse product per FJ
         # step, ``delta(s+1) = WT_scaled @ delta(s)`` in (n, C) layout.
@@ -587,6 +829,18 @@ class BatchedDMEngine(ObjectiveEngine):
         # Fully-stubborn users leave explicit zero rows behind; prune them
         # so they cost nothing in every subsequent product.
         self._wt_scaled.eliminate_zeros()
+
+    def apply_delta(self, report, *, sessions: str = "auto") -> None:
+        """Refresh the pre-scaled operator, then patch live sessions.
+
+        ``_wt_scaled`` derives from the target graph, so it is rebuilt
+        (O(nnz), no FJ work) whenever the target's graph was touched;
+        session trajectories are then corrected per the ``sessions`` mode
+        (see :meth:`ObjectiveEngine.apply_delta`).
+        """
+        if report.target_touched(self.problem.target).size:
+            self._build_wt_scaled()
+        super().apply_delta(report, sessions=sessions)
 
     # ------------------------------------------------------------------
     def open_session(self, base: SeedSet = ()) -> BatchedDMSession:
@@ -1238,6 +1492,28 @@ class WalkEngine(ObjectiveEngine):
         """Release the private store's generation workers, if any."""
         if self._owns_store:
             self.store.close()
+
+    def apply_delta(self, report, *, sessions: str = "auto") -> None:
+        """Patch the walk store, rebind the walk view, refresh sessions.
+
+        Store patching is idempotent per graph version, so engines
+        sharing one store can each forward the same report.  Opinion-only
+        deltas leave every stored walk byte intact — the rebound view just
+        reads its estimates from the new ``B⁰``.
+        """
+        if report.empty:
+            return
+        self.store.apply_delta(report)
+        if self.walks is not None:
+            if self.grouping == "start":
+                self._bind_walks(
+                    self.store.per_node_view(self.problem.target, self.walks_per_node)
+                )
+            else:
+                self._bind_walks(
+                    self.store.uniform_view(self.problem.target, self.theta)
+                )
+        super().apply_delta(report, sessions=sessions)
 
     # ------------------------------------------------------------------
     def open_session(self, base: SeedSet = ()) -> WalkSession:

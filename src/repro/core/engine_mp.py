@@ -172,6 +172,106 @@ def _resolve(value, attach):
     return value
 
 
+def _unique_graphs(state) -> list:
+    """Deduplicated graphs in first-occurrence order (the gid order of
+    ``FJVoteProblem.share_arrays``) — parent and workers derive identical
+    gids from their own state, so delta broadcasts can address graphs by
+    gid without shipping object identities."""
+    seen: dict[int, None] = {}
+    graphs = []
+    for graph in state.graphs:
+        if id(graph) not in seen:
+            seen[id(graph)] = None
+            graphs.append(graph)
+    return graphs
+
+
+def _worker_apply_delta(
+    problem: FJVoteProblem,
+    engine: BatchedDMEngine,
+    sessions: dict,
+    report,
+    columns_by_gid,
+    opinions,
+    new_refs,
+    attach,
+) -> None:
+    """Fold a parent delta broadcast into the worker's problem and engine.
+
+    Shared-memory workers only re-map structurally changed matrices
+    (``new_refs``) — data-only patches already landed in the mapped
+    segments — and adopt versions/cache drops via ``note_external_delta``.
+    Pipe workers splice the shipped post-delta columns and opinion rows
+    into their private arrays (never re-running the surgery: the parent
+    ships final bytes, keeping worker state bit-identical).  Idempotent
+    per problem version, so a re-broadcast is a no-op.
+    """
+    if (
+        problem.graph_version >= report.graph_version
+        and problem.opinion_version >= report.opinion_version
+    ):
+        return
+    graphs = _unique_graphs(problem.state)
+    if attach is not None:
+        if new_refs:
+            from scipy import sparse
+
+            for gid_key, refs in new_refs.items():
+                graph = graphs[int(gid_key)]
+                parts = {}
+                matrix_kinds = (
+                    ("csr", sparse.csr_matrix),
+                    ("csc", sparse.csc_matrix),
+                )
+                for orient, kind in matrix_kinds:
+                    parts[orient] = kind(
+                        (
+                            attach.array(refs[f"{orient}.data"][1:]),
+                            attach.array(refs[f"{orient}.indices"][1:]),
+                            attach.array(refs[f"{orient}.indptr"][1:]),
+                        ),
+                        shape=(problem.n, problem.n),
+                        copy=False,
+                    )
+                graph._csr = parts["csr"]
+                graph._csc = parts["csc"]
+        problem.note_external_delta(report)
+    else:
+        if columns_by_gid:
+            for gid_key, columns in columns_by_gid.items():
+                graphs[int(gid_key)].adopt_columns(
+                    columns, graphs[int(gid_key)].version + 1
+                )
+        if opinions:
+            b0 = problem.state.initial_opinions
+            b0.setflags(write=True)
+            try:
+                for q, nodes, values in opinions:
+                    b0[int(q), np.asarray(nodes, dtype=np.int64)] = values
+            finally:
+                b0.setflags(write=False)
+        # Versions/caches: same selective invalidation as the shm path
+        # (graph versions were already advanced by adopt_columns).
+        problem.graph_version = report.graph_version
+        problem.opinion_version = report.opinion_version
+        dirty = set(report.touched_by_candidate) | set(
+            report.opinions_by_candidate
+        )
+        if problem.target in dirty:
+            problem._base_target = None
+            problem._base_trajectory = None
+            problem._seeded_trajectories.clear()
+        if dirty - {problem.target}:
+            problem._competitors = None
+            problem._others_by_user = None
+    if report.target_touched(problem.target).size:
+        engine._build_wt_scaled()
+    dirty = set(report.touched_by_candidate) | set(report.opinions_by_candidate)
+    if problem.target in dirty:
+        for state in sessions.values():
+            state["traj"] = None  # rebuilt lazily from the seed sequence
+
+
 def _rebuild_session(engine: BatchedDMEngine, base: tuple, seeds: tuple) -> dict:
     """Worker-side committed state for a session, rebuilt from scratch.
 
@@ -268,6 +368,18 @@ def _worker_main(conn, problem_payload, engine_kwargs: dict, shm_info=None) -> N
                 _, lengths, values, reply_ref = message
                 sets = _split_sets(_resolve(lengths, attach), _resolve(values, attach))
                 payload = engine.target_opinion_rows(sets)
+            elif op == "delta":
+                _, report, columns_by_gid, opinions, new_refs = message
+                _worker_apply_delta(
+                    problem,
+                    engine,
+                    sessions,
+                    report,
+                    columns_by_gid,
+                    opinions,
+                    new_refs,
+                    attach,
+                )
             elif op == "commit":
                 _, sid, base, before, seed = message
                 if commit_view is not None:
@@ -352,6 +464,7 @@ class MultiprocessDMSession(BatchedDMSession):
         self._sid = engine._next_session_id()
 
     def marginal_gains(self, candidates: SeedSet) -> np.ndarray:
+        self._ensure_fresh()  # a delta may have scheduled a lazy rebuild
         values = self.engine.session_extension_values(
             self._sid, self._base, tuple(self._seeds), self._traj, candidates
         )
@@ -364,6 +477,14 @@ class MultiprocessDMSession(BatchedDMSession):
             self._sid, self._base, before, int(seed), self._traj
         )
         return value
+
+    def _on_delta(self, report, mode: str) -> None:
+        # Workers rebuild their committed trajectories from the seed
+        # sequence after a delta, so the parent must rebuild too: a
+        # patched (floating-point-corrected) parent trajectory would
+        # disagree bitwise with the worker-side rebuilds that fanned-out
+        # rounds read from.
+        super()._on_delta(report, "rebuild")
 
 
 class MultiprocessDMEngine(BatchedDMEngine):
@@ -442,6 +563,7 @@ class MultiprocessDMEngine(BatchedDMEngine):
         self._request_slabs = None
         self._reply_slabs = None
         self._commit_view: np.ndarray | None = None
+        self._shared_refs: dict | None = None
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -458,6 +580,10 @@ class MultiprocessDMEngine(BatchedDMEngine):
                 skeleton, arrays = self.problem.share_arrays()
                 refs = {key: arena.share_array(a) for key, a in arrays.items()}
                 problem_payload = (skeleton, refs)
+                # Retained so a later delta broadcast can patch the mapped
+                # problem arrays in place (or re-share structurally
+                # changed ones) instead of re-shipping the problem.
+                self._shared_refs = refs
                 shape = (self.problem.horizon + 1, self.problem.n)
                 segment = arena.create(8 * shape[0] * shape[1])
                 self._commit_view = np.ndarray(
@@ -498,6 +624,7 @@ class MultiprocessDMEngine(BatchedDMEngine):
         self._request_slabs = None
         self._reply_slabs = None
         self._commit_view = None
+        self._shared_refs = None
         try:
             if handles:
                 stop_worker_pool(
@@ -713,6 +840,117 @@ class MultiprocessDMEngine(BatchedDMEngine):
                 messages.append(("ext", sid, base, seeds, part, None))
                 pending.append(None)
         return np.concatenate(self._run(messages, pending))
+
+    def apply_delta(self, report, *, sessions: str = "auto") -> None:
+        """Broadcast a delta to the pool, then refresh the parent engine.
+
+        Workers patch their problem state in place instead of being
+        restarted with a re-shipped problem: under ``pipe`` the broadcast
+        carries only the touched columns' post-delta bytes (and changed
+        opinion rows); under ``shm`` the parent patches the mapped
+        segments directly — workers observe the new bytes without any
+        message payload — re-sharing only matrices whose sparsity
+        structure changed.  Warm sessions are rebuilt (never patched):
+        workers reconstruct committed trajectories from seed sequences,
+        and parent/worker state must stay bitwise identical.  A pool that
+        has not started yet needs no broadcast — it forks from the
+        already-patched problem.
+        """
+        if report.empty:
+            return
+        if self._handles is not None:
+            columns_by_gid = None
+            opinions = None
+            new_refs = None
+            if self.transport == "shm":
+                new_refs = self._republish_delta(report)
+            else:
+                state = self.problem.state
+                graphs = _unique_graphs(state)
+                gid_of = {id(g): i for i, g in enumerate(graphs)}
+                columns_by_gid = {}
+                for q, touched in report.touched_by_candidate.items():
+                    graph = state.graph(int(q))
+                    gid = gid_of[id(graph)]
+                    if gid in columns_by_gid:
+                        continue
+                    columns_by_gid[gid] = {
+                        int(t): tuple(
+                            np.array(part)
+                            for part in graph.in_neighbors(int(t))
+                        )
+                        for t in np.asarray(touched, dtype=np.int64)
+                    }
+                if report.opinions_by_candidate:
+                    b0 = state.initial_opinions
+                    opinions = [
+                        (
+                            int(q),
+                            np.asarray(nodes, dtype=np.int64),
+                            np.array(b0[int(q), np.asarray(nodes, dtype=np.int64)]),
+                        )
+                        for q, nodes in report.opinions_by_candidate.items()
+                    ]
+            self._run(
+                [("delta", report, columns_by_gid, opinions, new_refs)]
+                * self.workers
+            )
+        super().apply_delta(report, sessions=sessions)
+
+    def _republish_delta(self, report) -> dict | None:
+        """Patch the shared problem segments in place; re-share on growth.
+
+        Returns ``{gid: {"csr.data": tagged ref, ...}}`` for graphs whose
+        arrays changed shape (structural deltas) — workers rebuild those
+        matrix views; everything else was patched inside the live
+        segments and needs no message payload at all.
+        """
+        refs = self._shared_refs
+        arena = self._arena
+        if refs is None or arena is None:
+            return None
+        state = self.problem.state
+        graphs = _unique_graphs(state)
+        gid_of = {id(g): i for i, g in enumerate(graphs)}
+        touched_gids = sorted(
+            {gid_of[id(state.graph(int(q)))] for q in report.touched_by_candidate}
+        )
+        new_refs: dict[int, dict[str, tuple]] = {}
+        for gid in touched_gids:
+            graph = graphs[gid]
+            replaced = False
+            for orient in ("csr", "csc"):
+                matrix = getattr(graph, orient)
+                for part in ("data", "indices", "indptr"):
+                    key = f"g{gid}.{orient}.{part}"
+                    ref = refs[key]
+                    array = np.ascontiguousarray(getattr(matrix, part))
+                    if (
+                        tuple(ref[2]) == tuple(array.shape)
+                        and np.dtype(ref[1]) == array.dtype
+                    ):
+                        arena.view(ref)[...] = array
+                    else:
+                        old_name = ref[0]
+                        refs[key] = arena.share_array(array)
+                        arena.release(old_name)
+                        replaced = True
+            if replaced:
+                # Ship the full matrix ref set so the worker re-maps both
+                # orientations coherently (some parts may be unreplaced
+                # in-place segments — the refs are current either way).
+                new_refs[gid] = {
+                    f"{orient}.{part}": (
+                        _SHM_TAG,
+                        *refs[f"g{gid}.{orient}.{part}"],
+                    )
+                    for orient in ("csr", "csc")
+                    for part in ("data", "indices", "indptr")
+                }
+        if report.opinions_by_candidate:
+            ref = refs["initial_opinions"]
+            arena.view(ref)[...] = state.initial_opinions
+        return new_refs or None
 
     def broadcast_commit(
         self,

@@ -9,6 +9,8 @@ independently, §II-B), so they are computed once and cached.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.opinion.fj import fj_evolve
@@ -16,6 +18,60 @@ from repro.opinion.state import CampaignState
 from repro.utils.validation import check_time_horizon
 from repro.voting.rules import is_strict_winner, score_all_candidates
 from repro.voting.scores import SeparableScore, VotingScore
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """What :meth:`FJVoteProblem.apply_delta` changed, for cache layers.
+
+    Downstream consumers (``BatchedDMEngine.apply_delta``,
+    ``WalkStore.apply_delta``, the ``dm-mp`` delta broadcast) key their
+    invalidation on this report instead of re-deriving it from the graph.
+
+    Attributes
+    ----------
+    graph_version / opinion_version:
+        The problem's monotone versions *after* this delta.  Only graph
+        (edge) changes bump ``graph_version`` — persisted walk stores key
+        their validity on it, because stored walks depend on the graph and
+        stubbornness but never on initial opinions.
+    touched_nodes:
+        Sorted union, over all changed graphs, of columns whose in-edge
+        distribution changed (the nodes a reverse walk must not step *from*
+        for its stored bytes to stay valid).
+    touched_by_candidate:
+        Per-candidate view of ``touched_nodes`` (candidates sharing a
+        changed graph all appear).
+    opinions_by_candidate:
+        Per-candidate sorted node arrays whose initial opinions changed.
+    structural:
+        Whether any graph's sparsity pattern changed (insert/remove) as
+        opposed to in-place weight rewrites.
+    """
+
+    graph_version: int
+    opinion_version: int
+    touched_nodes: np.ndarray
+    touched_by_candidate: dict[int, np.ndarray] = field(default_factory=dict)
+    opinions_by_candidate: dict[int, np.ndarray] = field(default_factory=dict)
+    #: Per-candidate ``(nodes, new - old)`` opinion shifts, aligned with
+    #: ``opinions_by_candidate`` — what a session correction patch seeds
+    #: its ``d·Δb⁰`` forcing term with.
+    opinion_deltas: dict[int, tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict
+    )
+    structural: bool = False
+    edges_added: int = 0
+    edges_removed: int = 0
+    competitor_rows_refreshed: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not self.touched_by_candidate and not self.opinions_by_candidate
+
+    def target_touched(self, target: int) -> np.ndarray:
+        """Graph-touched nodes for candidate ``target`` (empty if untouched)."""
+        return self.touched_by_candidate.get(target, np.empty(0, dtype=np.int64))
 
 
 class FJVoteProblem:
@@ -66,6 +122,16 @@ class FJVoteProblem:
         self._base_target: np.ndarray | None = None
         self._base_trajectory: np.ndarray | None = None
         self._seeded_trajectories: dict[tuple[int, ...], np.ndarray] = {}
+        #: Monotone counters bumped by :meth:`apply_delta` (graph / opinion
+        #: churn respectively).  Persisted walk stores pin ``graph_version``.
+        self.graph_version = 0
+        self.opinion_version = 0
+        #: Number of FJ evolution steps (one dense n-vector update each)
+        #: spent filling this problem's caches — competitor rows, base
+        #: target row/trajectory, seeded trajectories, and delta-driven
+        #: refreshes.  Benchmarks compare this across incremental vs.
+        #: from-scratch refresh paths.
+        self.evolution_steps = 0
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -98,6 +164,7 @@ class FJVoteProblem:
                     b0_x = self.state.initial_opinions[x]
                     d_x = self.state.stubbornness[x]
                 rows.append(fj_evolve(b0_x, d_x, self.state.graph(x), self.horizon))
+                self.evolution_steps += self.horizon
             self._competitors = (
                 np.vstack(rows) if rows else np.empty((0, self.n), dtype=np.float64)
             )
@@ -120,8 +187,10 @@ class FJVoteProblem:
                     self.state.graph(self.target),
                     self.horizon,
                 )
+                self.evolution_steps += self.horizon
             return self._base_target
         b0, d = self.state.seeded(self.target, seeds)
+        self.evolution_steps += self.horizon
         return fj_evolve(b0, d, self.state.graph(self.target), self.horizon)
 
     #: Seeded trajectories kept alive at once (FIFO eviction).  Each entry is
@@ -154,6 +223,7 @@ class FJVoteProblem:
                     b0, d, self.state.graph(self.target), self.horizon
                 )
                 cached = np.vstack([b[None, :] for b in steps])
+                self.evolution_steps += self.horizon
                 while len(self._seeded_trajectories) >= self.SEEDED_TRAJECTORY_CACHE:
                     self._seeded_trajectories.pop(
                         next(iter(self._seeded_trajectories))
@@ -170,9 +240,162 @@ class FJVoteProblem:
                 self.horizon,
             )
             self._base_trajectory = np.vstack([b[None, :] for b in steps])
+            self.evolution_steps += self.horizon
             if self._base_target is None:
                 self._base_target = self._base_trajectory[-1]
         return self._base_trajectory
+
+    # ------------------------------------------------------------------
+    # Incremental deltas
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        edges_added: "list[tuple[int, int, float]] | tuple" = (),
+        edges_removed: "list[tuple[int, int]] | tuple" = (),
+        opinions_changed: "list[tuple[int, int, float]] | tuple" = (),
+        *,
+        candidate: int | None = None,
+    ) -> DeltaReport:
+        """Apply graph/opinion churn in place; re-solve cost scales with it.
+
+        ``edges_added`` / ``edges_removed`` are forwarded to
+        :meth:`InfluenceGraph.apply_edge_delta` on ``candidate``'s graph
+        (default: the target's); candidates *sharing* that graph object are
+        all marked touched.  ``opinions_changed`` holds ``(candidate, node,
+        value)`` triples rewriting initial opinions (clipped to ``[0, 1]``).
+
+        Caches are refreshed surgically instead of dropped wholesale:
+
+        * competitor horizon rows are recomputed *only* for touched
+          competitors (bit-identical to a cold recompute — each row is an
+          independent ``fj_evolve``), untouched rows keep their bytes;
+        * the target's base row/trajectory and seeded-trajectory cache are
+          invalidated lazily only when the target itself was touched;
+        * ``graph_version`` bumps on edge churn (persisted walk stores pin
+          it), ``opinion_version`` on opinion churn (walk stores *survive*
+          opinion-only deltas — stored walks never depend on ``B⁰``).
+
+        Returns a :class:`DeltaReport` that downstream layers
+        (``BatchedDMEngine.apply_delta``, ``WalkStore.apply_delta``, the
+        ``dm-mp`` delta broadcast) consume to invalidate exactly what the
+        delta touched.
+        """
+        cand = self.target if candidate is None else int(candidate)
+        if not 0 <= cand < self.r:
+            raise ValueError(f"candidate must be in [0, {self.r}), got {cand}")
+        graph = self.state.graph(cand)
+        touched, structural = graph.apply_edge_delta(edges_added, edges_removed)
+        touched_by_candidate: dict[int, np.ndarray] = {}
+        if touched.size:
+            for q in range(self.r):
+                if self.state.graph(q) is graph:
+                    touched_by_candidate[q] = touched
+        ops = [(int(q), int(v), float(x)) for q, v, x in opinions_changed]
+        opinions_by_candidate: dict[int, np.ndarray] = {}
+        opinion_deltas: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        if ops:
+            by_cand: dict[int, dict[int, float]] = {}
+            for q, v, x in ops:
+                if not 0 <= q < self.r:
+                    raise ValueError(f"opinion candidate {q} out of range")
+                if not 0 <= v < self.n:
+                    raise ValueError(f"opinion node {v} out of range")
+                if not np.isfinite(x):
+                    raise ValueError(f"opinion value for ({q}, {v}) not finite")
+                # Last write wins when one node appears twice.
+                by_cand.setdefault(q, {})[v] = min(max(x, 0.0), 1.0)
+            b0 = self.state.initial_opinions
+            b0.setflags(write=True)
+            try:
+                for q, writes in sorted(by_cand.items()):
+                    nodes = np.array(sorted(writes), dtype=np.int64)
+                    values = np.array([writes[int(v)] for v in nodes])
+                    shift = values - b0[q, nodes]
+                    b0[q, nodes] = values
+                    opinions_by_candidate[q] = nodes
+                    opinion_deltas[q] = (nodes, shift)
+            finally:
+                b0.setflags(write=False)
+        if touched.size:
+            self.graph_version += 1
+        if ops:
+            self.opinion_version += 1
+        refreshed = self._refresh_for_delta(
+            touched_by_candidate, opinions_by_candidate
+        )
+        return DeltaReport(
+            graph_version=self.graph_version,
+            opinion_version=self.opinion_version,
+            touched_nodes=touched,
+            touched_by_candidate=touched_by_candidate,
+            opinions_by_candidate=opinions_by_candidate,
+            opinion_deltas=opinion_deltas,
+            structural=structural,
+            edges_added=len(tuple(edges_added)),
+            edges_removed=len(tuple(edges_removed)),
+            competitor_rows_refreshed=refreshed,
+        )
+
+    def note_external_delta(self, report: DeltaReport) -> None:
+        """Adopt a delta already applied to this problem's backing arrays.
+
+        Shared-memory ``dm-mp`` workers receive problems whose matrices are
+        views over a segment the parent patches in place; the worker must
+        not re-run the surgery (renormalization is not idempotent), only
+        adopt the versions and invalidate its caches.  Shared cache views
+        for touched candidates are *dropped* (not patched) so lazy refills
+        recompute from the patched matrices.
+        """
+        seen: set[int] = set()
+        for q in report.touched_by_candidate:
+            graph = self.state.graph(q)
+            if id(graph) not in seen:
+                seen.add(id(graph))
+                graph.version += 1
+        self.graph_version = report.graph_version
+        self.opinion_version = report.opinion_version
+        dirty = set(report.touched_by_candidate) | set(report.opinions_by_candidate)
+        if self.target in dirty:
+            self._base_target = None
+            self._base_trajectory = None
+            self._seeded_trajectories.clear()
+        if dirty - {self.target}:
+            self._competitors = None
+            self._others_by_user = None
+
+    def _refresh_for_delta(
+        self,
+        touched_by_candidate: dict[int, np.ndarray],
+        opinions_by_candidate: dict[int, np.ndarray],
+    ) -> int:
+        """Surgical cache refresh; returns competitor rows recomputed."""
+        dirty = set(touched_by_candidate) | set(opinions_by_candidate)
+        if self.target in dirty:
+            self._base_target = None
+            self._base_trajectory = None
+            self._seeded_trajectories.clear()
+        dirty_comps = sorted(dirty - {self.target})
+        refreshed = 0
+        if dirty_comps and self._competitors is not None:
+            others = [x for x in range(self.r) if x != self.target]
+            for x in dirty_comps:
+                row = others.index(x)
+                if x in self.competitor_seeds:
+                    b0_x, d_x = self.state.seeded(x, self.competitor_seeds[x])
+                else:
+                    b0_x = self.state.initial_opinions[x]
+                    d_x = self.state.stubbornness[x]
+                fresh = fj_evolve(b0_x, d_x, self.state.graph(x), self.horizon)
+                self.evolution_steps += self.horizon
+                if not self._competitors.flags.writeable:
+                    self._competitors = self._competitors.copy()
+                self._competitors[row] = fresh
+                if self._others_by_user is not None:
+                    if not self._others_by_user.flags.writeable:
+                        self._others_by_user = self._others_by_user.copy()
+                    self._others_by_user[:, row] = fresh
+                refreshed += 1
+        return refreshed
 
     def __getstate__(self) -> dict:
         """Pickle support for process fan-out (``--engine dm-mp``).
@@ -237,9 +460,14 @@ class FJVoteProblem:
             if value is not None:
                 arrays[f"cache{name}"] = value
                 caches.append(name)
+        graph_versions = [0] * len(graph_ids)
+        for graph in state.graphs:
+            graph_versions[graph_ids[id(graph)]] = graph.version
         skeleton = {
             "version": 1,
             "n": state.n,
+            "problem_versions": (self.graph_version, self.opinion_version),
+            "graph_versions": graph_versions,
             "graph_of_candidate": graph_of_candidate,
             "candidates": state.candidates,
             "target": self.target,
@@ -284,6 +512,7 @@ class FJVoteProblem:
                 )
             graph._csr = parts["csr"]
             graph._csc = parts["csc"]
+            graph.version = skeleton.get("graph_versions", [0] * (gid + 1))[gid]
             graphs[gid] = graph
         # Bypass CampaignState.__post_init__: the parent already validated
         # (and clipped) these arrays, and re-validating would copy them —
@@ -314,6 +543,9 @@ class FJVoteProblem:
         )
         for name in skeleton["caches"]:
             setattr(problem, name, arrays[f"cache{name}"])
+        versions = skeleton.get("problem_versions")
+        if versions is not None:
+            problem.graph_version, problem.opinion_version = versions
         return problem
 
     def full_opinions(self, seeds: np.ndarray | tuple = ()) -> np.ndarray:
@@ -381,6 +613,8 @@ class FJVoteProblem:
         clone._base_target = self._base_target
         clone._base_trajectory = self._base_trajectory
         clone._seeded_trajectories = self._seeded_trajectories
+        clone.graph_version = self.graph_version
+        clone.opinion_version = self.opinion_version
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

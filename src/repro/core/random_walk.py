@@ -81,6 +81,72 @@ def generate_reverse_walks(
     return walks, lengths
 
 
+def generate_reverse_walks_streamed(
+    graph: InfluenceGraph,
+    stubbornness: np.ndarray,
+    horizon: int,
+    starts: np.ndarray,
+    entropy: "list[int]",
+    *,
+    stream_indices: np.ndarray | None = None,
+    sampler: AliasSampler | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate reverse walks with one deterministic rng stream *per walk*.
+
+    Walk ``i`` (its ``stream_indices`` entry, defaulting to its position)
+    pre-draws a ``(horizon, 3)`` uniform grid from
+    ``SeedSequence(entropy, spawn_key=(i,))`` — per step one termination
+    draw and the two alias-method draws.  Because every walk owns its
+    uniforms, a walk is a pure function of ``(start, its grid, the columns
+    it transitions from)``: the walk store can regenerate exactly the
+    walks invalidated by a graph delta, and the patched block is
+    byte-identical to regenerating the whole block from scratch.
+
+    Returns ``(walks, lengths)`` in the :func:`generate_reverse_walks`
+    layout (``(W, horizon+1)`` int32 padded with -1).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    if starts.size and (starts.min() < 0 or starts.max() >= graph.n):
+        raise ValueError("walk start nodes out of range")
+    d = np.asarray(stubbornness, dtype=np.float64)
+    if d.shape != (graph.n,):
+        raise ValueError(f"stubbornness must have shape ({graph.n},)")
+    if sampler is None:
+        sampler = AliasSampler(graph.csc)
+    num = starts.size
+    if stream_indices is None:
+        stream_indices = np.arange(num, dtype=np.int64)
+    else:
+        stream_indices = np.asarray(stream_indices, dtype=np.int64)
+        if stream_indices.shape != (num,):
+            raise ValueError("stream_indices must match starts in length")
+    uniforms = np.empty((num, horizon, 3), dtype=np.float64)
+    for row, stream in enumerate(stream_indices):
+        seq = np.random.SeedSequence(entropy, spawn_key=(int(stream),))
+        uniforms[row] = np.random.default_rng(seq).random((horizon, 3))
+    walks = np.full((num, horizon + 1), -1, dtype=np.int32)
+    walks[:, 0] = starts
+    lengths = np.zeros(num, dtype=np.int64)
+    cur = starts.copy()
+    active = np.ones(num, dtype=bool)
+    for step in range(1, horizon + 1):
+        idx = np.where(active)[0]
+        if idx.size == 0:
+            break
+        stops = uniforms[idx, step - 1, 0] < d[cur[idx]]
+        active[idx[stops]] = False
+        go = idx[~stops]
+        if go.size == 0:
+            continue
+        nxt = sampler.sample_with(
+            cur[go], uniforms[go, step - 1, 1], uniforms[go, step - 1, 2]
+        )
+        walks[go, step] = nxt
+        cur[go] = nxt
+        lengths[go] = step
+    return walks, lengths
+
+
 class TruncatedWalks:
     """A collection of reverse walks supporting Post-Generation Truncation.
 

@@ -104,6 +104,21 @@ class ShmArena:
         view[...] = array
         return (segment.name, array.dtype.str, tuple(array.shape), 0)
 
+    def view(self, ref: ArrayRef) -> np.ndarray:
+        """A live ndarray over a ref of one of this arena's segments.
+
+        The owner-side twin of :meth:`ShmAttachments.array` — the delta
+        broadcast uses it to patch shared problem arrays in place so
+        attached workers observe the new bytes without any re-mapping.
+        """
+        name, dtype, shape, offset = ref
+        segment = self._segments.get(name)
+        if segment is None:
+            raise ValueError(f"ref {ref!r} does not name a live arena segment")
+        return np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset
+        )
+
     def release(self, name: str) -> None:
         """Unlink one segment early (e.g. a slab outgrown by reallocation)."""
         segment = self._segments.pop(name, None)

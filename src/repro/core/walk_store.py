@@ -60,7 +60,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.random_walk import TruncatedWalks, generate_reverse_walks
+from repro.core.random_walk import (
+    TruncatedWalks,
+    generate_reverse_walks_streamed,
+)
 from repro.graph.alias import AliasSampler
 from repro.graph.digraph import InfluenceGraph
 from repro.opinion.state import CampaignState
@@ -89,7 +92,10 @@ DEFAULT_RR_BLOCK = 256
 _MASTER_CACHE_CAP = 8
 
 #: On-disk shard format version (bumped on any layout/naming change).
-STORE_FORMAT = 1
+#: Format 2 switched block generation to one deterministic rng stream per
+#: walk (``generate_reverse_walks_streamed``), which is what lets a graph
+#: delta regenerate individual walks instead of whole blocks.
+STORE_FORMAT = 2
 
 #: Default cap on memory-mapped blocks kept resident per store.
 DEFAULT_RESIDENT_BLOCKS = 64
@@ -113,6 +119,12 @@ class StoreStats:
     #: through ``blocks_loaded`` with ``blocks_generated == 0``.
     blocks_written: int = 0
     blocks_loaded: int = 0
+    #: Delta traffic (:meth:`WalkStore.apply_delta`): blocks containing at
+    #: least one walk that crossed a changed column, and the individual
+    #: walks regenerated inside them.  A delta path leaves
+    #: ``blocks_generated`` untouched — no block is regenerated whole.
+    blocks_invalidated: int = 0
+    walks_patched: int = 0
     walks_generated: int = 0
     walk_steps_generated: int = 0
     index_builds: int = 0
@@ -143,15 +155,28 @@ def _generate_block(
     entropy: list[int],
     sampler: AliasSampler | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Generate one canonical block of reverse walks from its entropy."""
-    rng = np.random.default_rng(np.random.SeedSequence(entropy))
-    if kind == KIND_PER_NODE:
-        starts = np.arange(graph.n, dtype=np.int64)
-    else:
-        starts = rng.integers(0, graph.n, size=block_walks)
-    return generate_reverse_walks(
-        graph, stubbornness, horizon, starts, rng, sampler=sampler
+    """Generate one canonical block of reverse walks from its entropy.
+
+    Start nodes come from the block-level stream (uniform pools) or are
+    simply ``arange(n)`` (per-node pools); the walks themselves use one
+    sub-stream per walk (``SeedSequence(entropy, spawn_key=(i,))``), so
+    :meth:`WalkStore.apply_delta` can regenerate walk ``i`` alone and land
+    on exactly the bytes a from-scratch block generation would produce.
+    """
+    starts = _block_starts(graph.n, kind, block_walks, entropy)
+    return generate_reverse_walks_streamed(
+        graph, stubbornness, horizon, starts, entropy, sampler=sampler
     )
+
+
+def _block_starts(
+    n: int, kind: str, block_walks: int, entropy: list[int]
+) -> np.ndarray:
+    """Deterministic start nodes of one block (independent of the graph)."""
+    if kind == KIND_PER_NODE:
+        return np.arange(n, dtype=np.int64)
+    rng = np.random.default_rng(np.random.SeedSequence(entropy))
+    return rng.integers(0, n, size=block_walks)
 
 
 def _store_worker_main(conn, state: CampaignState, horizon: int) -> None:
@@ -493,6 +518,10 @@ class WalkStore:
         self.stats = StoreStats()
         self.store_dir = None if store_dir is None else Path(store_dir)
         self.resident_blocks = int(resident_blocks)
+        #: Graph surgery counters the pooled walks were drawn under, one
+        #: per candidate; :meth:`apply_delta` advances them, and mmap
+        #: persistence pins them in the manifest.
+        self._graph_versions = [int(g.version) for g in state.graphs]
         self._resident: dict[tuple[int, str, int], _WalkPool] = {}
         self._pools: dict[tuple[int, str], _WalkPool] = {}
         self._rr_pools: dict[tuple[int, str], RRSetPool] = {}
@@ -504,14 +533,29 @@ class WalkStore:
     # Memory-mapped persistence (``store_dir``)
     # ------------------------------------------------------------------
     def _manifest(self) -> dict:
-        """The identity parameters every block file name/content derives from."""
+        """The identity parameters every block file name/content derives from.
+
+        ``graph_versions`` is the delta clock: blocks on disk were drawn
+        under exactly these per-candidate surgery counters.  It is *not*
+        part of the immutable identity — :meth:`apply_delta` patches the
+        affected blocks and advances it atomically.
+        """
         return {
             "format": STORE_FORMAT,
             "root": self.root,
             "horizon": self.horizon,
             "block_walks": self.block_walks,
             "n": self.state.n,
+            "graph_versions": list(self._graph_versions),
         }
+
+    def _write_manifest(self) -> None:
+        path = self.store_dir / "manifest.json"
+        tmp = path.with_name(f"manifest.json.tmp{os.getpid()}")
+        tmp.write_text(
+            json.dumps(self._manifest(), indent=2, sort_keys=True) + "\n"
+        )
+        os.replace(tmp, path)
 
     def _open_store_dir(self) -> None:
         """Create or validate the on-disk store (atomic manifest write)."""
@@ -520,10 +564,14 @@ class WalkStore:
         path = self.store_dir / "manifest.json"
         if path.exists():
             existing = json.loads(path.read_text())
-            if existing != manifest:
+            identity = {k: v for k, v in manifest.items() if k != "graph_versions"}
+            disk_identity = {
+                k: v for k, v in existing.items() if k != "graph_versions"
+            }
+            if disk_identity != identity:
                 diffs = ", ".join(
                     f"{key}: disk={existing.get(key)!r} != ours={value!r}"
-                    for key, value in manifest.items()
+                    for key, value in identity.items()
                     if existing.get(key) != value
                 )
                 raise ValueError(
@@ -531,10 +579,17 @@ class WalkStore:
                     f"identity ({diffs}); reuse the original seed/horizon/"
                     "block_walks or point at a fresh directory"
                 )
+            if existing.get("graph_versions") != manifest["graph_versions"]:
+                raise ValueError(
+                    f"store at {self.store_dir} holds walks drawn at graph "
+                    f"versions {existing.get('graph_versions')} but the "
+                    f"current graphs are at {manifest['graph_versions']}; "
+                    "open the store before mutating the graphs and forward "
+                    "the delta through WalkStore.apply_delta, or point at a "
+                    "fresh directory"
+                )
         else:
-            tmp = path.with_name(f"manifest.json.tmp{os.getpid()}")
-            tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-            os.replace(tmp, path)
+            self._write_manifest()
 
     def _block_path(self, candidate: int, kind: str, index: int, part: str) -> Path:
         """Deterministic shard file name: one identity, one path, forever."""
@@ -597,6 +652,119 @@ class WalkStore:
             (cand, kind, evicted), owner = next(iter(self._resident.items()))
             del self._resident[(cand, kind, evicted)]
             owner.blocks[evicted] = None
+
+    # ------------------------------------------------------------------
+    # Delta invalidation (FJVoteProblem.apply_delta reports)
+    # ------------------------------------------------------------------
+    def apply_delta(self, report) -> None:
+        """Patch pooled walks after a graph/opinion delta (idempotent).
+
+        Edge churn for candidate ``q`` invalidates exactly the walks that
+        drew a transition *out of* a touched column (a reverse walk
+        consults column ``v`` only when it steps out of ``v`` before
+        terminating); every block containing at least one such walk is
+        patched in place by regenerating those walks from their per-walk
+        rng streams — and, for mmap stores, rewritten on disk — so a
+        patched pool is byte-identical to one generated from scratch
+        under the post-delta graph.  Opinion-only deltas leave every
+        block byte intact and merely drop the cached masters (their
+        per-walk values embed ``B⁰``).
+
+        Idempotent per candidate graph version, so engines sharing this
+        store can each forward the same :class:`DeltaReport`; distinct
+        reports must be forwarded in the order the deltas were applied.
+        """
+        state = self.state
+        todo: dict[int, np.ndarray] = {}
+        for cand, touched in report.touched_by_candidate.items():
+            cand = int(cand)
+            if self._graph_versions[cand] == int(state.graph(cand).version):
+                continue  # this delta already patched these pools
+            touched = np.asarray(touched, dtype=np.int64)
+            if touched.size:
+                todo[cand] = touched
+        dirty_b0 = {int(cand) for cand in report.opinions_by_candidate}
+        for cand in sorted(dirty_b0 | set(todo)):
+            for kind in (KIND_PER_NODE, KIND_UNIFORM):
+                pool = self._pools.get((cand, kind))
+                if pool is not None:
+                    pool._masters.clear()
+        if not todo:
+            return
+        # Generation workers hold a pre-delta copy of the state; stop
+        # them so the lazily restarted pool samples the patched graphs.
+        self.close()
+        for cand, touched in sorted(todo.items()):
+            graph = state.graph(cand)
+            sampler = AliasSampler(graph.csc)
+            lookup = np.zeros(state.n, dtype=bool)
+            lookup[touched] = True
+            for kind in (KIND_PER_NODE, KIND_UNIFORM):
+                pool = self._pools.get((cand, kind))
+                if pool is None:
+                    if self.store_dir is None or not self._disk_prefix(
+                        cand, kind
+                    ):
+                        continue
+                    pool = self.pool(cand, kind)
+                pool._sampler = sampler
+                pool._masters.clear()
+                for index in range(len(pool.blocks)):
+                    self._patch_block(pool, index, lookup, sampler)
+            # RR-set pools sample the graph directly; regenerate lazily.
+            self._rr_pools.pop((cand, "ic"), None)
+            self._rr_pools.pop((cand, "lt"), None)
+            self._graph_versions[cand] = int(graph.version)
+        if self.store_dir is not None:
+            self._write_manifest()
+
+    def _patch_block(
+        self,
+        pool: _WalkPool,
+        index: int,
+        touched_lookup: np.ndarray,
+        sampler: AliasSampler,
+    ) -> None:
+        """Regenerate the walks of one block that crossed a touched column."""
+        entry = pool.blocks[index]
+        from_disk = entry is None
+        if from_disk:
+            entry = self._load_block(pool.candidate, pool.kind, index)
+        walks, lengths = entry
+        width = walks.shape[1]
+        # A walk consulted column v only where it stepped out of v:
+        # padded tail positions and the end node drew no transition.
+        trans = np.arange(width)[None, :] < np.asarray(lengths)[:, None]
+        hit = trans & touched_lookup[np.where(trans, walks, 0)]
+        invalid = np.where(hit.any(axis=1))[0]
+        if invalid.size == 0:
+            if from_disk:
+                pool.blocks[index] = None  # inspection only; LRU untouched
+            return
+        state = self.state
+        entropy = _block_entropy(self.root, pool.candidate, pool.kind, index)
+        new_walks, new_lengths = generate_reverse_walks_streamed(
+            state.graph(pool.candidate),
+            state.stubbornness[pool.candidate],
+            self.horizon,
+            walks[invalid, 0].astype(np.int64),
+            entropy,
+            stream_indices=invalid,
+            sampler=sampler,
+        )
+        patched_walks = np.array(walks)
+        patched_lengths = np.array(lengths, dtype=np.int64)
+        patched_walks[invalid] = new_walks
+        patched_lengths[invalid] = new_lengths
+        pool.blocks[index] = (patched_walks, patched_lengths)
+        self.stats.blocks_invalidated += 1
+        self.stats.walks_patched += int(invalid.size)
+        self.stats.walk_steps_generated += int(new_lengths.sum())
+        if self.store_dir is not None:
+            self._write_block(
+                pool.candidate, pool.kind, index, patched_walks, patched_lengths
+            )
+            self._touch_resident(pool, index)
 
     # ------------------------------------------------------------------
     # Worker-pool lifecycle (optional, dm-mp-style)

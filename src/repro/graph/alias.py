@@ -70,13 +70,29 @@ class AliasSampler:
         """Sample one in-neighbor for each node in ``current``."""
         rng = ensure_rng(rng)
         current = np.asarray(current, dtype=np.int64)
+        u_slot = rng.random(current.size)
+        u_alias = rng.random(current.size)
+        return self.sample_with(current, u_slot, u_alias)
+
+    def sample_with(
+        self, current: np.ndarray, u_slot: np.ndarray, u_alias: np.ndarray
+    ) -> np.ndarray:
+        """Sample with caller-supplied uniforms (one pair per draw).
+
+        The pick is a deterministic function of ``(column, u_slot,
+        u_alias)`` and of the column's stored ``(indices, data)`` bytes
+        alone — columns untouched by a graph delta map the same uniforms
+        to the same in-neighbor, which is what lets the walk store
+        regenerate only the walks that crossed a changed column.
+        """
+        current = np.asarray(current, dtype=np.int64)
         deg = self._degrees[current]
         offset = self._indptr[current]
-        slot = (rng.random(current.size) * deg).astype(np.int64)
+        slot = (np.asarray(u_slot, dtype=np.float64) * deg).astype(np.int64)
         # Guard against the (measure-zero) event rng.random() == 1.0.
         np.minimum(slot, deg - 1, out=slot)
         flat = offset + slot
-        use_alias = rng.random(current.size) > self._prob[flat]
+        use_alias = np.asarray(u_alias, dtype=np.float64) > self._prob[flat]
         local = np.where(use_alias, self._alias[flat], slot)
         return self._indices[offset + local]
 

@@ -44,6 +44,10 @@ class InfluenceGraph:
         self._csr = csr
         self._csc = csr.tocsc()
         self._csc.sort_indices()
+        #: Monotonically increasing surgery counter.  Starts at 0 and is
+        #: bumped by every :meth:`apply_edge_delta`; cache layers (problem,
+        #: engine, walk store) key their validity on it.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -101,6 +105,179 @@ class InfluenceGraph:
         """
         totals = np.asarray(self._csr.sum(axis=1)).ravel()
         return totals - self._csr.diagonal()
+
+    # ------------------------------------------------------------------
+    # Incremental surgery
+    # ------------------------------------------------------------------
+    def apply_edge_delta(
+        self,
+        added: "list[tuple[int, int, float]] | tuple" = (),
+        removed: "list[tuple[int, int]] | tuple" = (),
+    ) -> tuple[np.ndarray, bool]:
+        """Apply an edge delta in place and return ``(touched, structural)``.
+
+        ``added`` holds ``(src, dst, weight)`` triples: a pair that already
+        exists gets its weight *replaced*, a new pair is inserted.  Weights
+        are interpreted relative to the column's current stored weights, and
+        every touched column is renormalized to sum to 1 afterwards (a column
+        emptied by removals receives the standard self-loop of weight 1).
+        ``removed`` holds ``(src, dst)`` pairs that must exist.
+
+        Weight-only deltas (all added pairs already present, nothing removed)
+        rewrite ``csr``/``csc`` data buffers in place, preserving the array
+        objects — shared-memory views over them observe the update without
+        any re-mapping.  Structural deltas splice the changed columns into
+        fresh canonical CSC/CSR arrays ("structural merge"); untouched
+        columns keep their exact bytes either way, so the result is
+        bit-identical to rebuilding an :class:`InfluenceGraph` from the
+        post-delta matrix.
+
+        Returns the sorted array of touched columns (nodes whose in-edge
+        distribution changed) and whether the sparsity structure changed.
+        Bumps :attr:`version` by one when the delta is non-empty.
+        """
+        n = self.n
+        add = [(int(s), int(t), float(w)) for s, t, w in added]
+        rem = [(int(s), int(t)) for s, t in removed]
+        for s, t, w in add:
+            if not (0 <= s < n and 0 <= t < n):
+                raise ValueError(f"added edge ({s}, {t}) out of range [0, {n})")
+            if w <= 0:
+                raise ValueError(
+                    f"added edge ({s}, {t}) has non-positive weight {w!r}; "
+                    "use `removed` to delete edges"
+                )
+        for s, t in rem:
+            if not (0 <= s < n and 0 <= t < n):
+                raise ValueError(f"removed edge ({s}, {t}) out of range [0, {n})")
+        if {(s, t) for s, t, _ in add} & set(rem):
+            raise ValueError("an edge appears in both `added` and `removed`")
+        if not add and not rem:
+            return np.empty(0, dtype=np.int64), False
+
+        csc = self._csc
+        touched = sorted({t for _, t, _ in add} | {t for _, t in rem})
+        # Assemble each touched column's post-delta (indices, data) pair.
+        new_cols: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        structural = False
+        for t in touched:
+            lo, hi = int(csc.indptr[t]), int(csc.indptr[t + 1])
+            col = dict(
+                zip(csc.indices[lo:hi].tolist(), csc.data[lo:hi].tolist())
+            )
+            for s, tt in rem:
+                if tt != t:
+                    continue
+                if s not in col:
+                    raise ValueError(f"cannot remove missing edge ({s}, {t})")
+                del col[s]
+            for s, tt, w in add:
+                if tt == t:
+                    col[s] = w
+            if not col:
+                col = {t: 1.0}
+            sources = np.array(sorted(col), dtype=csc.indices.dtype)
+            weights = np.array([col[int(s)] for s in sources], dtype=np.float64)
+            weights = weights / weights.sum()
+            if sources.size != hi - lo or not np.array_equal(
+                sources, csc.indices[lo:hi]
+            ):
+                structural = True
+            new_cols[t] = (sources, weights)
+
+        self._install_columns(touched, new_cols, structural)
+        self.version += 1
+        return np.asarray(touched, dtype=np.int64), structural
+
+    def adopt_columns(
+        self,
+        columns: "dict[int, tuple[np.ndarray, np.ndarray]]",
+        version: int,
+    ) -> None:
+        """Splice already-normalized post-delta columns in (worker side).
+
+        The ``dm-mp`` delta broadcast ships each touched column's final
+        ``(sources, weights)`` pair instead of the raw delta: workers must
+        not re-run :meth:`apply_edge_delta` (renormalization is not
+        idempotent), and splicing the parent's bytes keeps the worker
+        matrices bit-identical to the parent's.  ``version`` adopts the
+        parent's post-delta surgery counter.
+        """
+        if not columns:
+            return
+        csc = self._csc
+        touched = sorted(int(t) for t in columns)
+        new_cols: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        structural = False
+        for t in touched:
+            sources = np.asarray(columns[t][0], dtype=csc.indices.dtype)
+            weights = np.asarray(columns[t][1], dtype=np.float64)
+            lo, hi = int(csc.indptr[t]), int(csc.indptr[t + 1])
+            if sources.size != hi - lo or not np.array_equal(
+                sources, csc.indices[lo:hi]
+            ):
+                structural = True
+            new_cols[t] = (sources, weights)
+        self._install_columns(touched, new_cols, structural)
+        self.version = int(version)
+
+    def _install_columns(
+        self,
+        touched: "list[int]",
+        new_cols: "dict[int, tuple[np.ndarray, np.ndarray]]",
+        structural: bool,
+    ) -> None:
+        """Write post-delta columns into both orientations (in place when
+        the sparsity pattern allows, canonical splice otherwise)."""
+        n = self.n
+        csc = self._csc
+        if not structural:
+            # Data-only: write the CSC buffer in place and mirror the same
+            # values into the CSR buffer via entry-key search (the re-pin
+            # idiom of repro.core.engine).
+            for t in touched:
+                lo, hi = int(csc.indptr[t]), int(csc.indptr[t + 1])
+                csc.data[lo:hi] = new_cols[t][1]
+            csr = self._csr
+            entry_keys = (
+                np.repeat(np.arange(n, dtype=np.int64), np.diff(csr.indptr))
+                * n
+                + csr.indices
+            )
+            for t in touched:
+                sources, weights = new_cols[t]
+                pos = np.searchsorted(
+                    entry_keys, sources.astype(np.int64) * n + t
+                )
+                csr.data[pos] = weights
+        else:
+            chunks_i: list[np.ndarray] = []
+            chunks_d: list[np.ndarray] = []
+            counts = np.diff(csc.indptr).astype(np.int64)
+            prev = 0
+            for t in touched:
+                lo_prev = int(csc.indptr[prev])
+                lo_t = int(csc.indptr[t])
+                chunks_i.append(csc.indices[lo_prev:lo_t])
+                chunks_d.append(csc.data[lo_prev:lo_t])
+                sources, weights = new_cols[t]
+                chunks_i.append(sources)
+                chunks_d.append(weights)
+                counts[t] = sources.size
+                prev = t + 1
+            chunks_i.append(csc.indices[int(csc.indptr[prev]) :])
+            chunks_d.append(csc.data[int(csc.indptr[prev]) :])
+            indptr = np.zeros(n + 1, dtype=csc.indptr.dtype)
+            np.cumsum(counts, out=indptr[1:])
+            new_csc = sparse.csc_matrix(
+                (np.concatenate(chunks_d), np.concatenate(chunks_i), indptr),
+                shape=(n, n),
+            )
+            new_csc.sort_indices()
+            self._csc = new_csc
+            csr = new_csc.tocsr()
+            csr.sort_indices()
+            self._csr = csr
 
     def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(src, dst, weight)`` arrays of all edges (COO order)."""
