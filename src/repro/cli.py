@@ -5,6 +5,8 @@ Commands
 ``select``      choose k seeds on a built-in dataset with any method/score
 ``winmin``      minimum seed set for the target to win (Problem 2)
 ``case-study``  the §VIII-B ACM-election case study
+``serve``       run the request-coalescing query server over warm engines
+``serve-load``  drive concurrent load against a running server
 ``datasets``    list built-in dataset recipes
 ``methods``     list seed-selection methods
 
@@ -91,6 +93,23 @@ walk-store blocks     walks crossing a touched    **all blocks survive**
 dm-mp worker pools    touched columns patched     opinion rows patched in
                       in place / re-shared        shared memory
 ====================  ==========================  =========================
+
+Serving (``serve`` / ``serve-load``)
+------------------------------------
+``serve`` builds the problem once, keeps ``--engine`` (plus any
+``--extra-engine``) hot — worker pools forked and pinged, walk-store
+shards memory-mapped, per-prefix sessions cached — and answers queries
+over the newline-delimited JSON protocol of :mod:`repro.serve.protocol`
+on a TCP socket.  Concurrent requests that target the same (graph
+version, committed prefix) state coalesce into one engine round with
+byte-identical responses; deltas are serialized through the same queue
+and every response carries its ``graph_version``/``opinion_version``.
+The server prints one ``serving on HOST:PORT`` line when ready (port 0
+picks a free port), then the warm-store ``store:`` counters, and shuts
+down cleanly on SIGTERM/SIGINT — worker pools stop through
+``stop_worker_pool`` and shm segments are unlinked.  ``serve-load``
+fires a deterministic concurrent workload at a running server and
+reports p50/p99 latency, QPS and the server's coalescing counters.
 """
 
 from __future__ import annotations
@@ -419,6 +438,104 @@ def cmd_winmin(args: argparse.Namespace) -> int:
     return 0 if result.found else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the coalescing query server until SIGTERM/SIGINT."""
+    from repro.serve.batcher import EngineHub
+    from repro.serve.server import run_server
+
+    dataset = _build_dataset(args)
+    problem = dataset.problem(_make_score(args))
+    specs = [args.engine, *(args.extra_engine or [])]
+    # The shared-store/delta wiring keys off ``args.engine``; point it at
+    # the first rw-store spec so --store-dir opens one store for it (the
+    # spec may gain its :mmap=DIR suffix in the process).
+    store_index = next(
+        (
+            i
+            for i, spec in enumerate(specs)
+            if parse_engine_spec(spec)[0] == "rw-store"
+        ),
+        0,
+    )
+    args.engine = specs[store_index]
+    args.method = "dm"  # reuse select's store-wiring rules
+    store = _wire_store_and_delta(args, problem)
+    specs[store_index] = args.engine
+    if args.store_dir:
+        for i, spec in enumerate(specs):
+            name, kwargs = parse_engine_spec(spec)
+            if name == "rw-store" and kwargs.get("store_dir") is None:
+                specs[i] = f"{spec}:mmap={args.store_dir}"
+    hub = EngineHub(problem, specs, rng=args.seed, store=store)
+    print(
+        f"{dataset.name}: n={dataset.n}, target="
+        f"{dataset.state.candidates[dataset.target]!r}, t={problem.horizon}"
+    )
+    print("engines:", " ".join(hub.specs))
+
+    def on_ready(host: str, port: int) -> None:
+        # Parseable readiness line first (tests/scripts block on it),
+        # then the warm-store counters: a warm start shows generated=0.
+        print(f"serving on {host}:{port}", flush=True)
+        _print_store_stats(store)
+        sys.stdout.flush()
+
+    stats = run_server(
+        hub,
+        host=args.host,
+        port=args.port,
+        batch_window=args.batch_window,
+        on_ready=on_ready,
+    )
+    print(
+        "serve: "
+        + " ".join(f"{k}={v}" for k, v in sorted(stats.snapshot().items()))
+    )
+    return 0
+
+
+def cmd_serve_load(args: argparse.Namespace) -> int:
+    """Deterministic concurrent workload against a running server."""
+    import numpy as np
+
+    from repro.serve.client import request_once, run_load
+
+    probe = request_once(args.host, args.port, "stats")
+    if not probe.get("ok"):
+        raise SystemExit(f"stats probe failed: {probe.get('error')}")
+    n = int(probe["result"]["problem"]["n"])
+    rng = np.random.default_rng(args.seed)
+    prefix = [int(v) for v in rng.choice(n, size=2, replace=False)]
+    payloads: list[dict] = []
+    for i in range(args.requests):
+        if i % 4 == 3:
+            seeds = [int(v) for v in rng.choice(n, size=2, replace=False)]
+            payloads.append({"op": "prefix_win_probability", "seeds": seeds})
+        else:
+            payloads.append(
+                {
+                    "op": "marginal_gain",
+                    "seeds": prefix,
+                    "candidates": [int(rng.integers(n))],
+                }
+            )
+    report = run_load(
+        args.host, args.port, payloads, connections=args.connections
+    )
+    failures = sum(1 for r in report.responses if not r.get("ok"))
+    print(
+        f"load: requests={len(report.responses)} failures={failures} "
+        f"connections={args.connections} qps={report.qps:.1f} "
+        f"p50_ms={report.latency_percentile(50) * 1e3:.2f} "
+        f"p99_ms={report.latency_percentile(99) * 1e3:.2f}"
+    )
+    counters = request_once(args.host, args.port, "stats")["result"]["serve"]
+    print(
+        "serve: " + " ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+    )
+    return 1 if failures else 0
+
+
 def cmd_case_study(args: argparse.Namespace) -> int:
     dataset = dblp_like(n=args.users, rng=args.seed, horizon=args.horizon)
     result = acm_election_case_study(
@@ -486,6 +603,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--method", choices=METHOD_NAMES, default="rw")
     _add_engine_option(p_case)
     p_case.set_defaults(func=cmd_case_study)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the request-coalescing query server",
+        formatter_class=_SpecSafeFormatter,
+    )
+    _add_common(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="0 picks a free port (printed on the 'serving on' line)",
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="extra time the dispatcher waits for co-batchable requests; "
+        "0 still coalesces everything queued while a round is in flight",
+    )
+    p_serve.add_argument(
+        "--extra-engine",
+        action="append",
+        type=_engine_spec,
+        default=None,
+        metavar="SPEC",
+        help="additional engine spec to keep hot (repeatable; requests "
+        "pick one with their 'engine' parameter)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "serve-load", help="drive concurrent load against a running server"
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, required=True)
+    p_load.add_argument("--requests", type=int, default=64)
+    p_load.add_argument("--connections", type=int, default=8)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.set_defaults(func=cmd_serve_load)
 
     sub.add_parser("datasets", help="list datasets").set_defaults(func=cmd_datasets)
     sub.add_parser("methods", help="list methods").set_defaults(func=cmd_methods)

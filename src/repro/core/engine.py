@@ -238,6 +238,20 @@ class SelectionSession:
             self.seeds, candidates, base_objective=self._value
         )
 
+    def coalesced_gains(self, candidates: SeedSet) -> np.ndarray:
+        """Batch-stable marginal gains (the serving coalescer's contract).
+
+        Bitwise identical however the candidates are grouped into calls,
+        so a coalescing batcher may merge concurrent requests into one
+        round and still answer each byte-for-byte as if it ran alone.
+        Per-set backends evaluate candidates independently, so the plain
+        ``marginal_gains`` already satisfies the contract;
+        :class:`BatchedDMSession` overrides this to evolve one shared
+        (n, C) block and score each extension row through the canonical
+        single-row path (see :meth:`ObjectiveEngine.query_sets`).
+        """
+        return self.marginal_gains(candidates)
+
     def rebase(self) -> None:
         """Re-evaluate the base objective against the engine's current state.
 
@@ -446,6 +460,55 @@ class ObjectiveEngine(ABC):
             base_objective = self.evaluate_one(base_t)
         return values - base_objective
 
+    def query_sets(
+        self, seed_sets: Iterable[SeedSet], *, wins: bool = False
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Values (and optionally Problem-2 wins) of many sets in one call.
+
+        The serving batcher's batch-of-querysets entry: one call answers
+        every request coalesced into a round.  The contract is
+        *batch-stability* — results are bitwise identical no matter how
+        the sets are grouped into calls — so coalesced and serial
+        execution agree byte for byte.  The base implementation loops per
+        set (per-set backends are trivially batch-stable);
+        :class:`BatchedDMEngine` overrides it with one shared (n, C)
+        evolution whose horizon rows are then scored one at a time
+        through the canonical ``score_target_row`` path, because the
+        batched scoring *reduction* is the one place numpy's pairwise
+        summation depends on the batch width.
+        """
+        sets = [tuple(int(v) for v in s) for s in seed_sets]
+        values = self.evaluate(sets)
+        win_flags: np.ndarray | None = None
+        if wins:
+            win_flags = np.array(
+                [
+                    self.problem.target_wins(np.asarray(s, dtype=np.int64))
+                    for s in sets
+                ],
+                dtype=bool,
+            )
+        return values, win_flags
+
+    def pool_stats(self) -> dict[str, object]:
+        """Worker-pool accounting for the serving layer's ``stats`` op.
+
+        In-process engines report an empty, never-started pool; the
+        multiprocess backend overrides this with live round / busy-time
+        accounting and the shm segment names it currently owns (see
+        :meth:`~repro.core.engine_mp.MultiprocessDMEngine.pool_stats`).
+        """
+        return {
+            "backend": type(self).__name__,
+            "workers": 0,
+            "transport": None,
+            "started": False,
+            "rounds": 0,
+            "busy_s": 0.0,
+            "idle_s": 0.0,
+            "shm_segments": [],
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.problem!r})"
 
@@ -514,6 +577,25 @@ class BatchedDMSession(SelectionSession):
         self._ensure_fresh()
         committed = np.asarray(self._seeds, dtype=np.int64)
         values = self.engine.extension_values(self._traj, committed, candidates)
+        return values - self._value
+
+    def coalesced_gains(self, candidates: SeedSet) -> np.ndarray:
+        """Batch-stable gains: shared (n, C) evolution, per-row scoring.
+
+        The evolved extension rows are bitwise independent of how the
+        candidates are batched (sparse and dense products accumulate per
+        column), and every row is scored through ``score_target_row`` —
+        always a width-1 reduction — so the gains are too.  The session's
+        own base value already comes from ``score_target_row``, keeping
+        the subtraction on the same canonical footing.
+        """
+        self._ensure_fresh()
+        committed = np.asarray(self._seeds, dtype=np.int64)
+        rows = self.engine.extension_rows(self._traj, committed, candidates)
+        values = np.array(
+            [self.engine.score_target_row(row) for row in rows],
+            dtype=np.float64,
+        )
         return values - self._value
 
     def commit(self, seed: int, *, gain: float | None = None) -> float:
@@ -1101,6 +1183,29 @@ class BatchedDMEngine(ObjectiveEngine):
             return np.empty(0, dtype=np.float64)
         return self._chunked_scores(sets, traj=traj, zero_rows=committed)
 
+    def extension_rows(
+        self,
+        traj: np.ndarray,
+        committed: np.ndarray,
+        candidates: SeedSet,
+    ) -> np.ndarray:
+        """``(C, n)`` horizon rows of ``committed ∪ {c}`` per candidate.
+
+        Same warm-start contract as :meth:`extension_values`, but the
+        evolved rows come back unscored.  They are batch-stable (bitwise
+        identical for any candidate grouping), which lets callers score
+        each row through the canonical width-1 ``score_target_row`` path
+        — the basis of :meth:`SelectionSession.coalesced_gains` and the
+        serving batcher.
+        """
+        sets = self._normalize_sets([(int(c),) for c in np.asarray(candidates)])
+        rows = np.empty((len(sets), self.problem.n), dtype=np.float64)
+        for lo, hi, cols in self._evolve_blocks(
+            sets, traj=traj, zero_rows=committed
+        ):
+            rows[lo:hi] = cols.T
+        return rows
+
     def extend_trajectory(
         self,
         traj: np.ndarray,
@@ -1165,6 +1270,28 @@ class BatchedDMEngine(ObjectiveEngine):
         if not sets:
             return np.empty(0, dtype=np.float64)
         return self._chunked_scores(sets)
+
+    def query_sets(
+        self, seed_sets: Iterable[SeedSet], *, wins: bool = False
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """One shared (n, C) evolution, canonically scored row by row.
+
+        The evolution (``target_opinion_rows``' machinery) is batch-stable;
+        scoring and win checks run per row so they are width-1 reductions
+        regardless of ``C`` — coalesced and serial calls agree bitwise.
+        """
+        sets = self._normalize_sets(seed_sets)
+        self.stats.evaluate_calls += 1
+        self.stats.sets_evaluated += len(sets)
+        values = np.empty(len(sets), dtype=np.float64)
+        win_flags = np.empty(len(sets), dtype=bool) if wins else None
+        for lo, hi, cols in self._evolve_blocks(sets):
+            for j in range(lo, hi):
+                row = np.ascontiguousarray(cols[:, j - lo])
+                values[j] = self.score_target_row(row)
+                if win_flags is not None:
+                    win_flags[j] = self.problem.target_wins_from_row(row)
+        return values, win_flags
 
 
 class WalkSession(SelectionSession):

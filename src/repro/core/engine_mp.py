@@ -75,6 +75,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import pickle
+import time
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -338,8 +339,21 @@ def _worker_main(conn, problem_payload, engine_kwargs: dict, shm_info=None) -> N
         problem = problem_payload
     engine = BatchedDMEngine(problem, **engine_kwargs)
     sessions: dict[int, dict] = {}
+    # Workers forked later inherit duplicates of earlier workers'
+    # parent-side pipe fds, so a SIGKILLed parent does *not* deliver EOF
+    # to every sibling — watch for orphaning (reparenting) instead, or
+    # the pool (and via its held fds, the resource tracker's shm
+    # cleanup) outlives a crashed server.
+    parent_pid = os.getppid()
     while True:
         try:
+            orphaned = False
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    orphaned = True
+                    break
+            if orphaned:
+                break
             message = pickle.loads(conn.recv_bytes())
         except (EOFError, KeyboardInterrupt, OSError):
             break
@@ -362,6 +376,16 @@ def _worker_main(conn, problem_payload, engine_kwargs: dict, shm_info=None) -> N
                 cand = np.asarray(_resolve(cand, attach), dtype=np.int64)
                 state = _worker_session(engine, sessions, sid, base, seeds)
                 payload = engine.extension_values(
+                    state["traj"], np.asarray(seeds, dtype=np.int64), cand
+                )
+            elif op == "extrows":
+                # Like "ext" but unscored: the (chunk, n) horizon rows go
+                # back so the parent scores each through the canonical
+                # width-1 path (batch-stable serving responses).
+                _, sid, base, seeds, cand, reply_ref = message
+                cand = np.asarray(_resolve(cand, attach), dtype=np.int64)
+                state = _worker_session(engine, sessions, sid, base, seeds)
+                payload = engine.extension_rows(
                     state["traj"], np.asarray(seeds, dtype=np.int64), cand
                 )
             elif op == "rows":
@@ -470,6 +494,24 @@ class MultiprocessDMSession(BatchedDMSession):
         )
         return values - self._value
 
+    def coalesced_gains(self, candidates: SeedSet) -> np.ndarray:
+        """Batch-stable gains over the pool: fanned rows, parent scoring.
+
+        Workers return unscored extension rows (bitwise identical to the
+        single-process engine's at every worker count); the parent scores
+        each through the canonical width-1 path, so coalesced responses
+        match serial ones byte for byte across transports and pool sizes.
+        """
+        self._ensure_fresh()
+        rows = self.engine.session_extension_rows(
+            self._sid, self._base, tuple(self._seeds), self._traj, candidates
+        )
+        values = np.array(
+            [self.engine.score_target_row(row) for row in rows],
+            dtype=np.float64,
+        )
+        return values - self._value
+
     def commit(self, seed: int, *, gain: float | None = None) -> float:
         before = tuple(self._seeds)
         value = super().commit(seed, gain=gain)
@@ -556,6 +598,12 @@ class MultiprocessDMEngine(BatchedDMEngine):
             2 * workers if min_fanout is None else max(1, int(min_fanout))
         )
         self.worker_stats = [EngineStats() for _ in range(workers)]
+        #: Fan-out rounds dispatched and wall time spent inside them,
+        #: cumulative across pool restarts (``pool_stats`` derives idle
+        #: time from the pool's uptime).
+        self.pool_rounds = 0
+        self.pool_busy_s = 0.0
+        self._pool_started: float | None = None
         self._engine_kwargs = dict(kwargs)
         self._handles: list[_WorkerHandle] | None = None
         self._session_counter = 0
@@ -607,6 +655,7 @@ class MultiprocessDMEngine(BatchedDMEngine):
                 child_conn.close()
                 handles.append(_WorkerHandle(process, parent_conn))
             self._handles = handles
+            self._pool_started = time.monotonic()
         return self._handles
 
     def close(self) -> None:
@@ -621,6 +670,7 @@ class MultiprocessDMEngine(BatchedDMEngine):
         """
         handles, self._handles = self._handles, None
         arena, self._arena = self._arena, None
+        self._pool_started = None
         self._request_slabs = None
         self._reply_slabs = None
         self._commit_view = None
@@ -644,6 +694,35 @@ class MultiprocessDMEngine(BatchedDMEngine):
         """Round-trip every worker; returns ``(pid, process name)`` pairs."""
         return self._run([("ping",)] * self.workers)
 
+    def pool_stats(self) -> dict[str, object]:
+        """Live pool accounting (the serving layer's ``stats`` op).
+
+        ``rounds`` counts fan-out dispatches, ``busy_s`` the wall time
+        spent inside them, ``idle_s`` the remainder of the running pool's
+        uptime.  ``shm_segments`` names the arena's live segments — the
+        serving crash tests poll these to prove a killed server leaks
+        nothing.  Round/busy counters are cumulative across pool
+        restarts; only the uptime window resets.
+        """
+        started = self._handles is not None
+        uptime = 0.0
+        if started and self._pool_started is not None:
+            uptime = time.monotonic() - self._pool_started
+        busy = float(self.pool_busy_s)
+        segments: list[str] = []
+        if self._arena is not None:
+            segments = sorted(self._arena.names)
+        return {
+            "backend": type(self).__name__,
+            "workers": self.workers,
+            "transport": self.transport,
+            "started": started,
+            "rounds": int(self.pool_rounds),
+            "busy_s": round(busy, 6),
+            "idle_s": round(max(uptime - busy, 0.0), 6),
+            "shm_segments": segments,
+        }
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
@@ -659,45 +738,52 @@ class MultiprocessDMEngine(BatchedDMEngine):
         ``stats.ipc_bytes``.
         """
         handles = self._ensure_pool()
-        live: list[tuple[int, _WorkerHandle]] = []
+        round_start = time.monotonic()
         try:
-            for index, message in enumerate(messages):
-                handle = handles[index]
-                self.stats.ipc_bytes += _send_message(handle.conn, message)
-                live.append((index, handle))
-        except (BrokenPipeError, OSError) as exc:
-            # A dead worker mid-send would leave already-messaged workers
-            # with undrained replies that a later, smaller fan-out could
-            # mispair with its own requests; tear the pool down instead
-            # (it restarts lazily on the next call).
-            self.close()
-            raise RuntimeError(
-                f"dm-mp worker {len(live)} unreachable: {exc!r}"
-            ) from exc
-        out = []
-        failure: str | None = None
-        for index, handle in live:
+            live: list[tuple[int, _WorkerHandle]] = []
             try:
-                reply, nbytes = _recv_message(handle.conn)
-            except (EOFError, OSError) as exc:
-                failure = f"dm-mp worker {index} died: {exc!r}"
-                continue
-            self.stats.ipc_bytes += nbytes
-            status, result, stats = reply
-            if status != "ok":
-                failure = f"dm-mp worker {index} failed:\n{result}"
-                continue
-            for name, value in zip(_EVOLUTION_COUNTERS, stats):
-                setattr(self.stats, name, getattr(self.stats, name) + value)
-                worker = self.worker_stats[index]
-                setattr(worker, name, getattr(worker, name) + value)
-            if pending is not None and pending[index] is not None:
-                result = np.array(self._reply_slabs[index].view(pending[index]))
-            out.append(result)
-        if failure is not None:
-            self.close()
-            raise RuntimeError(failure)
-        return out
+                for index, message in enumerate(messages):
+                    handle = handles[index]
+                    self.stats.ipc_bytes += _send_message(handle.conn, message)
+                    live.append((index, handle))
+            except (BrokenPipeError, OSError) as exc:
+                # A dead worker mid-send would leave already-messaged
+                # workers with undrained replies that a later, smaller
+                # fan-out could mispair with its own requests; tear the
+                # pool down instead (it restarts lazily on the next call).
+                self.close()
+                raise RuntimeError(
+                    f"dm-mp worker {len(live)} unreachable: {exc!r}"
+                ) from exc
+            out = []
+            failure: str | None = None
+            for index, handle in live:
+                try:
+                    reply, nbytes = _recv_message(handle.conn)
+                except (EOFError, OSError) as exc:
+                    failure = f"dm-mp worker {index} died: {exc!r}"
+                    continue
+                self.stats.ipc_bytes += nbytes
+                status, result, stats = reply
+                if status != "ok":
+                    failure = f"dm-mp worker {index} failed:\n{result}"
+                    continue
+                for name, value in zip(_EVOLUTION_COUNTERS, stats):
+                    setattr(self.stats, name, getattr(self.stats, name) + value)
+                    worker = self.worker_stats[index]
+                    setattr(worker, name, getattr(worker, name) + value)
+                if pending is not None and pending[index] is not None:
+                    result = np.array(
+                        self._reply_slabs[index].view(pending[index])
+                    )
+                out.append(result)
+            if failure is not None:
+                self.close()
+                raise RuntimeError(failure)
+            return out
+        finally:
+            self.pool_rounds += 1
+            self.pool_busy_s += time.monotonic() - round_start
 
     def _chunk_indices(self, count: int) -> list[np.ndarray]:
         """Deterministic contiguous index chunks, one per worker, no empties."""
@@ -840,6 +926,61 @@ class MultiprocessDMEngine(BatchedDMEngine):
                 messages.append(("ext", sid, base, seeds, part, None))
                 pending.append(None)
         return np.concatenate(self._run(messages, pending))
+
+    def session_extension_rows(
+        self,
+        sid: int,
+        base: tuple,
+        seeds: tuple,
+        traj: np.ndarray,
+        candidates: SeedSet,
+    ) -> np.ndarray:
+        """Unscored extension rows for one session round, fanned out.
+
+        The rows counterpart of :meth:`session_extension_values`: workers
+        evolve their candidate chunks against the session's committed
+        trajectory and reply with the ``(chunk, n)`` horizon rows (written
+        straight into the reply slab under shm), so the parent can score
+        each row through the canonical width-1 path
+        (:meth:`MultiprocessDMSession.coalesced_gains`).  Rows are
+        bitwise identical to the local :meth:`BatchedDMEngine.extension_rows`
+        at every worker count and batch size.
+        """
+        cand = np.asarray(candidates, dtype=np.int64)
+        n = self.problem.n
+        if cand.size == 0:
+            return np.empty((0, n), dtype=np.float64)
+        if cand.size < self.min_fanout:
+            return self.extension_rows(
+                traj, np.asarray(seeds, dtype=np.int64), cand
+            )
+        chunks = self._chunk_indices(cand.size)
+        messages, pending = [], []
+        for worker, idx in enumerate(chunks):
+            part = cand[idx]
+            if self.transport == "shm":
+                refs, payload_ref = self._slab_request(
+                    worker, [part], (int(part.size), n)
+                )
+                messages.append(
+                    (
+                        "extrows",
+                        sid,
+                        base,
+                        seeds,
+                        refs[0],
+                        (_SHM_TAG, *payload_ref),
+                    )
+                )
+                pending.append(payload_ref)
+            else:
+                messages.append(("extrows", sid, base, seeds, part, None))
+                pending.append(None)
+        results = self._run(messages, pending)
+        rows = np.empty((cand.size, n), dtype=np.float64)
+        for idx, block in zip(chunks, results):
+            rows[idx[0] : idx[-1] + 1] = block
+        return rows
 
     def apply_delta(self, report, *, sessions: str = "auto") -> None:
         """Broadcast a delta to the pool, then refresh the parent engine.

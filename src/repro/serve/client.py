@@ -1,0 +1,179 @@
+"""Clients for the serving protocol.
+
+:class:`ServeClient` is the asyncio client: it pipelines requests on one
+connection (a background reader task matches response lines to pending
+futures by ``id``) and keeps each response's **raw line bytes** around —
+that is what the coalescing tests compare for byte-identity.
+:func:`request_once` is the synchronous one-shot helper for scripts and
+tests; :func:`run_load` drives a concurrent load against a server and
+reports per-request latencies, which backs ``repro serve-load`` and
+``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.serve.protocol import ENCODING, encode
+
+
+class ServeClient:
+    """Pipelined asyncio client for one server connection.
+
+    Use :meth:`connect`, then :meth:`request` (many may be in flight at
+    once); :meth:`close` cancels the reader and fails anything pending.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[Any, asyncio.Future] = {}
+        self._next_id = 0
+        self._read_task = asyncio.create_task(
+            self._read_loop(), name="repro-serve-client-reader"
+        )
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, op: str, **params: Any) -> dict:
+        """Send one request; returns the decoded response payload."""
+        payload, _ = await self.request_raw(op, **params)
+        return payload
+
+    async def request_raw(self, op: str, **params: Any) -> tuple[dict, bytes]:
+        """Like :meth:`request` but also returns the raw response line
+        (newline included) for byte-level comparisons."""
+        request_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(encode({"id": request_id, "op": op, **params}))
+            await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def _read_loop(self) -> None:
+        failure: Exception = ConnectionError("server closed the connection")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                payload = json.loads(line.decode(ENCODING))
+                future = self._pending.get(payload.get("id"))
+                if future is not None and not future.done():
+                    future.set_result((payload, line))
+        except Exception as exc:  # noqa: BLE001 - fail pending below
+            failure = exc
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(failure)
+
+    async def close(self) -> None:
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def request_once(
+    host: str,
+    port: int,
+    op: str,
+    *,
+    timeout: float = 30.0,
+    **params: Any,
+) -> dict:
+    """Open a connection, send one request, return the decoded response."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(encode({"id": 0, "op": op, **params}))
+        with sock.makefile("rb") as stream:
+            line = stream.readline()
+    if not line:
+        raise ConnectionError("server closed the connection without replying")
+    return json.loads(line.decode(ENCODING))
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one :func:`run_load` run, in request order."""
+
+    responses: list[dict] = field(default_factory=list)
+    raw: list[bytes] = field(default_factory=list)
+    latencies_s: list[float] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def qps(self) -> float:
+        return len(self.responses) / self.elapsed_s if self.elapsed_s else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(
+            len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+
+async def _run_load_async(
+    host: str, port: int, payloads: Sequence[dict], connections: int
+) -> LoadReport:
+    count = max(1, min(int(connections), len(payloads) or 1))
+    clients = [await ServeClient.connect(host, port) for _ in range(count)]
+    report = LoadReport()
+    try:
+
+        async def fire(slot: int, payload: dict) -> tuple[dict, bytes, float]:
+            client = clients[slot % count]
+            params = {k: v for k, v in payload.items() if k != "op"}
+            started = time.perf_counter()
+            response, line = await client.request_raw(payload["op"], **params)
+            return response, line, time.perf_counter() - started
+
+        started = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *(fire(slot, payload) for slot, payload in enumerate(payloads))
+        )
+        report.elapsed_s = time.perf_counter() - started
+        for response, line, latency in outcomes:
+            report.responses.append(response)
+            report.raw.append(line)
+            report.latencies_s.append(latency)
+    finally:
+        for client in clients:
+            await client.close()
+    return report
+
+
+def run_load(
+    host: str,
+    port: int,
+    payloads: Sequence[dict],
+    *,
+    connections: int = 8,
+) -> LoadReport:
+    """Fire ``payloads`` (dicts with an ``op`` key plus parameters)
+    concurrently over ``connections`` pipelined connections; all requests
+    launch at once, so requests across connections land in the server's
+    queue together — the load a coalescing server is built for."""
+    return asyncio.run(_run_load_async(host, port, payloads, connections))

@@ -1,0 +1,285 @@
+"""The asyncio front end: connections, the dispatcher, signal shutdown.
+
+One :class:`QueryServer` owns a stdlib ``asyncio.start_server`` listener
+and a **single dispatcher task** that drains a shared request queue.
+The drain loop *is* the coalescing window: the dispatcher takes whatever
+has accumulated (optionally sleeping ``batch_window`` seconds after the
+first request), hands the whole drain to
+:meth:`~repro.serve.batcher.CoalescingBatcher.execute` in a worker
+thread, and resolves each request's future with its response.  While a
+round is in flight new requests pile up in the queue, so concurrent
+clients coalesce naturally even with ``batch_window=0``.
+
+Connections are pipelined: each line spawns a responder task, responses
+go out in completion order (matched by ``id``) under a per-connection
+write lock.  Protocol failures answer with a structured error line and
+keep the connection open.
+
+Shutdown (``aclose`` — what the CLI's SIGTERM/SIGINT handlers trigger)
+closes the listener, cancels the dispatcher, fails queued requests, and
+closes the hub, which routes every ``dm-mp`` pool through
+:func:`repro.utils.workers.stop_worker_pool` and unlinks its shared
+memory — a killed server never leaks shm segments (the crash tests
+assert this for SIGTERM and, via the resource tracker, SIGKILL).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.serve.batcher import CoalescingBatcher, EngineHub, ServeStats
+from repro.serve.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    decode_line,
+    encode,
+    error_response,
+    parse_request,
+)
+
+
+class QueryServer:
+    """Serve one :class:`~repro.serve.batcher.EngineHub` over TCP.
+
+    Parameters
+    ----------
+    hub:
+        The warm engines (the server owns it after ``start``: ``aclose``
+        closes it).
+    host / port:
+        Bind address; port 0 picks a free port (``start`` returns the
+        bound address).
+    batch_window:
+        Extra seconds the dispatcher waits after the first request of a
+        batch before draining.  0 (default) still coalesces whatever is
+        queued — including everything that arrived while the previous
+        round was in flight.
+    """
+
+    def __init__(
+        self,
+        hub: EngineHub,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_window: float = 0.0,
+        stats: ServeStats | None = None,
+    ) -> None:
+        self.hub = hub
+        self.batcher = CoalescingBatcher(hub, stats)
+        self.host = host
+        self.port = int(port)
+        self.batch_window = float(batch_window)
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._queue: asyncio.Queue[tuple[Request, asyncio.Future]] = (
+            asyncio.Queue()
+        )
+        self._closed = False
+
+    @property
+    def stats(self) -> ServeStats:
+        return self.batcher.stats
+
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind, launch the dispatcher, warm the pools; returns the
+        bound ``(host, port)``."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.hub.warm)
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_LINE_BYTES + 2,
+        )
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-serve-dispatcher"
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def aclose(self) -> None:
+        """Stop accepting, fail queued work, release the hub (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        while not self._queue.empty():
+            request, future = self._queue.get_nowait()
+            if not future.done():
+                future.set_result(
+                    error_response(
+                        request.id, ERROR_INTERNAL, "server shutting down"
+                    )
+                )
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.hub.close)
+
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if self.batch_window > 0:
+                await asyncio.sleep(self.batch_window)
+            batch = [first]
+            while True:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            requests = [request for request, _ in batch]
+            try:
+                responses = await loop.run_in_executor(
+                    None, self.batcher.execute, requests
+                )
+            except Exception as exc:  # noqa: BLE001 - keep serving
+                for request, future in batch:
+                    if not future.done():
+                        future.set_result(
+                            error_response(
+                                request.id,
+                                ERROR_INTERNAL,
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                continue
+            for (_, future), response in zip(batch, responses):
+                if not future.done():
+                    future.set_result(response)
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        lock = asyncio.Lock()
+        responders: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Line longer than the stream limit: the framing is
+                    # unrecoverable, answer once and drop the connection.
+                    await self._write(
+                        writer,
+                        lock,
+                        error_response(
+                            None,
+                            ERROR_BAD_REQUEST,
+                            f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        ),
+                    )
+                    break
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                request_id: Any = None
+                try:
+                    payload = decode_line(line)
+                    request_id = payload.get("id")
+                    request = parse_request(payload)
+                except ProtocolError as exc:
+                    self.stats.errors += 1
+                    await self._write(
+                        writer,
+                        lock,
+                        error_response(request_id, exc.code, exc.message),
+                    )
+                    continue
+                future: asyncio.Future = (
+                    asyncio.get_running_loop().create_future()
+                )
+                await self._queue.put((request, future))
+                task = asyncio.create_task(
+                    self._respond(writer, lock, future)
+                )
+                responders.add(task)
+                task.add_done_callback(responders.discard)
+        finally:
+            if responders:
+                await asyncio.gather(*responders, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        future: asyncio.Future,
+    ) -> None:
+        response = await future
+        await self._write(writer, lock, response)
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter, lock: asyncio.Lock, response: dict
+    ) -> None:
+        async with lock:
+            try:
+                writer.write(encode(response))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # client went away; nothing to tell it
+
+
+def run_server(
+    hub: EngineHub,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    batch_window: float = 0.0,
+    on_ready: Callable[[str, int], None] | None = None,
+) -> ServeStats:
+    """Blocking entry point: serve until SIGTERM/SIGINT, then clean up.
+
+    The signal handlers set an event rather than raising, so shutdown
+    always runs :meth:`QueryServer.aclose` — worker pools are stopped via
+    ``stop_worker_pool`` and shm segments unlinked even when the process
+    is terminated externally.  Returns the final serving counters.
+    """
+    import signal
+
+    stats = ServeStats()
+
+    async def main() -> None:
+        server = QueryServer(
+            hub, host=host, port=port, batch_window=batch_window, stats=stats
+        )
+        bound_host, bound_port = await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-posix
+                pass
+        if on_ready is not None:
+            on_ready(bound_host, bound_port)
+        try:
+            await stop.wait()
+        finally:
+            await server.aclose()
+
+    asyncio.run(main())
+    return stats

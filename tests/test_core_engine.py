@@ -877,3 +877,77 @@ def test_make_engine_builds_shm_transport():
         assert isinstance(engine, MultiprocessDMEngine)
         assert engine.workers == 2
         assert engine.transport == "shm"
+
+
+# ----------------------------------------------------------------------
+# Serving seams: query_sets / coalesced_gains batch-stability
+# ----------------------------------------------------------------------
+SERVING_SPECS = ("dm", "dm-batched", "dm-mp:2", "dm-mp:2:shm")
+
+
+@pytest.mark.parametrize("spec", SERVING_SPECS)
+@pytest.mark.parametrize("score_name", ["cumulative", "plurality"])
+def test_query_sets_batch_equals_singles_bitwise(spec, score_name):
+    """The serving batch entry: one query_sets call over N sets must be
+    bitwise the N one-set calls — values and win flags — so coalesced
+    win/value probes answer byte-identically to serial ones."""
+    problem = make_problem(11, score_name, 4)
+    sets = [(1,), (2, 5), (0, 3, 7), (), (4, 4, 9)]
+    with make_engine(spec, problem) as engine:
+        values, wins = engine.query_sets(sets, wins=True)
+        assert wins is not None and wins.dtype == bool
+        for i, seed_set in enumerate(sets):
+            value_i, wins_i = engine.query_sets([seed_set], wins=True)
+            assert values[i] == value_i[0]  # bitwise, not allclose
+            assert wins[i] == wins_i[0]
+        # And the win flags agree with the problem's own verdict.
+        for i, seed_set in enumerate(sets):
+            expected = problem.target_wins(np.asarray(seed_set, dtype=np.int64))
+            assert bool(wins[i]) == expected
+
+
+@pytest.mark.parametrize("spec", SERVING_SPECS)
+def test_coalesced_gains_batch_stable_bitwise(spec):
+    """coalesced_gains is the batcher's shared round: its values must be
+    bitwise independent of how candidates are grouped, before and after
+    commits, and consistent with marginal_gains to float tolerance."""
+    problem = make_problem(12, "cumulative", 4)
+    candidates = np.array([1, 2, 4, 5, 7, 8, 9, 10], dtype=np.int64)
+    with make_engine(spec, problem) as engine:
+        session = engine.open_session((3,))
+        batched = session.coalesced_gains(candidates)
+        singles = np.concatenate(
+            [session.coalesced_gains(candidates[i : i + 1])
+             for i in range(len(candidates))]
+        )
+        np.testing.assert_array_equal(batched, singles)
+        np.testing.assert_allclose(
+            batched, session.marginal_gains(candidates), atol=1e-10
+        )
+        # Same contract after a commit moves the prefix.
+        session.commit(6)
+        batched = session.coalesced_gains(candidates)
+        singles = np.concatenate(
+            [session.coalesced_gains(candidates[i : i + 1])
+             for i in range(len(candidates))]
+        )
+        np.testing.assert_array_equal(batched, singles)
+
+
+def test_pool_stats_accounting():
+    """pool_stats: zeros on the single-process engines, live rounds /
+    busy-time / shm segment names on the pool (the serving 'stats' op)."""
+    problem = make_problem(4, "cumulative", 3)
+    with make_engine("dm-batched", problem) as engine:
+        stats = engine.pool_stats()
+        assert stats["workers"] == 0 and stats["started"] is False
+    with make_engine("dm-mp:2:shm", problem, min_fanout=1) as engine:
+        assert engine.pool_stats()["started"] is False
+        engine.evaluate([(1,), (2,), (3,), (4,)])
+        stats = engine.pool_stats()
+        assert stats["started"] is True
+        assert stats["workers"] == 2 and stats["transport"] == "shm"
+        assert stats["rounds"] >= 1 and stats["busy_s"] > 0
+        assert stats["shm_segments"]  # arena is mapped and named
+    # close() unlinked the arena: a fresh stats call shows none.
+    assert engine.pool_stats()["shm_segments"] == []
