@@ -1,0 +1,247 @@
+"""reprolint framework: findings, suppressions, the file walker, checkers.
+
+The analyzer is a thin orchestration layer over ``ast``: a
+:class:`Project` parses every Python file under the scanned roots once,
+each :class:`Checker` walks those trees for one project invariant, and
+:func:`run_checkers` merges the findings, applies per-line suppression
+comments and returns a deterministically sorted list.  Nothing here
+imports the modules it analyzes — analysis is purely syntactic, so it is
+safe to run on code whose imports (worker pools, shared memory) have
+side effects.
+
+Suppressions
+------------
+A finding is suppressed by a comment on its line or on the line above::
+
+    value = np.random.default_rng()  # reprolint: disable=determinism -- why
+    # reprolint: disable-next=determinism -- why
+    value = np.random.default_rng()
+
+The ``-- why`` justification is mandatory: a suppression without one is
+itself reported (checker id ``suppression``), so every accepted
+violation carries its reason in the source.  ``disable=all`` silences
+every checker for the line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "Module",
+    "Project",
+    "Suppression",
+    "run_checkers",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"reprolint:\s*(?P<kind>disable|disable-next)="
+    r"(?P<checkers>[a-z0-9_,\- ]+?)"
+    r"(?:\s*--\s*(?P<why>\S.*))?\s*$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at one source location.
+
+    Ordering is the report order: path, then position, then checker and
+    message — byte-stable for identical trees, which the JSON reporter
+    and the baseline mechanism rely on.
+    """
+
+    path: str
+    line: int
+    col: int
+    checker: str
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Line-independent identity used by ``--baseline`` files.
+
+        Deliberately omits ``line``/``col`` so unrelated edits that shift
+        a pre-existing accepted finding do not un-baseline it.
+        """
+        return f"{self.checker}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.checker}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "checker": self.checker,
+            "col": self.col,
+            "key": self.key,
+            "line": self.line,
+            "message": self.message,
+            "path": self.path,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``reprolint: disable[-next]=...`` comment."""
+
+    line: int
+    checkers: frozenset[str]
+    justified: bool
+
+    def covers(self, checker: str) -> bool:
+        return "all" in self.checkers or checker in self.checkers
+
+
+class Module:
+    """One parsed source file: path, source text, AST, suppressions."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        #: Effective suppressions keyed by the line they silence.
+        self.suppressions: dict[int, Suppression] = {}
+        for supp in _parse_suppressions(source):
+            self.suppressions[supp.line] = supp
+
+    def suppressed(self, checker: str, line: int) -> bool:
+        supp = self.suppressions.get(line)
+        return supp is not None and supp.covers(checker)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Module({self.path!r})"
+
+
+def _parse_suppressions(source: str) -> Iterator[Suppression]:
+    """Yield suppressions from comment tokens (never from string literals)."""
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - defensive
+        return
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        names = frozenset(
+            name.strip() for name in match.group("checkers").split(",") if name.strip()
+        )
+        if not names:
+            continue
+        line = token.start[0]
+        if match.group("kind") == "disable-next":
+            line += 1
+        yield Suppression(line, names, match.group("why") is not None)
+
+
+class Project:
+    """Every parsed module the checkers see, plus unparseable-file errors."""
+
+    def __init__(
+        self, modules: Iterable[Module], errors: Iterable[Finding] = ()
+    ) -> None:
+        self.modules = sorted(modules, key=lambda m: m.path)
+        self.errors = list(errors)
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[str | Path]) -> "Project":
+        """Parse ``*.py`` under each path (files taken verbatim, dirs walked)."""
+        files: list[Path] = []
+        for root in paths:
+            root = Path(root)
+            if root.is_dir():
+                files.extend(
+                    p
+                    for p in sorted(root.rglob("*.py"))
+                    if "__pycache__" not in p.parts
+                )
+            else:
+                files.append(root)
+        modules, errors = [], []
+        for path in files:
+            text = path.read_text(encoding="utf-8")
+            try:
+                modules.append(Module(path.as_posix(), text))
+            except SyntaxError as exc:
+                errors.append(
+                    Finding(
+                        path.as_posix(),
+                        int(exc.lineno or 1),
+                        int(exc.offset or 0),
+                        "parse",
+                        f"syntax error: {exc.msg}",
+                    )
+                )
+        return cls(modules, errors)
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "Project":
+        """In-memory project for tests: ``{path: source}``."""
+        return cls(Module(path, text) for path, text in sources.items())
+
+
+class Checker:
+    """One project invariant.
+
+    Subclasses set ``name`` (the suppression/baseline id) and
+    ``description`` (rendered by ``repro lint --list``) and implement
+    :meth:`run` over the whole project — cross-module invariants (the
+    engine-protocol surface) need more than one file at a time, so the
+    per-module loop lives in each checker, not the framework.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: Module, node: ast.AST | None, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(module.path, int(line), int(col), self.name, message)
+
+
+def run_checkers(
+    project: Project, checkers: Iterable[Checker]
+) -> list[Finding]:
+    """Run every checker, apply suppressions, return the sorted findings.
+
+    Unjustified suppression comments surface as ``suppression`` findings
+    (they still silence their target checker: the complaint is about the
+    missing rationale, not the suppression itself).
+    """
+    findings = list(project.errors)
+    for checker in checkers:
+        for finding in checker.run(project):
+            module = next(
+                (m for m in project.modules if m.path == finding.path), None
+            )
+            if module is not None and module.suppressed(
+                finding.checker, finding.line
+            ):
+                continue
+            findings.append(finding)
+    for module in project.modules:
+        for supp in module.suppressions.values():
+            if not supp.justified:
+                findings.append(
+                    Finding(
+                        module.path,
+                        supp.line,
+                        0,
+                        "suppression",
+                        "suppression without a '-- <why>' justification",
+                    )
+                )
+    return sorted(findings)

@@ -1,0 +1,116 @@
+"""Reporters and the baseline mechanism for ``repro lint``.
+
+Text output is one greppable line per finding; JSON output is fully
+deterministic (sorted findings, sorted keys, compact separators — the
+same wire discipline the serving layer enforces), so CI diffs and the
+baseline file are byte-stable across runs on an unchanged tree.
+
+Baselines let the gate land on a tree with pre-existing accepted
+findings: ``--write-baseline`` records today's finding keys,
+``--baseline FILE`` subtracts them on later runs, and anything *new*
+still fails.  Keys deliberately exclude line numbers (see
+:attr:`~repro.analysis.base.Finding.key`) so unrelated edits do not
+un-baseline an accepted finding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.base import Checker, Finding
+
+__all__ = [
+    "apply_baseline",
+    "format_json",
+    "format_text",
+    "load_baseline",
+    "write_baseline",
+]
+
+_BASELINE_VERSION = 1
+
+
+def format_text(
+    findings: Sequence[Finding], *, baselined: int = 0
+) -> str:
+    """Human/CI-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        counts = Counter(finding.checker for finding in findings)
+        summary = ", ".join(
+            f"{name}={count}" for name, count in sorted(counts.items())
+        )
+        lines.append(f"reprolint: {len(findings)} finding(s) ({summary})")
+    else:
+        lines.append("reprolint: clean")
+    if baselined:
+        lines.append(f"reprolint: {baselined} baselined finding(s) suppressed")
+    return "\n".join(lines)
+
+
+def format_json(
+    findings: Sequence[Finding],
+    checkers: Iterable[Checker],
+    *,
+    baselined: int = 0,
+) -> str:
+    """Stable machine-readable report (sorted findings, deterministic bytes)."""
+    payload = {
+        "baselined": baselined,
+        "checkers": sorted(checker.name for checker in checkers),
+        "counts": dict(
+            sorted(Counter(f.checker for f in findings).items())
+        ),
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def load_baseline(path: str | Path) -> list[str]:
+    """Finding keys accepted by a baseline file (see :func:`write_baseline`)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if (
+        not isinstance(data, dict)
+        or data.get("version") != _BASELINE_VERSION
+        or not isinstance(data.get("keys"), list)
+    ):
+        raise ValueError(
+            f"{path}: not a reprolint baseline (expected "
+            f'{{"version": {_BASELINE_VERSION}, "keys": [...]}})'
+        )
+    return [str(key) for key in data["keys"]]
+
+
+def write_baseline(findings: Sequence[Finding], path: str | Path) -> int:
+    """Record the current findings' keys; returns how many were written."""
+    keys = sorted(finding.key for finding in findings)
+    payload = {"keys": keys, "version": _BASELINE_VERSION}
+    Path(path).write_text(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+        encoding="utf-8",
+    )
+    return len(keys)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], keys: Iterable[str]
+) -> tuple[list[Finding], int]:
+    """Subtract baselined findings; returns ``(fresh, baselined_count)``.
+
+    Keys are consumed as a multiset: a baseline recording one accepted
+    instance of a key does not silence a second, new occurrence of the
+    same violation.
+    """
+    budget = Counter(keys)
+    fresh: list[Finding] = []
+    baselined = 0
+    for finding in sorted(findings):
+        if budget.get(finding.key, 0) > 0:
+            budget[finding.key] -= 1
+            baselined += 1
+        else:
+            fresh.append(finding)
+    return fresh, baselined

@@ -555,6 +555,54 @@ def cmd_case_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: run the reprolint project-invariant checkers.
+
+    Exit status 0 = clean (or every finding baselined), 1 = findings.
+    The default scan root is the installed ``repro`` package itself, so
+    the command works from any directory.
+    """
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import (
+        Project,
+        apply_baseline,
+        default_checkers,
+        format_json,
+        format_text,
+        load_baseline,
+        run_checkers,
+        write_baseline,
+    )
+
+    checkers = default_checkers()
+    if args.list_checkers:
+        for checker in checkers:
+            print(f"{checker.name}: {checker.description}")
+        return 0
+    paths = args.paths or [Path(repro.__file__).parent]
+    project = Project.from_paths(paths)
+    findings = run_checkers(project, checkers)
+    if args.write_baseline:
+        count = write_baseline(findings, args.write_baseline)
+        print(f"reprolint: wrote {count} finding key(s) to {args.write_baseline}")
+        return 0
+    baselined = 0
+    if args.baseline:
+        try:
+            keys = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined = apply_baseline(findings, keys)
+    if args.format == "json":
+        print(format_json(findings, checkers, baselined=baselined))
+    else:
+        print(format_text(findings, baselined=baselined))
+    return 1 if findings else 0
+
+
 def cmd_datasets(_: argparse.Namespace) -> int:
     for name in sorted(DATASETS):
         print(name)
@@ -645,6 +693,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--connections", type=int, default=8)
     p_load.add_argument("--seed", type=int, default=0)
     p_load.set_defaults(func=cmd_serve_load)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the reprolint project-invariant checkers",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to scan (default: the repro package)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="json output is deterministic: sorted findings, stable bytes",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract findings recorded in FILE; only new ones fail",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as the accepted baseline and exit 0",
+    )
+    p_lint.add_argument(
+        "--list",
+        dest="list_checkers",
+        action="store_true",
+        help="list the active checkers and exit",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     sub.add_parser("datasets", help="list datasets").set_defaults(func=cmd_datasets)
     sub.add_parser("methods", help="list methods").set_defaults(func=cmd_methods)

@@ -719,7 +719,10 @@ class BatchedDMSession(SelectionSession):
         if nodes.size:
             keep = ~pin_mask[nodes]
             op_force = sparse.csr_matrix(
-                (d[nodes[keep]] * shift[keep], (nodes[keep], np.zeros(keep.sum(), dtype=np.int64))),
+                (
+                    d[nodes[keep]] * shift[keep],
+                    (nodes[keep], np.zeros(keep.sum(), dtype=np.int64)),
+                ),
                 shape=(n, 1),
             )
         wt = engine._wt_scaled
@@ -749,7 +752,9 @@ class BatchedDMSession(SelectionSession):
                 new_rows = np.asarray(
                     wt[free_touched] @ old[s], dtype=np.float64
                 ).ravel()
-                old_rows = old[s + 1][free_touched] - d[free_touched] * b0_old[free_touched]
+                old_rows = (
+                    old[s + 1][free_touched] - d[free_touched] * b0_old[free_touched]
+                )
                 force = sparse.csr_matrix(
                     (
                         new_rows - old_rows,

@@ -520,7 +520,7 @@ class MultiprocessDMSession(BatchedDMSession):
         )
         return value
 
-    def _on_delta(self, report, mode: str) -> None:
+    def _on_delta(self, report, mode: str = "auto") -> None:
         # Workers rebuild their committed trajectories from the seed
         # sequence after a delta, so the parent must rebuild too: a
         # patched (floating-point-corrected) parent trajectory would

@@ -192,9 +192,12 @@ def _store_worker_main(conn, state: CampaignState, horizon: int) -> None:
             message = conn.recv()
         except (EOFError, KeyboardInterrupt):
             break
-        if message[0] == "stop":
+        op = message[0]
+        if op == "stop":
             break
         try:
+            if op != "gen":
+                raise ValueError(f"unknown walk-store worker op {op!r}")
             _, candidate, kind, block_walks, entropies = message
             graph = state.graph(candidate)
             sampler = samplers.get(candidate)

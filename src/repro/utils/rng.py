@@ -21,6 +21,10 @@ def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Genera
         (returned unchanged).
     """
     if rng is None:
+        # The library's single audited fresh-entropy entry point: ``None``
+        # explicitly means "not replayable, draw OS entropy", and every
+        # reproducibility-sensitive path threads a seed/Generator instead.
+        # reprolint: disable-next=determinism -- documented None => fresh-entropy contract
         return np.random.default_rng()
     if isinstance(rng, np.random.Generator):
         return rng

@@ -79,7 +79,9 @@ class SeparableScore(VotingScore):
     """Scores of the form ``F = Σ_v contribution(b_qv; competitors of v)``."""
 
     @abstractmethod
-    def contributions(self, values: np.ndarray, others_by_user: np.ndarray) -> np.ndarray:
+    def contributions(
+        self, values: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
         """Per-user contribution of target values against fixed competitors.
 
         Parameters
@@ -101,9 +103,11 @@ class SeparableScore(VotingScore):
         result numerically (sums / dot products promote correctly).
         """
         values = np.asarray(values, dtype=np.float64)
-        return np.stack(
-            [self.contributions(row, others_by_user) for row in values]
-        ) if values.shape[0] else np.empty((0, values.shape[1]), dtype=np.float64)
+        return (
+            np.stack([self.contributions(row, others_by_user) for row in values])
+            if values.shape[0]
+            else np.empty((0, values.shape[1]), dtype=np.float64)
+        )
 
     def evaluate(self, opinions: np.ndarray, q: int) -> float:
         opinions = np.asarray(opinions, dtype=np.float64)
@@ -141,7 +145,9 @@ class CumulativeScore(SeparableScore):
 
     name = "cumulative"
 
-    def contributions(self, values: np.ndarray, others_by_user: np.ndarray) -> np.ndarray:
+    def contributions(
+        self, values: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
         return np.asarray(values, dtype=np.float64)
 
     def contributions_batch(
@@ -187,7 +193,9 @@ class PositionalPApprovalScore(SeparableScore):
             return float(self.weights[position - 1])
         return 0.0
 
-    def contributions(self, values: np.ndarray, others_by_user: np.ndarray) -> np.ndarray:
+    def contributions(
+        self, values: np.ndarray, others_by_user: np.ndarray
+    ) -> np.ndarray:
         beta = rank_against(values, others_by_user)
         return self._weights_of_ranks(beta)
 
