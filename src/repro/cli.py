@@ -7,26 +7,30 @@ Commands
 ``case-study``  the §VIII-B ACM-election case study
 ``serve``       run the request-coalescing query server over warm engines
 ``serve-load``  drive concurrent load against a running server
+``net-worker``  serve dm-mp candidate chunks to remote TCP coordinators
 ``datasets``    list built-in dataset recipes
 ``methods``     list seed-selection methods
 
 Engine selection (``--engine``)
 -------------------------------
 The greedy-based methods evaluate the objective through a pluggable
-backend (:mod:`repro.core.engine`):
+backend (:mod:`repro.core.engine`); specs parse into a structured
+:class:`~repro.core.engine.EngineSpec`:
 
-==========================  =====  ================================================
-spec                        exact  backend
-==========================  =====  ================================================
-``dm``                      yes    legacy per-set DM, one FJ evolution per seed set
-``dm-batched``              yes    vectorized DM, all candidates at once (default)
-``dm-mp[:W][:shm]``         yes    ``dm-batched`` over ``W`` worker processes;
-                                   ``:shm`` = zero-copy shared-memory transport
-``rw``                      no     random-walk estimator (Algorithm 4)
-``sketch``                  no     sketch estimator (Algorithm 5)
-``rw-store[:S][:mmap=DIR]`` no     shared sharded walk store, adaptive sampling;
-                                   ``:mmap=DIR`` = persistent on-disk shards
-==========================  =====  ================================================
+===========================  =====  ================================================
+spec                         exact  backend
+===========================  =====  ================================================
+``dm``                       yes    legacy per-set DM, one FJ evolution per seed set
+``dm-batched``               yes    vectorized DM, all candidates at once (default)
+``dm-mp[:W][:shm]``          yes    ``dm-batched`` over ``W`` worker processes;
+                                    ``:shm`` = zero-copy shared-memory transport
+``dm-mp:tcp=H:P,...``        yes    ``dm-batched`` sharded across remote
+                                    ``repro net-worker`` hosts over TCP
+``rw``                       no     random-walk estimator (Algorithm 4)
+``sketch``                   no     sketch estimator (Algorithm 5)
+``rw-store[:S][:mmap=DIR]``  no     shared sharded walk store, adaptive sampling;
+                                    ``:mmap=DIR`` = persistent on-disk shards
+===========================  =====  ================================================
 
 All exact specs produce byte-identical selections; ``dm-mp`` pays off on
 multi-core hosts where candidate chunks evolve in parallel memory domains.
@@ -36,8 +40,12 @@ walk across greedy rounds, budgets and win-min probes.
 
 Data-plane suffixes: ``dm-mp:<W>:shm`` maps problem matrices, score rows
 and commit broadcasts through shared memory so only array descriptors
-cross the worker pipes, and ``rw-store:<S>:mmap=<DIR>`` spills walk
-blocks to memory-mapped shards under ``DIR``.  ``--store-dir DIR`` is the
+cross the worker pipes, ``dm-mp:tcp=<host:port,...>`` shards candidate
+chunks across ``repro net-worker`` hosts (one chunk per host, selections
+byte-identical at every host count, lost hosts' chunks re-sharded to the
+survivors — see the README's Multi-host section), and
+``rw-store:<S>:mmap=<DIR>`` spills walk blocks to memory-mapped shards
+under ``DIR``.  ``--store-dir DIR`` is the
 convenience form of the latter: it rewrites an ``rw-store`` engine spec
 to ``...:mmap=DIR`` and hands the sampling methods one shared store
 rooted at ``DIR``, so a second invocation with the same ``--seed``
@@ -118,7 +126,7 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
-from repro.core.engine import ENGINE_HELP, ENGINE_NAMES, parse_engine_spec
+from repro.core.engine import ENGINE_HELP, ENGINE_NAMES, EngineSpec
 from repro.core.winmin import min_seeds_to_win
 from repro.datasets.dblp import dblp_like
 from repro.datasets.synth import Dataset
@@ -173,10 +181,10 @@ class _SpecSafeFormatter(argparse.HelpFormatter):
 
 def _engine_spec(value: str) -> str:
     # Validation *and* the error message come from the engine registry
-    # (parse_engine_spec's single ValueError), so malformed specs like
+    # (EngineSpec.parse's single ValueError), so malformed specs like
     # ``dm-mp:`` or ``dm-mp:0`` fail with the same message everywhere.
     try:
-        parse_engine_spec(value)
+        EngineSpec.parse(value)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return value
@@ -252,25 +260,22 @@ def _wire_store_dir(args: argparse.Namespace, problem) -> "WalkStore | None":
     """
     if not getattr(args, "store_dir", None):
         return None
-    name, kwargs = parse_engine_spec(args.engine)
-    if name == "rw-store":
-        spec_dir = kwargs.get("store_dir")
-        if spec_dir is None:
-            args.engine = f"{args.engine}:mmap={args.store_dir}"
-        elif str(spec_dir) != str(args.store_dir):
-            raise SystemExit(
-                f"--store-dir {args.store_dir!r} conflicts with the engine "
-                f"spec's mmap directory {spec_dir!r}"
-            )
+    spec = EngineSpec.parse(args.engine)
+    if spec.name == "rw-store":
+        try:
+            spec = spec.with_store_dir(args.store_dir)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        args.engine = str(spec)
     # The dm method with an rw-store engine draws from the shared store
     # too (mirroring run_methods): the store must exist *before* any
     # --apply-delta replay so the delta can be forwarded through it.
-    dm_with_store = args.method == "dm" and name == "rw-store"
+    dm_with_store = args.method == "dm" and spec.name == "rw-store"
     if args.method not in _STORE_METHODS and not dm_with_store:
         return None
     from repro.core.walk_store import store_for_problem
 
-    shards = int(kwargs.get("shards", 1)) if dm_with_store else 1
+    shards = int(spec.shards) if dm_with_store and spec.shards else 1
     return store_for_problem(
         problem, seed=args.seed, store_dir=args.store_dir, shards=shards
     )
@@ -379,8 +384,7 @@ def cmd_select(args: argparse.Namespace) -> int:
     store = _wire_store_and_delta(args, problem)
     engine: "str | ObjectiveEngine" = args.engine
     if store is not None and args.method == "dm":
-        name, _ = parse_engine_spec(args.engine)
-        if name == "rw-store":
+        if EngineSpec.parse(args.engine).name == "rw-store":
             # Build the engine around the shared (possibly delta-patched)
             # store instead of letting it open a private one.
             from repro.core.engine import make_engine
@@ -453,7 +457,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         (
             i
             for i, spec in enumerate(specs)
-            if parse_engine_spec(spec)[0] == "rw-store"
+            if EngineSpec.parse(spec).name == "rw-store"
         ),
         0,
     )
@@ -463,9 +467,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     specs[store_index] = args.engine
     if args.store_dir:
         for i, spec in enumerate(specs):
-            name, kwargs = parse_engine_spec(spec)
-            if name == "rw-store" and kwargs.get("store_dir") is None:
-                specs[i] = f"{spec}:mmap={args.store_dir}"
+            parsed = EngineSpec.parse(spec)
+            if parsed.name == "rw-store" and parsed.store_dir is None:
+                specs[i] = str(parsed.with_store_dir(args.store_dir))
     hub = EngineHub(problem, specs, rng=args.seed, store=store)
     print(
         f"{dataset.name}: n={dataset.n}, target="
@@ -534,6 +538,40 @@ def cmd_serve_load(args: argparse.Namespace) -> int:
         "serve: " + " ".join(f"{k}={v}" for k, v in sorted(counters.items()))
     )
     return 1 if failures else 0
+
+
+def cmd_net_worker(args: argparse.Namespace) -> int:
+    """Serve ``dm-mp:tcp=...`` coordinators until interrupted.
+
+    One host of a multi-host fleet: accepts one coordinator at a time,
+    answers its candidate-chunk fan-outs with a host-local engine (a
+    ``dm-mp`` pool when ``--workers`` > 1), and returns to ``accept``
+    when the coordinator stops — so a long-lived host outlives many
+    selection runs.  With ``--store-dir`` the host opens the shared walk
+    store against each coordinator's problem first; the store manifest's
+    identity check rejects coordinators solving a different problem.
+    """
+    from repro.core.engine_net import run_net_worker
+
+    def on_ready(host: str, port: int) -> None:
+        # Parseable readiness line (scripts block on it; port 0 binds a
+        # free port that only this line reveals).
+        print(f"net-worker listening on {host}:{port}", flush=True)
+
+    try:
+        served = run_net_worker(
+            args.host,
+            args.port,
+            workers=args.workers,
+            store_dir=args.store_dir,
+            store_seed=args.seed,
+            connections=args.connections,
+            on_ready=on_ready,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+    print(f"net-worker: coordinators served={served}")
+    return 0
 
 
 def cmd_case_study(args: argparse.Namespace) -> int:
@@ -693,6 +731,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--connections", type=int, default=8)
     p_load.add_argument("--seed", type=int, default=0)
     p_load.set_defaults(func=cmd_serve_load)
+
+    p_net = sub.add_parser(
+        "net-worker",
+        help="serve dm-mp:tcp candidate chunks to remote coordinators",
+        formatter_class=_SpecSafeFormatter,
+    )
+    p_net.add_argument("--host", default="127.0.0.1")
+    p_net.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="0 picks a free port (printed on the readiness line)",
+    )
+    p_net.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="host-side dm-mp pool size; 1 serves chunks from a single "
+        "in-process engine (results are byte-identical either way)",
+    )
+    p_net.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="open the shared walk store under DIR against each "
+        "coordinator's problem; the store manifest's identity check "
+        "rejects coordinators whose problem does not match the walks",
+    )
+    p_net.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="store seed for the --store-dir identity check",
+    )
+    p_net.add_argument(
+        "--connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve N coordinators, then exit (default: serve forever)",
+    )
+    p_net.set_defaults(func=cmd_net_worker)
 
     p_lint = sub.add_parser(
         "lint",

@@ -114,7 +114,7 @@ from __future__ import annotations
 import warnings
 import weakref
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -171,6 +171,12 @@ class EngineStats:
     #: (``dm-mp:<W>:shm``) shrinks it to descriptor tuples —
     #: ``benchmarks/bench_data_plane.py`` gates the reduction.
     ipc_bytes: int = 0
+    #: Multi-host (``dm-mp:tcp=...``) degradation accounting: hosts the
+    #: coordinator dropped from its pool after a connection failure, and
+    #: candidate chunks re-dispatched to surviving hosts because their
+    #: original host was lost mid-round.
+    hosts_lost: int = 0
+    chunks_resharded: int = 0
     #: Estimator (ε, δ) accounting, filled by ``prepare_budget`` on the
     #: walk backends: the precision the caller asked for, the precision
     #: the sample budget actually certifies (0.0 = not computable — no
@@ -1706,6 +1712,11 @@ def _make_dm_batched(problem, rng, **kwargs):
 
 
 def _make_dm_mp(problem, rng, **kwargs):
+    if kwargs.get("transport") == "tcp":
+        from repro.core.engine_net import HostPool
+
+        kwargs = {k: v for k, v in kwargs.items() if k != "transport"}
+        return HostPool(problem, **kwargs)
     from repro.core.engine_mp import MultiprocessDMEngine
 
     return MultiprocessDMEngine(problem, **kwargs)
@@ -1756,8 +1767,10 @@ ENGINE_HELP = {
     "dm": "legacy per-set exact DM",
     "dm-batched": "vectorized exact DM, the default",
     "dm-mp": (
-        "exact DM fanned out over worker processes "
-        "(dm-mp:<workers>[:shm] — shm = zero-copy shared-memory transport)"
+        "exact DM fanned out over worker processes or remote hosts "
+        "(dm-mp:<workers>[:pipe|:shm] — shm = zero-copy shared-memory "
+        "transport; dm-mp:tcp=<host:port,...> — one chunk shard per "
+        "'repro net-worker' host)"
     ),
     "rw": "random-walk estimator",
     "sketch": "sketch estimator",
@@ -1767,64 +1780,298 @@ ENGINE_HELP = {
     ),
 }
 
+#: ``dm-mp`` transport suffixes spelled as bare segments (``tcp`` needs
+#: its host list, so it only appears in the ``tcp=`` form).
+_SPEC_TRANSPORTS = ("pipe", "shm")
+
+
+def _spec_error(spec: object) -> ValueError:
+    """The registry's single unknown/malformed-spec error.
+
+    Every parse failure — unknown names, non-strings, bad counts,
+    suffixes on the wrong engine — raises this one message; the CLI
+    ``--engine`` option and the serving layer surface it verbatim.
+    """
+    return ValueError(
+        f"unknown engine {spec!r}; expected one of {ENGINE_NAMES} "
+        "(parameterized forms: 'dm-mp:<workers>', 'rw-store:<shards>', "
+        "both >= 1, plus the data-plane suffixes 'dm-mp[:W]:pipe', "
+        "'dm-mp[:W]:shm', 'dm-mp:tcp=<host:port,...>' and "
+        "'rw-store[:S]:mmap=<DIR>')"
+    )
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Structured engine spec: the typed form of the ``--engine`` grammar.
+
+    The string grammar (:meth:`parse`) stays the user-facing front-end;
+    code should hold the parsed spec and use :meth:`canonical` (the
+    normalized string — equivalent spellings like ``dm-mp:2`` and
+    ``dm-mp:2:pipe`` canonicalize identically, which is what the serving
+    hub keys warm engines by), :meth:`build` (construct the engine via
+    the registry) and :meth:`with_store_dir` (the ``--store-dir``
+    rewrite).  Instances are frozen and hashable, so they work as cache
+    keys directly.
+
+    Fields only apply to the engines that understand them: ``workers``
+    and ``transport`` to ``dm-mp`` (``transport`` is ``None`` for the
+    default pipe data plane, ``"shm"`` for shared memory, ``"tcp"`` for
+    the multi-host coordinator — then ``hosts`` carries the
+    ``host:port`` targets and ``workers`` is derived, one shard per
+    host), ``shards`` and ``store_dir`` to ``rw-store``.  Violations
+    raise ``ValueError`` at construction.
+    """
+
+    name: str
+    workers: int | None = None
+    shards: int | None = None
+    transport: str | None = None
+    store_dir: str | None = None
+    hosts: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.name not in _ENGINE_FACTORIES:
+            raise _spec_error(self.name)
+        if self.transport == "pipe":
+            # The explicit default: normalize away so equality/hash/
+            # canonical() treat ``dm-mp:2:pipe`` as ``dm-mp:2``.
+            object.__setattr__(self, "transport", None)
+        if self.transport is not None and self.name != "dm-mp":
+            raise ValueError(
+                f"transport {self.transport!r} only applies to dm-mp, "
+                f"not {self.name!r}"
+            )
+        if self.transport not in (None, "shm", "tcp"):
+            raise ValueError(
+                f"transport must be one of ('pipe', 'shm', 'tcp'), "
+                f"got {self.transport!r}"
+            )
+        if self.workers is not None:
+            if self.name != "dm-mp":
+                raise ValueError(
+                    f"'workers' only applies to dm-mp, not {self.name!r}"
+                )
+            object.__setattr__(self, "workers", int(self.workers))
+            if self.workers < 1:
+                raise ValueError(
+                    f"dm-mp needs at least one worker, got {self.workers}"
+                )
+        if self.shards is not None:
+            if self.name != "rw-store":
+                raise ValueError(
+                    f"'shards' only applies to rw-store, not {self.name!r}"
+                )
+            object.__setattr__(self, "shards", int(self.shards))
+            if self.shards < 1:
+                raise ValueError(
+                    f"rw-store needs at least one shard, got {self.shards}"
+                )
+        if self.store_dir is not None:
+            if self.name != "rw-store":
+                raise ValueError(
+                    f"'store_dir' only applies to rw-store, not {self.name!r}"
+                )
+            object.__setattr__(self, "store_dir", str(self.store_dir))
+            if not self.store_dir:
+                raise ValueError("rw-store mmap directory must be non-empty")
+        object.__setattr__(self, "hosts", tuple(str(h) for h in self.hosts))
+        if self.transport == "tcp":
+            if not self.hosts:
+                raise ValueError("dm-mp:tcp needs at least one host:port")
+            if self.workers is not None:
+                raise ValueError(
+                    "dm-mp:tcp derives its worker count from the host "
+                    "list; 'workers' must not be set"
+                )
+            for entry in self.hosts:
+                host, sep, port = entry.rpartition(":")
+                if (
+                    not sep
+                    or not host
+                    or "," in entry
+                    or not port.isdigit()
+                    or not 0 < int(port) < 65536
+                ):
+                    raise ValueError(
+                        f"malformed dm-mp:tcp host {entry!r}; expected "
+                        "host:port with a port in [1, 65535]"
+                    )
+        elif self.hosts:
+            raise ValueError("'hosts' requires transport='tcp'")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: "str | EngineSpec") -> "EngineSpec":
+        """Parse the ``--engine`` grammar (idempotent on EngineSpec).
+
+        Accepts every bare name in :data:`ENGINE_NAMES` plus the
+        parameterized forms: a positive count first (``dm-mp:<workers>``
+        / ``rw-store:<shards>``), then an optional data-plane suffix —
+        ``dm-mp[:W]:pipe`` / ``dm-mp[:W]:shm`` pick the worker-pool
+        transport, ``dm-mp:tcp=<host:port,...>`` the multi-host TCP
+        coordinator (the host list runs to the end of the spec, so ports
+        keep their colons), and ``rw-store[:S]:mmap=<DIR>`` the
+        memory-mapped on-disk store (the directory is taken verbatim to
+        the end of the spec, so paths may contain colons).  Anything
+        else — unknown names, non-strings, malformed or non-positive
+        counts like ``"dm-mp:"`` / ``"rw-store:0"`` / ``"dm-mp:-2"``,
+        suffixes on the wrong engine, out-of-order or repeated segments
+        — raises the registry's single ``ValueError``.
+        """
+        if isinstance(spec, EngineSpec):
+            return spec
+        if isinstance(spec, str):
+            name, sep, rest = spec.partition(":")
+            if name in _ENGINE_FACTORIES:
+                if not sep:
+                    return cls(name)
+                if rest:
+                    try:
+                        return cls._parse_params(name, rest)
+                    except ValueError:
+                        pass
+        raise _spec_error(spec)
+
+    @classmethod
+    def _parse_params(cls, name: str, rest: str) -> "EngineSpec":
+        """Parse the segments after ``<name>:`` (raises on any misfit)."""
+        if name == "dm-mp" and rest.startswith("tcp="):
+            hostlist = rest[len("tcp=") :]
+            if not hostlist:
+                raise ValueError("dm-mp:tcp needs at least one host:port")
+            return cls(name, transport="tcp", hosts=tuple(hostlist.split(",")))
+        count: int | None = None
+        if _SPEC_PARAMS.get(name) is not None:
+            first, sep, more = rest.partition(":")
+            if first.isdigit():
+                count = int(first)
+                rest = more if sep else ""
+        transport: str | None = None
+        store_dir: str | None = None
+        if rest:
+            if name == "dm-mp" and rest in _SPEC_TRANSPORTS:
+                transport = rest
+            elif name == "rw-store" and rest.startswith("mmap="):
+                store_dir = rest[len("mmap=") :]
+            else:
+                raise _spec_error(rest)
+        return cls(
+            name,
+            workers=count if name == "dm-mp" else None,
+            shards=count if name == "rw-store" else None,
+            transport=transport,
+            store_dir=store_dir,
+        )
+
+    # ------------------------------------------------------------------
+    def canonical(self) -> str:
+        """The normalized spec string: ``parse(canonical()) == self``.
+
+        Defaults are omitted (no ``:pipe``, no counts that were never
+        given), so every set of equivalent spellings maps to exactly one
+        canonical string — the key the serving hub de-duplicates warm
+        engines by.
+        """
+        parts = [self.name]
+        if self.workers is not None:
+            parts.append(str(self.workers))
+        if self.shards is not None:
+            parts.append(str(self.shards))
+        if self.transport == "shm":
+            parts.append("shm")
+        elif self.transport == "tcp":
+            parts.append("tcp=" + ",".join(self.hosts))
+        if self.store_dir is not None:
+            parts.append(f"mmap={self.store_dir}")
+        return ":".join(parts)
+
+    def kwargs(self) -> dict[str, object]:
+        """The factory kwargs this spec pins (the legacy tuple's dict)."""
+        out: dict[str, object] = {}
+        if self.workers is not None:
+            out["workers"] = self.workers
+        if self.shards is not None:
+            out["shards"] = self.shards
+        if self.transport is not None:
+            out["transport"] = self.transport
+        if self.hosts:
+            out["hosts"] = self.hosts
+        if self.store_dir is not None:
+            out["store_dir"] = self.store_dir
+        return out
+
+    def build(
+        self,
+        problem: FJVoteProblem,
+        rng: "int | np.random.Generator | None" = None,
+        **kwargs: object,
+    ) -> "ObjectiveEngine":
+        """Construct the engine through the registry factory.
+
+        ``kwargs`` override/extend the spec's own (``store=`` for a
+        shared walk store, ``batch_rows=`` tuning, ...), exactly like
+        :func:`make_engine`'s extras.
+        """
+        factory = _ENGINE_FACTORIES[self.name]
+        return factory(problem, rng, **{**self.kwargs(), **kwargs})
+
+    def with_store_dir(self, store_dir: "str | None") -> "EngineSpec":
+        """The ``--store-dir`` spec rewrite, shared by CLI and server.
+
+        ``rw-store`` specs gain ``store_dir`` (the ``:mmap=<DIR>``
+        suffix); other engines and a falsy ``store_dir`` pass through
+        unchanged.  A spec already pinning a *different* directory
+        raises ``ValueError`` — the callers surface it as the
+        ``--store-dir`` conflict error.
+        """
+        if not store_dir or self.name != "rw-store":
+            return self
+        if self.store_dir is None:
+            return replace(self, store_dir=str(store_dir))
+        if self.store_dir != str(store_dir):
+            raise ValueError(
+                f"--store-dir {str(store_dir)!r} conflicts with the engine "
+                f"spec's mmap directory {self.store_dir!r}"
+            )
+        return self
+
+    def __str__(self) -> str:
+        return self.canonical()
+
 
 def parse_engine_spec(spec: object) -> tuple[str, dict[str, object]]:
     """Split an engine spec string into ``(registry name, spec kwargs)``.
 
-    Accepts every bare name in :data:`ENGINE_NAMES` plus the parameterized
-    forms: a positive count first (``dm-mp:<workers>`` /
-    ``rw-store:<shards>``), then an optional data-plane suffix —
-    ``dm-mp[:W]:shm`` selects the shared-memory transport and
-    ``rw-store[:S]:mmap=<DIR>`` the memory-mapped on-disk store (the
-    directory is taken verbatim to the end of the spec, so paths may
-    contain colons).  Anything else — unknown names, non-strings,
-    malformed or non-positive counts like ``"dm-mp:"`` / ``"rw-store:0"``
-    / ``"dm-mp:-2"``, suffixes on the wrong engine, out-of-order or
-    repeated segments — raises the registry's single ``ValueError``,
-    whose message the CLI ``--engine`` option surfaces verbatim.
+    .. deprecated:: the ``(name, kwargs)`` tuple is the legacy surface;
+       new code should hold the structured spec itself —
+       ``EngineSpec.parse(spec)`` — and use its ``.canonical()`` /
+       ``.kwargs()`` / ``.build()`` instead of unpacking tuples.  This
+       thin front-end remains so existing callers keep working.
+
+    The accepted grammar and the single ``ValueError`` for malformed
+    specs are documented on :meth:`EngineSpec.parse`.
     """
-    if isinstance(spec, str):
-        if spec in _ENGINE_FACTORIES:
-            return spec, {}
-        name, sep, rest = spec.partition(":")
-        count_key = _SPEC_PARAMS.get(name)
-        if sep and count_key is not None and rest:
-            kwargs: dict[str, object] = {}
-            valid = True
-            while rest and valid:
-                if name == "rw-store" and rest.startswith("mmap="):
-                    path = rest[len("mmap=") :]
-                    rest = ""
-                    if path and "store_dir" not in kwargs:
-                        kwargs["store_dir"] = path
-                    else:
-                        valid = False
-                    continue
-                segment, _, rest = rest.partition(":")
-                if name == "dm-mp" and segment == "shm" and rest == "":
-                    kwargs["transport"] = "shm"
-                elif segment.isdigit() and int(segment) >= 1 and not kwargs:
-                    kwargs[count_key] = int(segment)
-                else:
-                    valid = False
-            if valid and kwargs:
-                return name, kwargs
-    raise ValueError(
-        f"unknown engine {spec!r}; expected one of {ENGINE_NAMES} "
-        "(parameterized forms: 'dm-mp:<workers>', 'rw-store:<shards>', "
-        "both >= 1, plus the data-plane suffixes 'dm-mp[:W]:shm' and "
-        "'rw-store[:S]:mmap=<DIR>')"
-    )
+    if isinstance(spec, EngineSpec):
+        return spec.name, spec.kwargs()
+    if not isinstance(spec, str):
+        raise _spec_error(spec)
+    parsed = EngineSpec.parse(spec)
+    return parsed.name, parsed.kwargs()
 
 
 def spec_is_exact_dm(spec: object) -> bool:
     """True when ``spec`` names an exact DM backend (``None`` = default).
 
-    Covers the parameterized ``dm-mp:<workers>`` forms; engine instances
-    and estimator specs return False.
+    Covers the parameterized ``dm-mp`` forms (including the tcp
+    transport — remote hosts run the same exact batched engine) and
+    :class:`EngineSpec` instances; engine instances and estimator specs
+    return False.
     """
     if spec is None:
         return True
+    if isinstance(spec, EngineSpec):
+        return spec.name in EXACT_DM_NAMES
     if not isinstance(spec, str):
         return False
     try:
@@ -1835,21 +2082,22 @@ def spec_is_exact_dm(spec: object) -> bool:
 
 
 def make_engine(
-    spec: str | ObjectiveEngine | None,
+    spec: "str | EngineSpec | ObjectiveEngine | None",
     problem: FJVoteProblem,
     *,
     rng: int | np.random.Generator | None = None,
     **kwargs: object,
 ) -> ObjectiveEngine:
-    """Build an engine from a spec name (see :data:`ENGINE_NAMES`).
+    """Build an engine from a spec (see :data:`ENGINE_NAMES`).
 
     Passing an :class:`ObjectiveEngine` instance returns it unchanged (its
     ``kwargs`` are ignored); ``None`` means the default ``"dm-batched"``.
     Spec strings may carry parameters (``"dm-mp:4"`` = four worker
-    processes).  ``rng`` seeds the stochastic (walk/sketch) backends so
-    selections stay reproducible; the exact DM backends ignore it.
-    Unknown or malformed specs raise ``ValueError`` listing every
-    registered name (see :func:`parse_engine_spec`).
+    processes) and :class:`EngineSpec` instances are accepted directly.
+    ``rng`` seeds the stochastic (walk/sketch) backends so selections
+    stay reproducible; the exact DM backends ignore it.  Unknown or
+    malformed specs raise ``ValueError`` listing every registered name
+    (see :meth:`EngineSpec.parse`).
     """
     if isinstance(spec, ObjectiveEngine):
         if spec.problem is not problem:
@@ -1860,5 +2108,6 @@ def make_engine(
         return spec
     if spec is None:
         spec = "dm-batched"
-    name, spec_kwargs = parse_engine_spec(spec)
-    return _ENGINE_FACTORIES[name](problem, rng, **{**spec_kwargs, **kwargs})
+    if not isinstance(spec, (str, EngineSpec)):
+        raise _spec_error(spec)
+    return EngineSpec.parse(spec).build(problem, rng, **kwargs)

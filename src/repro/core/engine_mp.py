@@ -313,17 +313,15 @@ def _worker_session(
 
 
 def _worker_main(conn, problem_payload, engine_kwargs: dict, shm_info=None) -> None:
-    """Worker loop: one private :class:`BatchedDMEngine`, commands via pipe.
+    """Process-pool worker: build the private engine, run the shared loop.
 
     ``problem_payload`` is the problem itself (pipe transport) or the
     ``(skeleton, array refs)`` pair of
     :meth:`FJVoteProblem.share_arrays` (shm transport: the worker maps the
-    arrays and rebuilds the problem around zero-copy views).  Every reply
-    carries the delta of the worker engine's evolution counters (as a
-    tuple ordered like ``_EVOLUTION_COUNTERS``) so the parent can account
-    the work each worker actually performed; payload arrays are written
-    into the reply slab the request names (shm) or pickled into the ack
-    (pipe).
+    arrays and rebuilds the problem around zero-copy views).  The command
+    dispatch itself lives in :func:`_worker_loop`, shared with the TCP
+    net-worker of :mod:`repro.core.engine_net` — same ops, same framed
+    replies, whatever carries the bytes.
     """
     attach = None
     commit_view = None
@@ -338,22 +336,60 @@ def _worker_main(conn, problem_payload, engine_kwargs: dict, shm_info=None) -> N
     else:
         problem = problem_payload
     engine = BatchedDMEngine(problem, **engine_kwargs)
+    try:
+        _worker_loop(
+            conn,
+            problem,
+            engine,
+            attach=attach,
+            commit_view=commit_view,
+            watch_parent=True,
+        )
+    finally:
+        if attach is not None:
+            attach.close()
+
+
+def _worker_loop(
+    conn,
+    problem: FJVoteProblem,
+    engine: BatchedDMEngine,
+    *,
+    attach=None,
+    commit_view=None,
+    watch_parent: bool = True,
+) -> None:
+    """The dm-mp worker command loop, transport-agnostic.
+
+    ``conn`` is anything with the ``mp.Connection`` byte surface
+    (``recv_bytes`` / ``send_bytes`` / ``poll``): a worker-pool pipe end
+    or the net-worker's framed TCP socket.  Every reply carries the delta
+    of the worker engine's evolution counters (as a tuple ordered like
+    ``_EVOLUTION_COUNTERS``) so the parent can account the work each
+    worker actually performed; payload arrays are written into the reply
+    slab the request names (shm) or pickled into the ack.
+
+    ``watch_parent`` enables the orphan watchdog for forked pool members;
+    net workers serve a remote coordinator whose death arrives as plain
+    EOF instead.
+    """
     sessions: dict[int, dict] = {}
     # Workers forked later inherit duplicates of earlier workers'
     # parent-side pipe fds, so a SIGKILLed parent does *not* deliver EOF
     # to every sibling — watch for orphaning (reparenting) instead, or
     # the pool (and via its held fds, the resource tracker's shm
     # cleanup) outlives a crashed server.
-    parent_pid = os.getppid()
+    parent_pid = os.getppid() if watch_parent else None
     while True:
         try:
-            orphaned = False
-            while not conn.poll(1.0):
-                if os.getppid() != parent_pid:
-                    orphaned = True
+            if watch_parent:
+                orphaned = False
+                while not conn.poll(1.0):
+                    if os.getppid() != parent_pid:
+                        orphaned = True
+                        break
+                if orphaned:
                     break
-            if orphaned:
-                break
             message = pickle.loads(conn.recv_bytes())
         except (EOFError, KeyboardInterrupt, OSError):
             break
@@ -367,10 +403,13 @@ def _worker_main(conn, problem_payload, engine_kwargs: dict, shm_info=None) -> N
             reply_ref = None
             if op == "ping":
                 result = (os.getpid(), mp.current_process().name)
-            elif op == "eval":
+            elif op == "chunk":
                 _, lengths, values, reply_ref = message
                 sets = _split_sets(_resolve(lengths, attach), _resolve(values, attach))
-                payload = engine._chunked_scores(sets)
+                # ``evaluate`` (not ``_chunked_scores``) so a net worker
+                # hosting its own dm-mp pool fans the chunk out again;
+                # results are bitwise identical either way.
+                payload = engine.evaluate(sets)
             elif op == "ext":
                 _, sid, base, seeds, cand, reply_ref = message
                 cand = np.asarray(_resolve(cand, attach), dtype=np.int64)
@@ -455,8 +494,6 @@ def _worker_main(conn, problem_payload, engine_kwargs: dict, shm_info=None) -> N
                     _PICKLE_PROTOCOL,
                 )
             )
-    if attach is not None:
-        attach.close()
 
 
 class _WorkerHandle:
@@ -820,7 +857,7 @@ class MultiprocessDMEngine(BatchedDMEngine):
     def _sets_message(
         self, op: str, chunk_sets: list[np.ndarray], worker: int
     ) -> tuple[tuple, tuple | None]:
-        """Build an ``eval``/``rows`` request; returns ``(message, pending)``.
+        """Build a ``chunk``/``rows`` request; returns ``(message, pending)``.
 
         Seed sets travel flattened as ``(lengths, values)``; under the shm
         transport both land in the worker's request slab and the reply
@@ -859,7 +896,7 @@ class MultiprocessDMEngine(BatchedDMEngine):
         messages, pending = [], []
         for worker, idx in enumerate(chunks):
             message, reply_ref = self._sets_message(
-                "eval", [sets[i] for i in idx], worker
+                "chunk", [sets[i] for i in idx], worker
             )
             messages.append(message)
             pending.append(reply_ref)

@@ -16,9 +16,9 @@ from repro.baselines.centrality import degree_select, pagerank_select, rwr_selec
 from repro.baselines.gedt import gedt_select
 from repro.baselines.imm import imm
 from repro.core.engine import (
+    EngineSpec,
     ObjectiveEngine,
     make_engine,
-    parse_engine_spec,
     spec_is_exact_dm,
 )
 from repro.core.greedy import greedy_dm
@@ -41,10 +41,10 @@ def _spec_reuses_state(engine: "str | ObjectiveEngine | None") -> bool:
     """
     if spec_is_exact_dm(engine):
         return True
-    if not isinstance(engine, str):
+    if not isinstance(engine, (str, EngineSpec)):
         return False
     try:
-        name, _ = parse_engine_spec(engine)
+        name = EngineSpec.parse(engine).name
     except ValueError:
         return False
     return name == "rw-store"
@@ -56,7 +56,7 @@ def select_seeds(
     k: int,
     rng: int | np.random.Generator | None = None,
     *,
-    engine: "str | ObjectiveEngine | None" = None,
+    engine: "str | EngineSpec | ObjectiveEngine | None" = None,
     store: WalkStore | None = None,
     **kwargs: object,
 ) -> np.ndarray:
@@ -76,6 +76,8 @@ def select_seeds(
     persistent sample instead of regenerating per call.
     """
     rng = ensure_rng(rng)
+    if isinstance(engine, EngineSpec):
+        engine = engine.canonical()
     if store is not None:
         store.require_problem(problem)
     if method == "dm":
@@ -123,7 +125,7 @@ def run_methods(
     rng: int | np.random.Generator | None = None,
     *,
     method_kwargs: dict[str, dict[str, object]] | None = None,
-    engine: str | None = None,
+    engine: "str | EngineSpec | None" = None,
     store: WalkStore | None = None,
     store_dir: "str | None" = None,
 ) -> list[MethodRun]:
@@ -143,6 +145,8 @@ def run_methods(
     nothing.
     """
     rng = ensure_rng(rng)
+    if isinstance(engine, EngineSpec):
+        engine = engine.canonical()
     method_kwargs = method_kwargs or {}
     if store is None and store_dir is not None:
         from repro.core.walk_store import store_for_problem
@@ -154,16 +158,17 @@ def run_methods(
         shards = 1
         if isinstance(engine, str):
             try:
-                spec_name, spec_kwargs = parse_engine_spec(engine)
+                spec = EngineSpec.parse(engine)
             except ValueError:
-                spec_name, spec_kwargs = None, {}
-            if spec_name == "rw-store":
-                shards = int(spec_kwargs.get("shards", 1))
-                spec_dir = spec_kwargs.get("store_dir")
-                if spec_dir is not None and str(spec_dir) != str(store_dir):
+                spec = None
+            if spec is not None and spec.name == "rw-store":
+                shards = int(spec.shards or 1)
+                if spec.store_dir is not None and str(spec.store_dir) != str(
+                    store_dir
+                ):
                     raise ValueError(
                         f"store_dir={store_dir!r} conflicts with the engine "
-                        f"spec's mmap directory {spec_dir!r}"
+                        f"spec's mmap directory {spec.store_dir!r}"
                     )
         store = store_for_problem(problem, store_dir=store_dir, shards=shards)
     problem.others_by_user()  # warm the shared cache outside the timers

@@ -43,10 +43,9 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.core.engine import (
+    EngineSpec,
     ObjectiveEngine,
     SelectionSession,
-    make_engine,
-    parse_engine_spec,
 )
 from repro.core.greedy import greedy_engine
 from repro.core.problem import DeltaReport, FJVoteProblem
@@ -145,9 +144,12 @@ class EngineHub:
     problem:
         The loaded :class:`~repro.core.problem.FJVoteProblem`.
     specs:
-        Engine specs to build and keep hot; the first is the default for
-        requests that name none.  Requests may only use loaded specs
-        (a valid-but-unloaded spec answers ``engine-not-loaded``).
+        Engine specs (strings or :class:`~repro.core.engine.EngineSpec`
+        instances) to build and keep hot; the first is the default for
+        requests that name none.  Engines are stored under the canonical
+        spelling, deduplicating equivalent specs.  Requests may only use
+        loaded specs (a valid-but-unloaded spec answers
+        ``engine-not-loaded``).
     rng:
         Seed for the stochastic backends (reproducible estimators).
     store:
@@ -161,7 +163,7 @@ class EngineHub:
     def __init__(
         self,
         problem: FJVoteProblem,
-        specs: Sequence[str],
+        specs: Sequence[str | EngineSpec],
         *,
         rng: int | np.random.Generator | None = None,
         store: Any = None,
@@ -175,16 +177,19 @@ class EngineHub:
         self.session_cap = int(session_cap)
         self.topk_cache_cap = int(topk_cache_cap)
         self._engines: dict[str, ObjectiveEngine] = {}
-        self.default_spec = str(specs[0])
-        for spec in specs:
-            spec = str(spec)
-            if spec in self._engines:
+        # Engines are keyed by the spec's *canonical* spelling, so
+        # equivalent forms ("dm-mp:2" vs "dm-mp:2:pipe") share one warm
+        # pool instead of forking duplicates.
+        parsed_specs = [EngineSpec.parse(spec) for spec in specs]
+        self.default_spec = parsed_specs[0].canonical()
+        for parsed in parsed_specs:
+            key = parsed.canonical()
+            if key in self._engines:
                 continue
-            name, _ = parse_engine_spec(spec)
             kwargs: dict[str, Any] = {}
-            if store is not None and name == "rw-store":
+            if store is not None and parsed.name == "rw-store":
                 kwargs["store"] = store
-            self._engines[spec] = make_engine(spec, problem, rng=rng, **kwargs)
+            self._engines[key] = parsed.build(problem, rng, **kwargs)
         self._sessions: OrderedDict[tuple, SelectionSession] = OrderedDict()
         self._topk: OrderedDict[tuple, dict] = OrderedDict()
 
@@ -211,24 +216,25 @@ class EngineHub:
         """Map a request's ``engine`` param to a loaded engine.
 
         Malformed specs answer with the registry's own
-        :func:`~repro.core.engine.parse_engine_spec` message as a
+        :meth:`~repro.core.engine.EngineSpec.parse` message as a
         structured ``bad-engine-spec`` error instead of dropping the
         connection; well-formed specs this server was not started with
-        answer ``engine-not-loaded``.
+        answer ``engine-not-loaded``.  Specs are canonicalized before
+        lookup, so any equivalent spelling reaches the warm engine.
         """
         if spec is None:
             return self.default_spec, self._engines[self.default_spec]
-        if not isinstance(spec, str):
+        if not isinstance(spec, (str, EngineSpec)):
             raise ProtocolError(
                 ERROR_BAD_REQUEST, "'engine' must be an engine spec string"
             )
-        engine = self._engines.get(spec)
-        if engine is not None:
-            return spec, engine
         try:
-            parse_engine_spec(spec)
+            key = EngineSpec.parse(spec).canonical()
         except ValueError as exc:
             raise ProtocolError(ERROR_BAD_ENGINE_SPEC, str(exc)) from None
+        engine = self._engines.get(key)
+        if engine is not None:
+            return key, engine
         raise ProtocolError(
             ERROR_ENGINE_NOT_LOADED,
             f"engine {spec!r} is valid but not loaded by this server; "

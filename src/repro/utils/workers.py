@@ -19,24 +19,29 @@ _JOIN_TIMEOUT = 5
 def stop_worker_pool(handles, send_stop: Callable[[object], None]) -> None:
     """Stop every worker in ``handles``; never raises, never hangs.
 
-    ``handles`` are objects with ``process`` and ``conn`` attributes;
-    ``send_stop(conn)`` delivers the pool's stop message (failures on a
-    dead pipe are swallowed — the join ladder below reaps the process
-    either way).
+    ``handles`` are objects with a ``conn`` attribute and, for local
+    pools, a ``process``; ``send_stop(conn)`` delivers the pool's stop
+    message (failures on a dead pipe are swallowed — the join ladder
+    below reaps the process either way).  Handles without a ``process``
+    — the TCP :class:`~repro.core.engine_net.HostPool`'s remote hosts,
+    which no local pid can reap — skip the join ladder: the stop frame
+    (or the socket close) returns the remote worker to its accept loop.
     """
     for handle in handles:
         try:
             send_stop(handle.conn)
-        except (BrokenPipeError, OSError, ValueError):
+        except (BrokenPipeError, ConnectionError, OSError, ValueError):
             pass
     for handle in handles:
-        handle.process.join(timeout=_JOIN_TIMEOUT)
-        if handle.process.is_alive():  # pragma: no cover - wedged worker
-            handle.process.terminate()
-            handle.process.join(timeout=_JOIN_TIMEOUT)
-        if handle.process.is_alive():  # pragma: no cover - wedged worker
-            handle.process.kill()
-            handle.process.join(timeout=_JOIN_TIMEOUT)
+        process = getattr(handle, "process", None)
+        if process is not None:
+            process.join(timeout=_JOIN_TIMEOUT)
+            if process.is_alive():  # pragma: no cover - wedged worker
+                process.terminate()
+                process.join(timeout=_JOIN_TIMEOUT)
+            if process.is_alive():  # pragma: no cover - wedged worker
+                process.kill()
+                process.join(timeout=_JOIN_TIMEOUT)
         try:
             handle.conn.close()
         except OSError:  # pragma: no cover - already torn down
