@@ -23,6 +23,7 @@ from repro.analysis.checkers import (
     ALL_CHECKERS,
     DeterminismChecker,
     EngineProtocolChecker,
+    FaultPointChecker,
     MpOpParityChecker,
     PickleBudgetChecker,
     ResourceLifecycleChecker,
@@ -42,6 +43,7 @@ __all__ = [
     "Checker",
     "DeterminismChecker",
     "EngineProtocolChecker",
+    "FaultPointChecker",
     "Finding",
     "Module",
     "MpOpParityChecker",

@@ -1,4 +1,4 @@
-"""The six project-invariant checkers behind ``repro lint``.
+"""The seven project-invariant checkers behind ``repro lint``.
 
 Each checker machine-checks one hand-maintained invariant that the
 parity/crash suites depend on (see the module docstrings below and the
@@ -19,6 +19,7 @@ __all__ = [
     "ALL_CHECKERS",
     "DeterminismChecker",
     "EngineProtocolChecker",
+    "FaultPointChecker",
     "MpOpParityChecker",
     "PickleBudgetChecker",
     "ResourceLifecycleChecker",
@@ -839,6 +840,119 @@ class WireFormatChecker(Checker):
             )
 
 
+class FaultPointChecker(Checker):
+    """Fault-injection call sites and the registry must stay in sync.
+
+    The chaos tests replay :class:`~repro.core.faults.FaultPlan`\\ s
+    whose specs reference fault ids by name; a ``maybe_fail`` call site
+    whose id (or context keys) drifted from :data:`FAULT_IDS` would make
+    those plans silently never fire.  Both directions are checked: every
+    call site must use a registered id with registered context keys, and
+    every registered id must have a call site — an orphaned registration
+    means a fault a plan can arm but nothing can trigger.
+    """
+
+    name = "fault-point"
+    description = "maybe_fail call sites must match the FAULT_IDS registry"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        registry_module, registry, anchors = self._find_registry(project)
+        if registry_module is None:
+            return
+        called: set[str] = set()
+        for module in project.modules:
+            if module is registry_module:
+                # The seam's own plumbing (FaultPlan.maybe_fail and the
+                # module-level forwarder) passes ids dynamically.
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _dotted(node.func) or ""
+                if name.rpartition(".")[2] != "maybe_fail":
+                    continue
+                fault_id = (
+                    _const_str(node.args[0]) if node.args else None
+                )
+                if fault_id is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "maybe_fail needs a string-literal fault id as its "
+                        "first argument so the fault-point checker can "
+                        "cross-reference the FAULT_IDS registry",
+                    )
+                    continue
+                if fault_id not in registry:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"fault id {fault_id!r} is not registered in "
+                        "FAULT_IDS; register it (with its context keys) "
+                        "next to the other fault points",
+                    )
+                    continue
+                called.add(fault_id)
+                allowed = set(registry[fault_id])
+                for kw in node.keywords:
+                    if kw.arg is not None and kw.arg not in allowed:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"fault point {fault_id!r} passes context key "
+                            f"{kw.arg!r} not registered in FAULT_IDS "
+                            f"(registered: {sorted(allowed)}); plans "
+                            "constraining it could never match",
+                        )
+        for fault_id in registry:
+            if fault_id not in called:
+                yield self.finding(
+                    registry_module,
+                    anchors[fault_id],
+                    f"registered fault id {fault_id!r} has no maybe_fail "
+                    "call site; instrument the fault point or drop the "
+                    "registration",
+                )
+
+    @staticmethod
+    def _find_registry(
+        project: Project,
+    ) -> tuple[Module | None, dict[str, tuple[str, ...]], dict[str, ast.AST]]:
+        """Locate the ``FAULT_IDS`` dict literal and parse its schema."""
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                if not any(
+                    isinstance(t, ast.Name) and t.id == "FAULT_IDS"
+                    for t in targets
+                ):
+                    continue
+                if not isinstance(value, ast.Dict):
+                    continue
+                registry: dict[str, tuple[str, ...]] = {}
+                anchors: dict[str, ast.AST] = {}
+                for key, val in zip(value.keys, value.values):
+                    fault_id = None if key is None else _const_str(key)
+                    if fault_id is None:
+                        continue
+                    keys = tuple(
+                        k
+                        for k in (
+                            _const_str(e) for e in getattr(val, "elts", ())
+                        )
+                        if k is not None
+                    )
+                    registry[fault_id] = keys
+                    anchors[fault_id] = key
+                return module, registry, anchors
+        return None, {}, {}
+
+
 def default_checkers() -> list[Checker]:
     """Fresh instances of every built-in checker, in report order."""
     return [cls() for cls in ALL_CHECKERS]
@@ -848,6 +962,7 @@ def default_checkers() -> list[Checker]:
 ALL_CHECKERS: tuple[type[Checker], ...] = (
     DeterminismChecker,
     EngineProtocolChecker,
+    FaultPointChecker,
     MpOpParityChecker,
     PickleBudgetChecker,
     ResourceLifecycleChecker,

@@ -237,6 +237,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "re-draws only the walks the delta invalidated (see the module "
         "docstring for the file format)",
     )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="arm a deterministic fault-injection plan (JSON, see "
+        "repro.core.faults: kill workers, corrupt store blocks, shed "
+        "requests) before running; the same plan replays the same "
+        "failures, so chaos runs are comparable bit for bit",
+    )
 
 
 def _make_score(args: argparse.Namespace):
@@ -295,7 +304,9 @@ def _print_store_stats(store: "WalkStore | None") -> None:
         f"written={stats.blocks_written} loaded={stats.blocks_loaded} "
         f"reused={stats.blocks_reused} rr-sets generated="
         f"{stats.rr_sets_generated} invalidated={stats.blocks_invalidated} "
-        f"walks patched={stats.walks_patched}"
+        f"walks patched={stats.walks_patched} "
+        f"quarantined={stats.blocks_quarantined} "
+        f"repaired={stats.blocks_repaired}"
     )
 
 
@@ -489,6 +500,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         batch_window=args.batch_window,
+        queue_cap=args.queue_cap,
+        request_timeout_ms=args.request_timeout_ms,
         on_ready=on_ready,
     )
     print(
@@ -526,12 +539,27 @@ def cmd_serve_load(args: argparse.Namespace) -> int:
     report = run_load(
         args.host, args.port, payloads, connections=args.connections
     )
-    failures = sum(1 for r in report.responses if not r.get("ok"))
+
+    def _code(response: dict) -> str | None:
+        error = response.get("error")
+        return error.get("code") if isinstance(error, dict) else None
+
+    # Structured overload answers are the server *working as configured*
+    # (shedding past --queue-cap, expiring stale deadlines), not faults;
+    # only other errors fail the run.
+    shed = sum(1 for r in report.responses if _code(r) == "overloaded")
+    expired = sum(
+        1 for r in report.responses if _code(r) == "deadline-exceeded"
+    )
+    failures = (
+        sum(1 for r in report.responses if not r.get("ok")) - shed - expired
+    )
     print(
         f"load: requests={len(report.responses)} failures={failures} "
         f"connections={args.connections} qps={report.qps:.1f} "
         f"p50_ms={report.latency_percentile(50) * 1e3:.2f} "
-        f"p99_ms={report.latency_percentile(99) * 1e3:.2f}"
+        f"p99_ms={report.latency_percentile(99) * 1e3:.2f} "
+        f"shed={shed} expired={expired}"
     )
     counters = request_once(args.host, args.port, "stats")["result"]["serve"]
     print(
@@ -720,6 +748,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="additional engine spec to keep hot (repeatable; requests "
         "pick one with their 'engine' parameter)",
     )
+    p_serve.add_argument(
+        "--queue-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the dispatch queue at N requests; admissions past it "
+        "answer a structured 'overloaded' error immediately instead of "
+        "buffering without bound (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--request-timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-request deadline; a request still queued when "
+        "it expires answers 'deadline-exceeded' without costing an "
+        "engine round (a request's own deadline_ms overrides it; "
+        "default: no deadline)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(
@@ -814,6 +861,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "fault_plan", None):
+        from repro.core import faults
+
+        faults.install(faults.FaultPlan.from_file(args.fault_plan))
     return args.func(args)
 
 

@@ -177,6 +177,13 @@ class EngineStats:
     #: original host was lost mid-round.
     hosts_lost: int = 0
     chunks_resharded: int = 0
+    #: Pool supervision (``dm-mp`` local pools and the tcp coordinator):
+    #: workers detected dead mid-round, workers the supervisor respawned
+    #: with replayed journal state, and previously-lost tcp hosts that
+    #: reconnected through the backoff rejoin path.
+    workers_lost: int = 0
+    workers_respawned: int = 0
+    hosts_rejoined: int = 0
     #: Estimator (ε, δ) accounting, filled by ``prepare_budget`` on the
     #: walk backends: the precision the caller asked for, the precision
     #: the sample budget actually certifies (0.0 = not computable — no

@@ -80,6 +80,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.engine import (
     BatchedDMEngine,
     BatchedDMSession,
@@ -108,6 +109,16 @@ _EVOLUTION_COUNTERS = (
 #: Worker-local committed trajectories kept per worker (FIFO eviction);
 #: mirrors ``FJVoteProblem.SEEDED_TRAJECTORY_CACHE``.
 _WORKER_SESSION_CACHE = 8
+
+#: Delta broadcasts remembered for journal replay onto respawned workers.
+#: Replay is idempotent (``_worker_apply_delta`` early-outs on current
+#: versions), so the cap bounds memory, not correctness.
+_DELTA_JOURNAL_CAP = 4
+
+#: One identical message per worker; a lost worker's copy is dropped, not
+#: re-dispatched (survivors already received theirs, and a respawned
+#: worker recovers the state from the journal replay / lazy rebuild).
+_BROADCAST_OPS = frozenset({"ping", "commit", "delta", "adopt"})
 
 #: Supported message transports (the ``dm-mp:<W>:shm`` spec suffix).
 TRANSPORTS = ("pipe", "shm")
@@ -459,7 +470,11 @@ def _worker_loop(
                     )
                 else:
                     state = sessions.get(sid)
-                    if state is not None and state["seeds"] == list(before):
+                    if (
+                        state is not None
+                        and state["traj"] is not None
+                        and state["seeds"] == list(before)
+                    ):
                         state["traj"] = engine.extend_trajectory(
                             state["traj"],
                             np.asarray(before, dtype=np.int64),
@@ -474,6 +489,15 @@ def _worker_loop(
                             "seeds": list(before) + [int(seed)],
                             "traj": None,
                         }
+            elif op == "adopt":
+                # Journal replay onto a respawned worker: register the
+                # session's committed seed sequence; the trajectory is
+                # rebuilt lazily (``_rebuild_session`` replays the exact
+                # commit sequence, so it is bitwise the parent's state).
+                _, sid, base, seeds = message
+                _store_session(
+                    sessions, sid, {"seeds": list(seeds), "traj": None}
+                )
             else:
                 raise ValueError(f"unknown dm-mp worker op {op!r}")
             stats = tuple(
@@ -649,6 +673,14 @@ class MultiprocessDMEngine(BatchedDMEngine):
         self._reply_slabs = None
         self._commit_view: np.ndarray | None = None
         self._shared_refs: dict | None = None
+        self._shm_info: dict | None = None
+        #: Supervision state: worker slots detected dead (healed by
+        #: respawn at the next dispatch) and the coordinator-side journal
+        #: a respawned worker replays — committed seed sequences per live
+        #: session plus the recent delta broadcasts.
+        self._dead: set[int] = set()
+        self._session_journal: dict[int, tuple[tuple, tuple]] = {}
+        self._delta_journal: list[tuple] = []
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -680,20 +712,26 @@ class MultiprocessDMEngine(BatchedDMEngine):
                 self._arena = arena
                 self._request_slabs = [ShmSlab(arena) for _ in range(self.workers)]
                 self._reply_slabs = [ShmSlab(arena) for _ in range(self.workers)]
-            handles = []
-            for _ in range(self.workers):
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, problem_payload, self._engine_kwargs, shm_info),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                handles.append(_WorkerHandle(process, parent_conn))
-            self._handles = handles
+            self._shm_info = shm_info
+            self._handles = [
+                self._spawn_worker(ctx, problem_payload, shm_info)
+                for _ in range(self.workers)
+            ]
+            self._dead = set()
             self._pool_started = time.monotonic()
         return self._handles
+
+    def _spawn_worker(self, ctx, problem_payload, shm_info) -> _WorkerHandle:
+        """Start one pool member and hand back its handle."""
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, problem_payload, self._engine_kwargs, shm_info),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn)
 
     def close(self) -> None:
         """Stop the pool and unlink its shm segments (idempotent).
@@ -712,6 +750,8 @@ class MultiprocessDMEngine(BatchedDMEngine):
         self._reply_slabs = None
         self._commit_view = None
         self._shared_refs = None
+        self._shm_info = None
+        self._dead = set()
         try:
             if handles:
                 stop_worker_pool(
@@ -758,69 +798,226 @@ class MultiprocessDMEngine(BatchedDMEngine):
             "busy_s": round(busy, 6),
             "idle_s": round(max(uptime - busy, 0.0), 6),
             "shm_segments": segments,
+            "workers_lost": int(self.stats.workers_lost),
+            "workers_respawned": int(self.stats.workers_respawned),
         }
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def _run(self, messages: Sequence[tuple], pending: Sequence | None = None) -> list:
-        """Send one message per worker (at most), gather replies in order.
+        """Supervised dispatch: send, gather, survive worker deaths.
 
         Workers compute concurrently — all sends complete before the first
         receive — and replies are folded into ``stats`` / ``worker_stats``.
-        ``pending[i]``, when set, names the reply-slab region worker ``i``
-        fills instead of pickling its payload (the shm transport); the
-        result is copied out of the slab on receipt.  Every byte actually
-        crossing a pipe, in either direction, lands in
-        ``stats.ipc_bytes``.
+        ``pending[i]``, when set, names the reply-slab region reserved for
+        message ``i`` (the shm transport); the result is copied out of the
+        slab on receipt.  Every byte actually crossing a pipe, in either
+        direction, lands in ``stats.ipc_bytes``.
+
+        A worker whose pipe fails mid-round (EOF, broken pipe) is marked
+        lost (``stats.workers_lost``): its chunked message re-dispatches
+        to a survivor in the same round (``stats.chunks_resharded`` —
+        slots are kept, so ``results[i]`` always answers ``messages[i]``
+        and the chunk-order concatenation never observes the loss), while
+        broadcast copies are simply dropped.  Dead slots are healed by
+        :meth:`_respawn_worker` at the start of the next dispatch, so the
+        pool returns to full strength with journal-replayed state.  A
+        worker-side ``err`` status still raises — the evaluation itself
+        failed on a live worker and would fail anywhere.
         """
         handles = self._ensure_pool()
+        self._heal_pool()
+        self._inject_worker_faults()
         round_start = time.monotonic()
         try:
-            live: list[tuple[int, _WorkerHandle]] = []
-            try:
-                for index, message in enumerate(messages):
-                    handle = handles[index]
+            messages = list(messages)
+            results: dict[int, object] = {}
+            failed: list[int] = []
+            dispatched: list[tuple[int, _WorkerHandle]] = []
+            for index, message in enumerate(messages):
+                if index in self._dead:
+                    failed.append(index)
+                    continue
+                handle = handles[index]
+                try:
                     self.stats.ipc_bytes += _send_message(handle.conn, message)
-                    live.append((index, handle))
-            except (BrokenPipeError, OSError) as exc:
-                # A dead worker mid-send would leave already-messaged
-                # workers with undrained replies that a later, smaller
-                # fan-out could mispair with its own requests; tear the
-                # pool down instead (it restarts lazily on the next call).
-                self.close()
-                raise RuntimeError(
-                    f"dm-mp worker {len(live)} unreachable: {exc!r}"
-                ) from exc
-            out = []
-            failure: str | None = None
-            for index, handle in live:
+                    dispatched.append((index, handle))
+                except (BrokenPipeError, ConnectionError, OSError):
+                    self._lose_worker(index)
+                    failed.append(index)
+            for index, handle in dispatched:
                 try:
                     reply, nbytes = _recv_message(handle.conn)
-                except (EOFError, OSError) as exc:
-                    failure = f"dm-mp worker {index} died: {exc!r}"
+                except (EOFError, ConnectionError, OSError):
+                    self._lose_worker(index)
+                    failed.append(index)
                     continue
                 self.stats.ipc_bytes += nbytes
-                status, result, stats = reply
-                if status != "ok":
-                    failure = f"dm-mp worker {index} failed:\n{result}"
-                    continue
-                for name, value in zip(_EVOLUTION_COUNTERS, stats):
-                    setattr(self.stats, name, getattr(self.stats, name) + value)
-                    worker = self.worker_stats[index]
-                    setattr(worker, name, getattr(worker, name) + value)
+                result = self._fold_reply(index, reply)
                 if pending is not None and pending[index] is not None:
                     result = np.array(
                         self._reply_slabs[index].view(pending[index])
                     )
-                out.append(result)
-            if failure is not None:
-                self.close()
-                raise RuntimeError(failure)
-            return out
+                results[index] = result
+            if failed:
+                if messages[failed[0]][0] in _BROADCAST_OPS:
+                    # Survivors already served the broadcast; the
+                    # journal replay on respawn covers the dead workers.
+                    if len(self._dead) >= len(handles):
+                        self.close()
+                        raise RuntimeError("dm-mp: every worker died")
+                else:
+                    self._redispatch(messages, sorted(failed), results, pending)
+            return [results[index] for index in sorted(results)]
         finally:
             self.pool_rounds += 1
             self.pool_busy_s += time.monotonic() - round_start
+
+    def _fold_reply(self, slot: int, reply: tuple):
+        """Account one worker reply; raises on a worker-side ``err``."""
+        status, result, stats = reply
+        if status != "ok":
+            self.close()
+            raise RuntimeError(f"dm-mp worker {slot} failed:\n{result}")
+        for name, value in zip(_EVOLUTION_COUNTERS, stats):
+            setattr(self.stats, name, getattr(self.stats, name) + value)
+            worker = self.worker_stats[slot]
+            setattr(worker, name, getattr(worker, name) + value)
+        return result
+
+    def _lose_worker(self, index: int) -> None:
+        """Mark slot ``index`` dead; the next dispatch respawns it."""
+        if index in self._dead:
+            return
+        self._dead.add(index)
+        self.stats.workers_lost += 1
+        if self._handles is not None:
+            try:
+                self._handles[index].conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    def _redispatch(
+        self,
+        messages: list,
+        queue: list[int],
+        results: dict[int, object],
+        pending: Sequence | None,
+    ) -> None:
+        """Re-shard a dead worker's chunks across the survivors, in waves.
+
+        Each wave assigns at most one queued message per survivor; a
+        survivor that dies mid-wave sends its message back into the
+        queue.  Slab copy-out always uses the *message* index — the shm
+        refs baked into a message name the originating slot's slabs, and
+        segments attach by name, so any worker can fill them.
+        """
+        while queue:
+            handles = self._handles or []
+            survivors = [
+                slot for slot in range(len(handles)) if slot not in self._dead
+            ]
+            if not survivors:
+                self.close()
+                raise RuntimeError(
+                    "dm-mp: every worker was lost before the round's "
+                    "chunks could be re-dispatched"
+                )
+            wave: list[tuple[int, int, _WorkerHandle]] = []
+            for slot, index in zip(survivors, list(queue)):
+                handle = handles[slot]
+                try:
+                    self.stats.ipc_bytes += _send_message(
+                        handle.conn, messages[index]
+                    )
+                except (BrokenPipeError, ConnectionError, OSError):
+                    self._lose_worker(slot)
+                    continue
+                self.stats.chunks_resharded += 1
+                wave.append((index, slot, handle))
+                queue.remove(index)
+            for index, slot, handle in wave:
+                try:
+                    reply, nbytes = _recv_message(handle.conn)
+                except (EOFError, ConnectionError, OSError):
+                    self._lose_worker(slot)
+                    queue.append(index)
+                    continue
+                self.stats.ipc_bytes += nbytes
+                result = self._fold_reply(slot, reply)
+                if pending is not None and pending[index] is not None:
+                    result = np.array(
+                        self._reply_slabs[index].view(pending[index])
+                    )
+                results[index] = result
+
+    def _heal_pool(self) -> None:
+        """Respawn every dead slot before the next round dispatches."""
+        if not self._dead or self._handles is None:
+            return
+        for index in sorted(self._dead):
+            self._respawn_worker(index)
+        self._dead = set()
+
+    def _respawn_worker(self, index: int) -> None:
+        """Replace a dead pool member and replay the journal onto it.
+
+        The replacement gets the *current* problem: re-pickled under the
+        pipe transport, or a fresh skeleton around the existing shared
+        segments under shm (``_shared_refs`` is patched in place by delta
+        republishing, so the refs are always current — re-sharing would
+        orphan the commit view).  Journal replay then registers committed
+        session seed sequences (``adopt`` — trajectories rebuild lazily,
+        bitwise identical) and re-sends recent delta broadcasts
+        (idempotent on the already-current problem).
+        """
+        handles = self._handles
+        if handles is None:  # pragma: no cover - close raced the heal
+            return
+        stop_worker_pool([handles[index]], lambda conn: conn.send_bytes(_STOP_BYTES))
+        ctx = mp.get_context(self.start_method)
+        problem_payload = self.problem
+        if self.transport == "shm":
+            skeleton, _ = self.problem.share_arrays()
+            problem_payload = (skeleton, self._shared_refs)
+        handles[index] = self._spawn_worker(ctx, problem_payload, self._shm_info)
+        self.stats.workers_respawned += 1
+        self._replay_journal(index, handles[index])
+
+    def _replay_journal(self, slot: int, handle: _WorkerHandle) -> None:
+        """Ship the coordinator-side journal to one (re)spawned worker."""
+        replay: list[tuple] = []
+        for sid, (base, seeds) in self._session_journal.items():
+            replay.append(("adopt", sid, base, seeds))
+        replay.extend(self._delta_journal)
+        for message in replay:
+            self.stats.ipc_bytes += _send_message(handle.conn, message)
+        for _ in replay:
+            reply, nbytes = _recv_message(handle.conn)
+            self.stats.ipc_bytes += nbytes
+            self._fold_reply(slot, reply)
+
+    def _inject_worker_faults(self) -> None:
+        """The ``mp-kill-worker`` fault point: SIGKILL a planned victim.
+
+        The kill is real — detection and recovery then run the exact
+        production path (EOF on the pipe, re-shard, respawn), which is
+        the point of injecting here rather than faking a dead handle.
+        """
+        if faults.active() is None or self._handles is None:
+            return
+        for index, handle in enumerate(self._handles):
+            process = getattr(handle, "process", None)
+            if index in self._dead or process is None:
+                continue
+            spec = faults.maybe_fail(
+                "mp-kill-worker", worker=index, round=self.pool_rounds
+            )
+            if spec is not None:
+                process.kill()
+                # Reap before dispatch so the death is visible this round.
+                process.join(timeout=5.0)
 
     def _chunk_indices(self, count: int) -> list[np.ndarray]:
         """Deterministic contiguous index chunks, one per worker, no empties."""
@@ -1069,10 +1266,14 @@ class MultiprocessDMEngine(BatchedDMEngine):
                         )
                         for q, nodes in report.opinions_by_candidate.items()
                     ]
-            self._run(
-                [("delta", report, columns_by_gid, opinions, new_refs)]
-                * self.workers
+            # Journaled before dispatch so a worker that dies *during*
+            # this broadcast still sees the delta on respawn replay
+            # (idempotent: respawns re-ship the already-patched problem).
+            self._delta_journal.append(
+                ("delta", report, columns_by_gid, opinions, new_refs)
             )
+            del self._delta_journal[:-_DELTA_JOURNAL_CAP]
+            self._run([self._delta_journal[-1]] * self.workers)
         super().apply_delta(report, sessions=sessions)
 
     def _republish_delta(self, report) -> dict | None:
@@ -1149,8 +1350,23 @@ class MultiprocessDMEngine(BatchedDMEngine):
         """
         if self._handles is None:
             return
+        self._journal_commit(sid, tuple(base), tuple(before) + (int(seed),))
         if self._commit_view is not None:
             if traj is None:
                 raise ValueError("shm commit broadcasts need the committed trajectory")
             self._commit_view[...] = traj
         self._run([("commit", sid, base, before, seed)] * self.workers)
+
+    def _journal_commit(self, sid: int, base: tuple, seeds: tuple) -> None:
+        """Record session ``sid``'s committed seed sequence (FIFO-capped).
+
+        The journal is what a respawned worker replays (as ``adopt``
+        messages) to recover every live session's committed state; the
+        cap mirrors the worker-side session cache, so the journal never
+        promises more sessions than a worker would retain anyway.
+        """
+        journal = self._session_journal
+        journal.pop(sid, None)
+        journal[sid] = (base, seeds)
+        while len(journal) > _WORKER_SESSION_CACHE:
+            journal.pop(next(iter(journal)))

@@ -26,12 +26,16 @@ Connects retry until ``connect_timeout`` (hosts may still be starting).
 After the handshake, a host that dies mid-round is dropped from the pool
 (``stats.hosts_lost``) and its unanswered chunks are re-dispatched to the
 survivors (``stats.chunks_resharded``); later rounds shard across the
-survivors only.  Broadcast ops (``ping`` / ``commit`` / ``delta``) are
-simply dropped for dead hosts — a worker that misses a commit rebuilds
-its session trajectory lazily from the ``(base, seeds)`` pair every
-fan-out message carries, bitwise identical either way.  Losing the *last*
-host raises.  A worker-side evaluation error (as opposed to a transport
-failure) still raises immediately, like the process pool.
+survivors while the coordinator keeps re-dialing the lost address on a
+deterministic backoff schedule — a host that comes back is re-handshaken
+with the current problem, journal-replayed, and restored to its original
+shard slot (``stats.hosts_rejoined``).  Broadcast ops (``ping`` /
+``commit`` / ``delta``) are simply dropped for dead hosts — a worker
+that misses a commit rebuilds its session trajectory lazily from the
+``(base, seeds)`` pair every fan-out message carries, bitwise identical
+either way.  Losing the *last* host raises.  A worker-side evaluation
+error (as opposed to a transport failure) still raises immediately, like
+the process pool.
 
 The handshake ships the pickled problem once per connection, mirroring
 the process pool's ship-once-at-start contract.  When the net worker was
@@ -52,8 +56,10 @@ import struct
 import time
 from typing import Callable, Sequence
 
+from repro.core import faults
 from repro.core.engine import BatchedDMEngine, EngineStats
 from repro.core.engine_mp import (
+    _BROADCAST_OPS,
     _EVOLUTION_COUNTERS,
     _PICKLE_PROTOCOL,
     _STOP_BYTES,
@@ -63,12 +69,16 @@ from repro.core.engine_mp import (
     _worker_loop,
 )
 from repro.core.problem import FJVoteProblem
+from repro.utils.retry import backoff_schedule, with_backoff
 from repro.utils.workers import stop_worker_pool
 
-#: One identical message per worker; a lost host's copy is dropped, not
-#: re-dispatched (survivors already received theirs, and session state
-#: self-heals from the seed sequence).
-_BROADCAST_OPS = frozenset({"ping", "commit", "delta"})
+#: Re-dial ladder for lost hosts (seconds between rejoin attempts);
+#: deterministic — the attempt count indexes it, the tail repeats.
+_REJOIN_DELAYS = tuple(backoff_schedule(retries=6, base_delay=0.1, max_delay=2.0))
+
+#: Per-attempt connect budget while re-dialing a lost host; short so a
+#: still-dead host costs one refused dial per due attempt, not a stall.
+_REJOIN_DIAL_TIMEOUT = 0.25
 
 #: Frame header: unsigned 64-bit big-endian payload length.
 _FRAME_HEADER = struct.Struct("!Q")
@@ -145,23 +155,30 @@ def _connect(address: str, timeout: float) -> FramedSocket:
     """
     host, port = _split_address(address)
     deadline = time.monotonic() + timeout
-    delay = 0.05
-    while True:
+    # Enough capped delays to span the timeout; the dial itself uses the
+    # remaining budget, so the last attempt cannot overshoot.
+    schedule: list[float] = []
+    total = 0.0
+    for delay in backoff_schedule(retries=64, base_delay=0.05, max_delay=0.5):
+        if total >= timeout:
+            break
+        schedule.append(delay)
+        total += delay
+
+    def dial() -> FramedSocket:
         remaining = deadline - time.monotonic()
-        try:
-            sock = socket.create_connection(
-                (host, port), timeout=max(remaining, 0.05)
-            )
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            return FramedSocket(sock)
-        except OSError as exc:
-            if time.monotonic() + delay >= deadline:
-                raise RuntimeError(
-                    f"cannot reach dm-mp tcp host {address} within "
-                    f"{timeout:.1f}s: {exc}"
-                ) from exc
-            time.sleep(delay)
-            delay = min(delay * 2, 0.5)
+        if remaining <= 0:
+            raise ConnectionError("connect deadline exhausted")
+        sock = socket.create_connection((host, port), timeout=max(remaining, 0.05))
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return FramedSocket(sock)
+
+    try:
+        return with_backoff(dial, exceptions=(OSError,), schedule=schedule)
+    except OSError as exc:
+        raise RuntimeError(
+            f"cannot reach dm-mp tcp host {address} within {timeout:.1f}s: {exc}"
+        ) from exc
 
 
 class _HostHandle:
@@ -233,38 +250,54 @@ class HostPool(MultiprocessDMEngine):
         self.hosts = hosts
         self.connect_timeout = float(connect_timeout)
         self._handles: list[_HostHandle] | None = None
+        #: Lost addresses pending rejoin: address -> [attempts, next_retry].
+        self._lost_hosts: dict[str, list[float]] = {}
 
     # ------------------------------------------------------------------
     # Pool lifecycle
     # ------------------------------------------------------------------
-    def _ensure_pool(self) -> list[_HostHandle]:
-        """Connect and handshake every host (idempotent, all-or-nothing)."""
-        if self._handles is None:
+    def _handshake(self, address: str, timeout: float) -> _HostHandle:
+        """Dial one host and ship the hello (problem + engine kwargs).
+
+        The handshake always carries the *current* problem, so a host
+        rejoining after deltas starts from patched state (journal replay
+        of the deltas is then an idempotent no-op).
+        """
+        conn = _connect(address, timeout)
+        try:
             hello = pickle.dumps(
                 ("hello", self.problem, self._engine_kwargs), _PICKLE_PROTOCOL
             )
+            conn.send_bytes(hello)
+            self.stats.ipc_bytes += len(hello)
+            reply, nbytes = _recv_message(conn)
+            self.stats.ipc_bytes += nbytes
+            status, result, _ = reply
+            if status != "ok":
+                raise RuntimeError(
+                    f"dm-mp tcp host {address} rejected the handshake:\n{result}"
+                )
+        except BaseException:
+            conn.close()
+            raise
+        slot = self.hosts.index(address)
+        return _HostHandle(conn, address, self.worker_stats[slot])
+
+    def _ensure_pool(self) -> list[_HostHandle]:
+        """Connect and handshake every host (idempotent, all-or-nothing)."""
+        if self._handles is None:
             handles: list[_HostHandle] = []
             try:
-                for index, address in enumerate(self.hosts):
-                    conn = _connect(address, self.connect_timeout)
+                for address in self.hosts:
                     handles.append(
-                        _HostHandle(conn, address, self.worker_stats[index])
+                        self._handshake(address, self.connect_timeout)
                     )
-                    conn.send_bytes(hello)
-                    self.stats.ipc_bytes += len(hello)
-                    reply, nbytes = _recv_message(conn)
-                    self.stats.ipc_bytes += nbytes
-                    status, result, _ = reply
-                    if status != "ok":
-                        raise RuntimeError(
-                            f"dm-mp tcp host {address} rejected the "
-                            f"handshake:\n{result}"
-                        )
             except BaseException:
                 for handle in handles:
                     handle.conn.close()
                 raise
             self._handles = handles
+            self._lost_hosts = {}
             self._pool_started = time.monotonic()
         return self._handles
 
@@ -276,6 +309,7 @@ class HostPool(MultiprocessDMEngine):
         """
         handles, self._handles = self._handles, None
         self._pool_started = None
+        self._lost_hosts = {}
         if handles:
             stop_worker_pool(handles, lambda conn: conn.send_bytes(_STOP_BYTES))
 
@@ -283,7 +317,8 @@ class HostPool(MultiprocessDMEngine):
     # Dispatch with graceful degradation
     # ------------------------------------------------------------------
     def _lose_host(self, handle: _HostHandle) -> None:
-        """Drop a dead host: later rounds shard across the survivors."""
+        """Drop a dead host: later rounds shard across the survivors
+        while the rejoin schedule re-dials its address."""
         handles = self._handles or []
         if handle in handles:
             handles.remove(handle)
@@ -291,6 +326,54 @@ class HostPool(MultiprocessDMEngine):
         self.stats.hosts_lost += 1
         if handles:
             self.workers = len(handles)
+        self._lost_hosts.setdefault(
+            handle.address, [0, time.monotonic() + _REJOIN_DELAYS[0]]
+        )
+
+    def _try_rejoin(self) -> None:
+        """Re-dial lost hosts whose backoff deadline has passed.
+
+        A successful dial re-runs the full handshake (current problem),
+        replays the coordinator journal, and restores the host to its
+        original shard slot — selections stay byte-identical throughout
+        because chunk contents and concatenation order never depended on
+        *which* connection evaluates a chunk.
+        """
+        if not self._lost_hosts or self._handles is None:
+            return
+        for address, entry in list(self._lost_hosts.items()):
+            if time.monotonic() < entry[1]:
+                continue
+            try:
+                handle = self._handshake(address, _REJOIN_DIAL_TIMEOUT)
+            except (RuntimeError, OSError, EOFError):
+                entry[0] += 1
+                delay = _REJOIN_DELAYS[min(int(entry[0]), len(_REJOIN_DELAYS) - 1)]
+                entry[1] = time.monotonic() + delay
+                continue
+            del self._lost_hosts[address]
+            self._handles.append(handle)
+            self._handles.sort(key=lambda h: self.hosts.index(h.address))
+            self.workers = len(self._handles)
+            self.stats.hosts_rejoined += 1
+            self._replay_journal(self.hosts.index(address), handle)
+
+    def _inject_host_faults(self) -> None:
+        """The ``net-sever-host`` fault point: cut a planned host's socket.
+
+        Closing the coordinator side mid-round makes the next send fail
+        with a real transport error, driving the production lose /
+        re-shard / rejoin path (the remote net-worker sees EOF and loops
+        back to ``accept``, ready for the rejoin dial).
+        """
+        if faults.active() is None or self._handles is None:
+            return
+        for handle in list(self._handles):
+            spec = faults.maybe_fail(
+                "net-sever-host", host=handle.address, round=self.pool_rounds
+            )
+            if spec is not None:
+                handle.conn.close()
 
     def _receive(self, handle: _HostHandle):
         """One reply off ``handle``; folds counters, raises on worker err.
@@ -323,7 +406,10 @@ class HostPool(MultiprocessDMEngine):
         tcp data plane has no reply slabs.
         """
         del pending  # tcp frames carry their payloads inline
-        handles = list(self._ensure_pool())
+        self._ensure_pool()
+        self._try_rejoin()
+        self._inject_host_faults()
+        handles = list(self._handles or [])
         round_start = time.monotonic()
         try:
             messages = list(messages)
@@ -408,6 +494,7 @@ class HostPool(MultiprocessDMEngine):
         stats["hosts"] = list(self.hosts)
         stats["hosts_connected"] = connected
         stats["hosts_lost"] = int(self.stats.hosts_lost)
+        stats["hosts_rejoined"] = int(self.stats.hosts_rejoined)
         stats["chunks_resharded"] = int(self.stats.chunks_resharded)
         return stats
 
@@ -529,6 +616,11 @@ def run_net_worker(
                     store_seed=store_seed,
                     engine_overrides=engine_overrides,
                 )
+            except (OSError, EOFError, ConnectionError):
+                # A coordinator that dies mid-serve (socket reset, severed
+                # link) must not take the host down: the loop returns to
+                # ``accept`` so the coordinator can rejoin.
+                pass
             finally:
                 conn.close()
             served += 1

@@ -42,7 +42,10 @@ the same directory with the same seed serves **byte-identical** walks
 while regenerating *zero* blocks (``StoreStats.blocks_loaded`` counts the
 mmap re-opens; ``blocks_generated`` stays 0 on a warm open).  Writes are
 atomic (tmp + rename) and idempotent across concurrent writers: any two
-stores can only ever write the same bytes for the same identity.
+stores can only ever write the same bytes for the same identity.  The
+manifest also records a crc32 per block part; blocks are verified before
+every mmap re-open, and a damaged block is quarantined and regenerated in
+place from its identity (``blocks_quarantined`` / ``blocks_repaired``).
 
 The store also pools the RR sets of the classic-IM baselines
 (:func:`repro.baselines.imm.imm` accepts an ``rr_pool``), so an IC/LT sweep
@@ -52,14 +55,17 @@ RR-set pools are in-memory only — persistence covers the walk blocks.
 
 from __future__ import annotations
 
+import io
 import json
 import multiprocessing as mp
 import os
+import zlib
 from dataclasses import dataclass, fields
 from pathlib import Path
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.random_walk import (
     TruncatedWalks,
     generate_reverse_walks_streamed,
@@ -94,8 +100,15 @@ _MASTER_CACHE_CAP = 8
 #: On-disk shard format version (bumped on any layout/naming change).
 #: Format 2 switched block generation to one deterministic rng stream per
 #: walk (``generate_reverse_walks_streamed``), which is what lets a graph
-#: delta regenerate individual walks instead of whole blocks.
-STORE_FORMAT = 2
+#: delta regenerate individual walks instead of whole blocks.  Format 3
+#: records a crc32 per block part in the manifest; block bytes and names
+#: are unchanged, so format-2 directories open read-compatibly and are
+#: upgraded in place on first open.
+STORE_FORMAT = 3
+
+#: On-disk formats this build can open.  Format 2 lacks checksums; its
+#: blocks are checksummed once at open and the manifest upgraded.
+_COMPAT_FORMATS = (2, 3)
 
 #: Default cap on memory-mapped blocks kept resident per store.
 DEFAULT_RESIDENT_BLOCKS = 64
@@ -125,6 +138,14 @@ class StoreStats:
     #: ``blocks_generated`` untouched — no block is regenerated whole.
     blocks_invalidated: int = 0
     walks_patched: int = 0
+    #: Integrity traffic (``store_dir`` stores): persisted blocks whose
+    #: bytes failed their manifest crc32 on load (the damaged files are
+    #: renamed to ``*.quarantined``) and the blocks regenerated in place
+    #: from their deterministic identity.  Repair is real generation
+    #: work, so a warm open that only repaired damage reports
+    #: ``blocks_generated == blocks_repaired``.
+    blocks_quarantined: int = 0
+    blocks_repaired: int = 0
     walks_generated: int = 0
     walk_steps_generated: int = 0
     index_builds: int = 0
@@ -525,6 +546,9 @@ class WalkStore:
         #: per candidate; :meth:`apply_delta` advances them, and mmap
         #: persistence pins them in the manifest.
         self._graph_versions = [int(g.version) for g in state.graphs]
+        #: crc32 per persisted block part, keyed by block stem — the
+        #: manifest's integrity ledger (see ``_write_block``).
+        self._checksums: dict[str, dict[str, int]] = {}
         self._resident: dict[tuple[int, str, int], _WalkPool] = {}
         self._pools: dict[tuple[int, str], _WalkPool] = {}
         self._rr_pools: dict[tuple[int, str], RRSetPool] = {}
@@ -541,7 +565,10 @@ class WalkStore:
         ``graph_versions`` is the delta clock: blocks on disk were drawn
         under exactly these per-candidate surgery counters.  It is *not*
         part of the immutable identity — :meth:`apply_delta` patches the
-        affected blocks and advances it atomically.
+        affected blocks and advances it atomically.  ``checksums`` is the
+        integrity ledger (crc32 per block part, keyed by block stem) and
+        is likewise excluded from the identity comparison: it grows with
+        the store and is rewritten by every block write.
         """
         return {
             "format": STORE_FORMAT,
@@ -550,6 +577,10 @@ class WalkStore:
             "block_walks": self.block_walks,
             "n": self.state.n,
             "graph_versions": list(self._graph_versions),
+            "checksums": {
+                stem: dict(parts)
+                for stem, parts in sorted(self._checksums.items())
+            },
         }
 
     def _write_manifest(self) -> None:
@@ -567,9 +598,10 @@ class WalkStore:
         path = self.store_dir / "manifest.json"
         if path.exists():
             existing = json.loads(path.read_text())
-            identity = {k: v for k, v in manifest.items() if k != "graph_versions"}
+            volatile = ("graph_versions", "checksums", "format")
+            identity = {k: v for k, v in manifest.items() if k not in volatile}
             disk_identity = {
-                k: v for k, v in existing.items() if k != "graph_versions"
+                k: v for k, v in existing.items() if k not in volatile
             }
             if disk_identity != identity:
                 diffs = ", ".join(
@@ -582,6 +614,13 @@ class WalkStore:
                     f"identity ({diffs}); reuse the original seed/horizon/"
                     "block_walks or point at a fresh directory"
                 )
+            disk_format = existing.get("format")
+            if disk_format not in _COMPAT_FORMATS:
+                raise ValueError(
+                    f"store at {self.store_dir} uses on-disk format "
+                    f"{disk_format!r}; this build reads formats "
+                    f"{list(_COMPAT_FORMATS)}"
+                )
             if existing.get("graph_versions") != manifest["graph_versions"]:
                 raise ValueError(
                     f"store at {self.store_dir} holds walks drawn at graph "
@@ -591,14 +630,40 @@ class WalkStore:
                     "the delta through WalkStore.apply_delta, or point at a "
                     "fresh directory"
                 )
+            self._checksums = {
+                str(stem): {part: int(crc) for part, crc in parts.items()}
+                for stem, parts in existing.get("checksums", {}).items()
+            }
+            if disk_format != STORE_FORMAT:
+                # Format-2 store: checksum the blocks it already holds
+                # once, then upgrade the manifest in place.
+                self._adopt_disk_checksums()
+                self._write_manifest()
         else:
             self._write_manifest()
+
+    def _adopt_disk_checksums(self) -> None:
+        """Record crc32s for pre-checksum (format-2) blocks already on disk."""
+        for path in sorted(self.store_dir.glob("*.npy")):
+            pieces = path.name.split(".")
+            if len(pieces) != 3 or pieces[1] not in ("walks", "lengths"):
+                continue
+            stem, part = pieces[0], pieces[1]
+            self._checksums.setdefault(stem, {})[part] = zlib.crc32(
+                path.read_bytes()
+            )
+
+    def _block_stem(self, candidate: int, kind: str, index: int) -> str:
+        """Checksum-ledger key of one block: its identity, minus the part."""
+        return (
+            f"c{int(candidate)}-k{_KIND_CODES[kind]}-h{self.horizon}"
+            f"-b{int(index):06d}"
+        )
 
     def _block_path(self, candidate: int, kind: str, index: int, part: str) -> Path:
         """Deterministic shard file name: one identity, one path, forever."""
         return self.store_dir / (
-            f"c{int(candidate)}-k{_KIND_CODES[kind]}-h{self.horizon}"
-            f"-b{int(index):06d}.{part}.npy"
+            f"{self._block_stem(candidate, kind, index)}.{part}.npy"
         )
 
     def _disk_prefix(self, candidate: int, kind: str) -> int:
@@ -619,19 +684,64 @@ class WalkStore:
         walks: np.ndarray,
         lengths: np.ndarray,
     ) -> None:
-        """Persist one block atomically (tmp + rename; idempotent bytes)."""
+        """Persist one block atomically (tmp + rename; idempotent bytes).
+
+        The crc32 of every part's exact file bytes lands in the manifest
+        ledger, so a later open can prove the mmap it serves holds the
+        bytes this store wrote — and regenerate the block in place if
+        not (see ``_repair_block``).
+        """
+        checksums: dict[str, int] = {}
         for part, array in (("walks", walks), ("lengths", lengths)):
             path = self._block_path(candidate, kind, index, part)
+            buffer = io.BytesIO()
+            np.save(buffer, array)
+            data = buffer.getvalue()
+            checksums[part] = zlib.crc32(data)
             tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-            with open(tmp, "wb") as handle:
-                np.save(handle, array)
+            tmp.write_bytes(data)
             os.replace(tmp, path)
+        self._checksums[self._block_stem(candidate, kind, index)] = checksums
         self.stats.blocks_written += 1
+        self._write_manifest()
 
     def _load_block(
         self, candidate: int, kind: str, index: int
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Re-open one persisted block as read-only memory maps."""
+        """Re-open one persisted block as read-only memory maps.
+
+        Every part is checksummed against the manifest ledger before it
+        is mapped; a mismatch (bit rot, torn write, injected corruption)
+        quarantines the damaged files and regenerates the block in place
+        from its deterministic identity — see ``_repair_block``.
+        """
+        spec = faults.maybe_fail(
+            "store-corrupt-block",
+            candidate=int(candidate),
+            kind=kind,
+            block=int(index),
+        )
+        if spec is not None:
+            plan = faults.active()
+            faults.corrupt_file(
+                self._block_path(candidate, kind, index, "walks"),
+                plan.rng(int(candidate), _KIND_CODES[kind], int(index)),
+            )
+        stem = self._block_stem(candidate, kind, index)
+        recorded = self._checksums.get(stem, {})
+        damaged = False
+        for part in ("walks", "lengths"):
+            crc = zlib.crc32(
+                self._block_path(candidate, kind, index, part).read_bytes()
+            )
+            if part not in recorded:
+                # Block written by a concurrent pre-checksum writer
+                # after this store's manifest snapshot: adopt it.
+                self._checksums.setdefault(stem, {})[part] = crc
+            elif recorded[part] != crc:
+                damaged = True
+        if damaged:
+            self._repair_block(candidate, kind, index)
         walks = np.load(
             self._block_path(candidate, kind, index, "walks"), mmap_mode="r"
         )
@@ -640,6 +750,45 @@ class WalkStore:
         )
         self.stats.blocks_loaded += 1
         return walks, lengths
+
+    def _repair_block(self, candidate: int, kind: str, index: int) -> None:
+        """Quarantine a corrupt block and regenerate it from its identity.
+
+        Block content is a pure function of the block identity, so the
+        repaired bytes must reproduce the ledger checksums exactly —
+        repair is verified, not assumed.  The damaged files stay next to
+        the store as ``*.quarantined`` for post-mortems.
+        """
+        pool = self.pool(candidate, kind)
+        stem = self._block_stem(candidate, kind, index)
+        recorded = dict(self._checksums.get(stem, {}))
+        for part in ("walks", "lengths"):
+            path = self._block_path(candidate, kind, index, part)
+            if path.exists():
+                os.replace(path, path.with_name(f"{path.name}.quarantined"))
+        self.stats.blocks_quarantined += 1
+        walks, lengths = _generate_block(
+            self.state.graph(candidate),
+            self.state.stubbornness[candidate],
+            self.horizon,
+            kind,
+            pool.block_walks,
+            _block_entropy(self.root, candidate, kind, index),
+            pool.sampler(),
+        )
+        self.stats.blocks_generated += 1
+        self.stats.walks_generated += walks.shape[0]
+        self.stats.walk_steps_generated += int(lengths.sum())
+        self._write_block(candidate, kind, index, walks, lengths)
+        self.stats.blocks_repaired += 1
+        fresh = self._checksums.get(stem, {})
+        if recorded and fresh != recorded:
+            raise ValueError(
+                f"repaired block {stem} does not reproduce its recorded "
+                f"checksums (expected {recorded}, regenerated {fresh}); "
+                "the walks this store was built with no longer match its "
+                "identity — point at a fresh directory"
+            )
 
     def _touch_resident(self, pool: _WalkPool, index: int) -> None:
         """LRU-track a resident block; evict the coldest past the cap.

@@ -36,11 +36,14 @@ without timing noise.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from typing import Any, Iterable, Sequence
 
 import numpy as np
+
+from repro.core import faults
 
 from repro.core.engine import (
     EngineSpec,
@@ -72,6 +75,10 @@ class ServeStats:
     saved: the former sums every request's own seed-set count, the latter
     what the shared rounds actually evolved
     (``evolution_sets_saved = requested - evolved``, accumulated).
+    ``requests_shed`` counts admissions refused with a structured
+    ``overloaded`` error (queue at ``queue_cap``, or shutdown drain) and
+    ``deadlines_exceeded`` requests dropped from the queue after their
+    deadline expired — both overload answers cost no engine work.
     """
 
     requests_total: int = 0
@@ -85,6 +92,8 @@ class ServeStats:
     deltas_applied: int = 0
     topk_cache_hits: int = 0
     errors: int = 0
+    requests_shed: int = 0
+    deadlines_exceeded: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {field.name: int(getattr(self, field.name)) for field in fields(self)}
@@ -396,6 +405,11 @@ class CoalescingBatcher:
 
     # ------------------------------------------------------------------
     def execute(self, requests: Sequence[Request]) -> list[dict]:
+        spec = faults.maybe_fail("serve-delay", batch=self.stats.batches)
+        if spec is not None and spec.value:
+            # Stall this round; requests queueing up behind it expire
+            # their deadlines deterministically (overload chaos tests).
+            time.sleep(float(spec.value))
         self.stats.batches += 1
         self.stats.requests_total += len(requests)
         responses: list[dict | None] = [None] * len(requests)

@@ -56,8 +56,21 @@ Error codes
     registry's message is carried verbatim.
 ``engine-not-loaded``
     A well-formed spec this server was not started with.
+``overloaded``
+    The server shed the request: the dispatch queue was at its
+    ``queue_cap`` (or the server is draining for shutdown).  Shedding
+    happens at admission — a shed request costs no engine work — and is
+    counted in ``ServeStats.requests_shed``.  Clients should back off
+    and retry.
+``deadline-exceeded``
+    The request's deadline (its own ``deadline_ms``, or the server's
+    default request timeout) expired while it sat in the dispatch queue;
+    it was dropped before reaching an engine.
 ``internal``
     Unexpected server-side failure (the exception text is included).
+
+Any request may carry ``deadline_ms`` (a positive number): the time the
+client is willing to wait for its response, measured from admission.
 """
 
 from __future__ import annotations
@@ -85,6 +98,8 @@ ERROR_BAD_REQUEST = "bad-request"
 ERROR_UNKNOWN_OP = "unknown-op"
 ERROR_BAD_ENGINE_SPEC = "bad-engine-spec"
 ERROR_ENGINE_NOT_LOADED = "engine-not-loaded"
+ERROR_OVERLOADED = "overloaded"
+ERROR_DEADLINE_EXCEEDED = "deadline-exceeded"
 ERROR_INTERNAL = "internal"
 
 
@@ -99,11 +114,16 @@ class ProtocolError(Exception):
 
 @dataclass
 class Request:
-    """One parsed request: the echoed id, the op, and its parameters."""
+    """One parsed request: the echoed id, the op, and its parameters.
+
+    ``deadline_ms`` is the envelope-level patience budget (see the
+    module docstring); ``None`` defers to the server's default.
+    """
 
     id: Any
     op: str
     params: dict
+    deadline_ms: float | None = None
 
 
 def encode(payload: dict) -> bytes:
@@ -154,8 +174,23 @@ def parse_request(payload: dict) -> Request:
         raise ProtocolError(
             ERROR_BAD_REQUEST, "request 'id' must be a JSON scalar"
         )
-    params = {k: v for k, v in payload.items() if k not in ("op", "id")}
-    return Request(id=request_id, op=op, params=params)
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or not deadline_ms > 0
+        ):
+            raise ProtocolError(
+                ERROR_BAD_REQUEST, "'deadline_ms' must be a positive number"
+            )
+        deadline_ms = float(deadline_ms)
+    params = {
+        k: v for k, v in payload.items() if k not in ("op", "id", "deadline_ms")
+    }
+    return Request(
+        id=request_id, op=op, params=params, deadline_ms=deadline_ms
+    )
 
 
 def ok_response(

@@ -15,9 +15,20 @@ go out in completion order (matched by ``id``) under a per-connection
 write lock.  Protocol failures answer with a structured error line and
 keep the connection open.
 
+Overload protection happens at the queue boundary: a ``queue_cap``
+bounds the dispatch queue and admissions past it answer a structured
+``overloaded`` error immediately (``ServeStats.requests_shed``), and
+every request carries a deadline (its own ``deadline_ms`` or the
+server's ``request_timeout_ms`` default) that the dispatcher checks when
+it drains — an expired request answers ``deadline-exceeded`` without
+costing an engine round.  A saturated server stays responsive: it sheds
+instead of buffering without bound.
+
 Shutdown (``aclose`` — what the CLI's SIGTERM/SIGINT handlers trigger)
-closes the listener, cancels the dispatcher, fails queued requests, and
-closes the hub, which routes every ``dm-mp`` pool through
+stops the listener and then, with ``drain=True`` (the first signal),
+runs the queue dry before closing; a second signal — or plain
+``aclose()`` — fails queued requests instead.  Either way the hub close
+routes every ``dm-mp`` pool through
 :func:`repro.utils.workers.stop_worker_pool` and unlinks its shared
 memory — a killed server never leaks shm segments (the crash tests
 assert this for SIGTERM and, via the resource tracker, SIGKILL).
@@ -28,10 +39,13 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable
 
+from repro.core import faults
 from repro.serve.batcher import CoalescingBatcher, EngineHub, ServeStats
 from repro.serve.protocol import (
     ERROR_BAD_REQUEST,
+    ERROR_DEADLINE_EXCEEDED,
     ERROR_INTERNAL,
+    ERROR_OVERLOADED,
     MAX_LINE_BYTES,
     ProtocolError,
     Request,
@@ -40,6 +54,10 @@ from repro.serve.protocol import (
     error_response,
     parse_request,
 )
+
+#: Queue marker that tells the dispatcher to run the queue dry and exit
+#: (graceful drain); everything enqueued before it is still answered.
+_DRAIN = object()
 
 
 class QueryServer:
@@ -58,6 +76,16 @@ class QueryServer:
         batch before draining.  0 (default) still coalesces whatever is
         queued — including everything that arrived while the previous
         round was in flight.
+    queue_cap:
+        Bound on queued-but-undispatched requests; admissions past it
+        are shed with a structured ``overloaded`` error instead of
+        buffering without bound.  ``None`` (default) leaves the queue
+        unbounded.
+    request_timeout_ms:
+        Default per-request deadline; a request still queued when it
+        expires answers ``deadline-exceeded`` instead of holding its
+        connection forever.  A request's own ``deadline_ms`` overrides
+        it.  ``None`` (default) applies no deadline.
     """
 
     def __init__(
@@ -67,18 +95,31 @@ class QueryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         batch_window: float = 0.0,
+        queue_cap: int | None = None,
+        request_timeout_ms: float | None = None,
         stats: ServeStats | None = None,
     ) -> None:
+        if queue_cap is not None and int(queue_cap) < 1:
+            raise ValueError(f"queue_cap must be >= 1, got {queue_cap}")
+        if request_timeout_ms is not None and not request_timeout_ms > 0:
+            raise ValueError(
+                f"request_timeout_ms must be > 0, got {request_timeout_ms}"
+            )
         self.hub = hub
         self.batcher = CoalescingBatcher(hub, stats)
         self.host = host
         self.port = int(port)
         self.batch_window = float(batch_window)
+        self.queue_cap = None if queue_cap is None else int(queue_cap)
+        self.request_timeout_ms = (
+            None if request_timeout_ms is None else float(request_timeout_ms)
+        )
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher: asyncio.Task | None = None
-        self._queue: asyncio.Queue[tuple[Request, asyncio.Future]] = (
-            asyncio.Queue()
+        self._queue: asyncio.Queue[Any] = asyncio.Queue(
+            maxsize=0 if self.queue_cap is None else self.queue_cap
         )
+        self._accepted = 0
         self._closed = False
 
     @property
@@ -104,22 +145,39 @@ class QueryServer:
         self.host, self.port = sock.getsockname()[:2]
         return self.host, self.port
 
-    async def aclose(self) -> None:
-        """Stop accepting, fail queued work, release the hub (idempotent)."""
+    async def aclose(self, *, drain: bool = False) -> None:
+        """Stop accepting and release the hub (idempotent).
+
+        With ``drain`` the dispatcher first runs the queue dry — every
+        request admitted before the close is answered — while new
+        admissions are shed with ``overloaded``; without it queued
+        requests fail with an ``internal`` shutdown error.
+        """
         if self._closed:
             return
         self._closed = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if drain and self._dispatcher is not None:
+            await self._queue.put(_DRAIN)
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
                 await self._dispatcher
             except asyncio.CancelledError:
                 pass
+            self._dispatcher = None
         while not self._queue.empty():
-            request, future = self._queue.get_nowait()
+            entry = self._queue.get_nowait()
+            if entry is _DRAIN:
+                continue
+            request, future, _ = entry
             if not future.done():
                 future.set_result(
                     error_response(
@@ -129,19 +187,54 @@ class QueryServer:
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.hub.close)
 
+    def abort_drain(self) -> None:
+        """Force a drain in progress to stop (the second SIGTERM/SIGINT):
+        cancels the dispatcher so ``aclose(drain=True)`` falls through to
+        failing whatever is still queued."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+
     # ------------------------------------------------------------------
     async def _dispatch_loop(self) -> None:
         loop = asyncio.get_running_loop()
-        while True:
+        draining = False
+        while not draining:
             first = await self._queue.get()
+            if first is _DRAIN:
+                return
             if self.batch_window > 0:
                 await asyncio.sleep(self.batch_window)
-            batch = [first]
+            drained = [first]
             while True:
                 try:
-                    batch.append(self._queue.get_nowait())
+                    entry = self._queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
+                if entry is _DRAIN:
+                    draining = True
+                    break
+                drained.append(entry)
+            # Expired deadlines answer here, before any engine work: a
+            # request that waited out its patience budget in the queue
+            # must not consume a round its client stopped waiting for.
+            now = loop.time()
+            batch = []
+            for request, future, deadline in drained:
+                if deadline is not None and now > deadline:
+                    self.stats.deadlines_exceeded += 1
+                    if not future.done():
+                        future.set_result(
+                            error_response(
+                                request.id,
+                                ERROR_DEADLINE_EXCEEDED,
+                                "request deadline expired in the dispatch "
+                                "queue",
+                            )
+                        )
+                else:
+                    batch.append((request, future))
+            if not batch:
+                continue
             requests = [request for request, _ in batch]
             try:
                 responses = await loop.run_in_executor(
@@ -207,7 +300,7 @@ class QueryServer:
                 future: asyncio.Future = (
                     asyncio.get_running_loop().create_future()
                 )
-                await self._queue.put((request, future))
+                self._admit(request, future)
                 task = asyncio.create_task(
                     self._respond(writer, lock, future)
                 )
@@ -221,6 +314,44 @@ class QueryServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    def _admit(self, request: Request, future: asyncio.Future) -> None:
+        """Enqueue one parsed request — or shed it, answering immediately.
+
+        Shedding (queue at ``queue_cap``, shutdown in progress, or an
+        injected ``serve-drop`` fault) resolves the future with a
+        structured ``overloaded`` error without touching the dispatcher,
+        so a saturated server answers in admission time, not queue time.
+        """
+        arrival = self._accepted
+        self._accepted += 1
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None:
+            deadline_ms = self.request_timeout_ms
+        deadline = (
+            None
+            if deadline_ms is None
+            else asyncio.get_running_loop().time() + deadline_ms / 1000.0
+        )
+        if self._closed:
+            self._shed(request, future, "server is shutting down")
+            return
+        if faults.maybe_fail("serve-drop", request=arrival) is not None:
+            self._shed(request, future, "dispatch queue is full")
+            return
+        try:
+            self._queue.put_nowait((request, future, deadline))
+        except asyncio.QueueFull:
+            self._shed(request, future, "dispatch queue is full")
+
+    def _shed(
+        self, request: Request, future: asyncio.Future, message: str
+    ) -> None:
+        self.stats.requests_shed += 1
+        if not future.done():
+            future.set_result(
+                error_response(request.id, ERROR_OVERLOADED, message)
+            )
 
     async def _respond(
         self,
@@ -249,6 +380,8 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = 0,
     batch_window: float = 0.0,
+    queue_cap: int | None = None,
+    request_timeout_ms: float | None = None,
     on_ready: Callable[[str, int], None] | None = None,
 ) -> ServeStats:
     """Blocking entry point: serve until SIGTERM/SIGINT, then clean up.
@@ -256,7 +389,10 @@ def run_server(
     The signal handlers set an event rather than raising, so shutdown
     always runs :meth:`QueryServer.aclose` — worker pools are stopped via
     ``stop_worker_pool`` and shm segments unlinked even when the process
-    is terminated externally.  Returns the final serving counters.
+    is terminated externally.  The first signal drains gracefully (stops
+    accepting, answers everything already queued); a second signal cuts
+    the drain short and fails what is left.  Returns the final serving
+    counters.
     """
     import signal
 
@@ -264,14 +400,26 @@ def run_server(
 
     async def main() -> None:
         server = QueryServer(
-            hub, host=host, port=port, batch_window=batch_window, stats=stats
+            hub,
+            host=host,
+            port=port,
+            batch_window=batch_window,
+            queue_cap=queue_cap,
+            request_timeout_ms=request_timeout_ms,
+            stats=stats,
         )
         bound_host, bound_port = await server.start()
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
+
+        def on_signal() -> None:
+            if stop.is_set():
+                server.abort_drain()
+            stop.set()
+
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
-                loop.add_signal_handler(signum, stop.set)
+                loop.add_signal_handler(signum, on_signal)
             except NotImplementedError:  # pragma: no cover - non-posix
                 pass
         if on_ready is not None:
@@ -279,7 +427,7 @@ def run_server(
         try:
             await stop.wait()
         finally:
-            await server.aclose()
+            await server.aclose(drain=True)
 
     asyncio.run(main())
     return stats

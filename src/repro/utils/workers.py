@@ -26,6 +26,12 @@ def stop_worker_pool(handles, send_stop: Callable[[object], None]) -> None:
     — the TCP :class:`~repro.core.engine_net.HostPool`'s remote hosts,
     which no local pid can reap — skip the join ladder: the stop frame
     (or the socket close) returns the remote worker to its accept loop.
+
+    Idempotent: calling it again with the same handles — or with a
+    worker that was SIGKILLed, already joined, or whose ``Process`` /
+    pipe was already ``close()``d — is a no-op for that handle, never an
+    error.  Supervised pools rely on this: a crash can race the engine's
+    own teardown against an outer ``close()``.
     """
     for handle in handles:
         try:
@@ -35,14 +41,17 @@ def stop_worker_pool(handles, send_stop: Callable[[object], None]) -> None:
     for handle in handles:
         process = getattr(handle, "process", None)
         if process is not None:
-            process.join(timeout=_JOIN_TIMEOUT)
-            if process.is_alive():  # pragma: no cover - wedged worker
-                process.terminate()
+            try:
                 process.join(timeout=_JOIN_TIMEOUT)
-            if process.is_alive():  # pragma: no cover - wedged worker
-                process.kill()
-                process.join(timeout=_JOIN_TIMEOUT)
+                if process.is_alive():  # pragma: no cover - wedged worker
+                    process.terminate()
+                    process.join(timeout=_JOIN_TIMEOUT)
+                if process.is_alive():  # pragma: no cover - wedged worker
+                    process.kill()
+                    process.join(timeout=_JOIN_TIMEOUT)
+            except ValueError:
+                pass  # Process already close()d: nothing left to reap.
         try:
             handle.conn.close()
-        except OSError:  # pragma: no cover - already torn down
+        except (OSError, ValueError):
             pass

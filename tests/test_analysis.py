@@ -12,6 +12,7 @@ import repro
 from repro.analysis import (
     DeterminismChecker,
     EngineProtocolChecker,
+    FaultPointChecker,
     MpOpParityChecker,
     PickleBudgetChecker,
     Project,
@@ -428,6 +429,73 @@ def test_wire_format_scoped_to_serve_paths():
 
 
 # ----------------------------------------------------------------------
+# fault-point
+# ----------------------------------------------------------------------
+FAULT_REGISTRY = """
+FAULT_IDS = {
+    "mp-kill-worker": ("worker", "round"),
+    "store-corrupt-block": ("candidate", "kind", "block"),
+    "never-instrumented": ("round",),
+}
+"""
+
+FAULT_POSITIVE = """
+from repro.core import faults
+
+
+def run(self):
+    faults.maybe_fail("mp-kill-worker", worker=1, round=2)
+    faults.maybe_fail("made-up-fault", worker=1)
+    faults.maybe_fail("store-corrupt-block", candidate=0, shard=3)
+    faults.maybe_fail(self.fault_id)
+"""
+
+FAULT_NEGATIVE = """
+from repro.core import faults
+
+
+def run(self):
+    faults.maybe_fail("mp-kill-worker", worker=1, round=2)
+    faults.maybe_fail("store-corrupt-block", candidate=0, kind="uniform")
+    faults.maybe_fail("never-instrumented", round=1)
+"""
+
+
+def test_fault_point_positive_fixture_fires():
+    findings = check(
+        FaultPointChecker(),
+        {
+            "src/repro/core/faults.py": FAULT_REGISTRY,
+            "src/repro/core/engine_mp.py": FAULT_POSITIVE,
+        },
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert len(findings) == 4
+    assert "'made-up-fault' is not registered" in messages
+    assert "'shard' not registered" in messages
+    assert "string-literal fault id" in messages
+    assert "'never-instrumented' has no maybe_fail call site" in messages
+
+
+def test_fault_point_negative_fixture_quiet():
+    assert (
+        check(
+            FaultPointChecker(),
+            {
+                "src/repro/core/faults.py": FAULT_REGISTRY,
+                "src/repro/core/engine_mp.py": FAULT_NEGATIVE,
+            },
+        )
+        == []
+    )
+
+
+def test_fault_point_quiet_without_registry():
+    # A project without the seam (fixture trees) has nothing to check.
+    assert check(FaultPointChecker(), {"mod.py": FAULT_POSITIVE}) == []
+
+
+# ----------------------------------------------------------------------
 # framework: ordering, reporters, baseline
 # ----------------------------------------------------------------------
 def test_findings_sorted_and_json_deterministic():
@@ -513,7 +581,7 @@ def test_cli_lint_json_format(tmp_path, capsys):
     assert main(["lint", str(root), "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["counts"] == {"determinism": 1}
-    assert len(payload["checkers"]) == 6
+    assert len(payload["checkers"]) == 7
 
 
 def test_cli_lint_list(capsys):
@@ -532,7 +600,7 @@ def test_live_tree_is_clean():
 
 
 def test_live_tree_checkers_have_coverage():
-    """All six checkers inspect real seams of the live tree (not vacuous)."""
+    """All seven checkers inspect real seams of the live tree (not vacuous)."""
     package_root = Path(repro.__file__).parent
     project = Project.from_paths([package_root])
     # the registry and worker loops the structural checkers key off exist
